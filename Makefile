@@ -1,0 +1,27 @@
+# Convenience targets for the Corleone reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench results examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results: bench
+	$(PYTHON) benchmarks/collect_results.py
+
+# Run every example end-to-end (several minutes of simulated crowdwork).
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results benchmarks/.cache .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

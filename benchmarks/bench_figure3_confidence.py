@@ -1,0 +1,127 @@
+"""Figure 3 — confidence trajectories and the three stopping patterns.
+
+The paper's Figure 3 illustrates conf(V) over active-learning iterations
+for the converged / near-absolute / degrading patterns.  This bench
+(a) replays the real trajectory recorded by the benchmark pipeline runs
+and reports which pattern fired, and (b) drives the ConfidenceMonitor
+with three canonical synthetic trajectories to regenerate the figure's
+panels deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import DATASETS, RESULTS_DIR, save_table
+from repro.config import MatcherConfig
+from repro.core.stopping import ConfidenceMonitor, smooth
+from repro.evaluation.plotting import line_plot, multi_series_table
+
+
+def test_figure3_real_trajectories(runs, benchmark):
+    summaries = benchmark.pedantic(
+        lambda: [runs.corleone(name) for name in DATASETS],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for summary in summaries:
+        first = summary.result.iterations[0].matcher
+        series = first.confidence_history
+        smoothed = smooth(series, 5)
+        rows.append([
+            summary.dataset.name,
+            first.stop_reason,
+            len(series),
+            f"{series[0]:.3f}",
+            f"{max(smoothed):.3f}",
+            f"{smoothed[-1]:.3f}",
+        ])
+        # Confidence is a proper mean of per-example confidences.
+        assert all(0.0 <= c <= 1.0 + 1e-9 for c in series)
+    save_table(
+        "figure3_confidence_real",
+        "Figure 3 (measured): conf(V) trajectories of iteration-1 matchers",
+        ["dataset", "stop", "iters", "first", "peak", "last"],
+        rows,
+    )
+    # Render the actual figure: one sparkline per dataset, shared scale.
+    series = {
+        summary.dataset.name:
+            smooth(summary.result.iterations[0].matcher.confidence_history,
+                   5)
+        for summary in summaries
+    }
+    figure = multi_series_table(series, low=0.0, high=1.0)
+    (RESULTS_DIR / "figure3_confidence_plot.txt").write_text(
+        "Figure 3 (measured): smoothed conf(V), 0..1 scale\n\n"
+        + figure + "\n"
+    )
+    print(figure)
+    # Matchers must stop via a recognized pattern, not the hard cap.
+    for row in rows:
+        assert row[1] in ("near_absolute", "converged", "degrading",
+                          "pool_exhausted")
+
+
+def _drive(series, config) -> tuple[str | None, int | None]:
+    monitor = ConfidenceMonitor(config)
+    for value in series:
+        decision = monitor.add(value)
+        if decision is not None:
+            return decision.reason, decision.rollback_index
+    return None, None
+
+
+def test_figure3_synthetic_patterns(benchmark):
+    config = MatcherConfig(smoothing_window=5, epsilon=0.01,
+                           n_converged=20, n_high=3, n_degrade=15)
+    rng = np.random.default_rng(0)
+
+    # Panel (a): rise then plateau -> converged.
+    plateau = list(np.linspace(0.4, 0.9, 15)) + [
+        0.9 + rng.normal(0, 0.002) for _ in range(30)
+    ]
+    # Panel (b): rise to ~1.0 -> near-absolute.
+    absolute = list(np.linspace(0.5, 0.999, 10)) + [0.999] * 5
+    # Panel (b, right): peak then decline -> degrading.
+    degrade = (list(np.linspace(0.4, 0.95, 15))
+               + list(np.linspace(0.95, 0.55, 35)))
+
+    def run_all():
+        return (
+            _drive(plateau, config),
+            _drive(absolute, config),
+            _drive(degrade, config),
+        )
+
+    (conv, near, deg) = benchmark.pedantic(run_all, rounds=3, iterations=1)
+
+    assert conv[0] == "converged"
+    assert near[0] == "near_absolute"
+    assert deg[0] == "degrading"
+    # The degrading rollback lands near the peak, not at the end.
+    assert deg[1] is not None and deg[1] <= 20
+
+    rows = [
+        ["converged (panel a)", conv[0], conv[1]],
+        ["near-absolute (panel b)", near[0], near[1]],
+        ["degrading (panel b)", deg[0], deg[1]],
+    ]
+    save_table(
+        "figure3_confidence_synthetic",
+        "Figure 3 (synthetic): the three stopping patterns",
+        ["trajectory", "detected pattern", "rollback index"],
+        rows,
+    )
+    panels = "\n\n".join(
+        line_plot(list(values), width=50, height=8, title=title,
+                  y_low=0.3, y_high=1.0)
+        for title, values in (
+            ("panel a: converged", plateau),
+            ("panel b: near-absolute", absolute),
+            ("panel b: degrading", degrade),
+        )
+    )
+    (RESULTS_DIR / "figure3_confidence_panels.txt").write_text(
+        panels + "\n"
+    )

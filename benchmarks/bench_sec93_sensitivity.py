@@ -1,0 +1,142 @@
+"""Section 9.3 — sensitivity to crowd error rate, plus voting ablation.
+
+The paper varies the simulated crowd's error rate: with a perfect crowd
+Corleone performs extremely well; at 10% error F1 drops only 2-4% while
+cost rises up to $20; at 20% error F1 drops further (1-28%) and cost
+shoots up by $250-500.  This bench sweeps 0% / 10% / 20% on each dataset
+(smaller instances keep the 9-run sweep fast) and also ablates the §8
+voting schemes directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import bench_config, memo_disk, save_table
+from repro.config import CrowdConfig
+from repro.crowd.aggregation import VoteScheme
+from repro.crowd.cost import CostTracker
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import SimulatedCrowd
+from repro.data.pairs import Pair
+from repro.evaluation.experiment import run_corleone
+from repro.evaluation.reporting import pct
+from repro.synth import (
+    generate_citations,
+    generate_products,
+    generate_restaurants,
+)
+
+ERROR_RATES = (0.0, 0.1, 0.2)
+
+_SWEEP: dict[tuple[str, float], object] = {}
+_ROWS: list[list] = []
+
+
+def _small_dataset(name):
+    if name == "restaurants":
+        return generate_restaurants(n_a=120, n_b=80, n_matches=28, seed=3)
+    if name == "citations":
+        return generate_citations(n_a=150, n_b=1200, n_matches=250, seed=3)
+    return generate_products(n_a=150, n_b=1100, n_matches=60, seed=3)
+
+
+@pytest.mark.parametrize("name", ("restaurants", "citations", "products"))
+def test_sec93_error_rate_sweep(benchmark, name):
+    config = bench_config(max_pipeline_iterations=1)
+
+    def sweep():
+        for rate in ERROR_RATES:
+            if (name, rate) not in _SWEEP:
+                _SWEEP[(name, rate)] = memo_disk(
+                    ("sensitivity", name, rate, repr(config)),
+                    lambda rate=rate: run_corleone(
+                        _small_dataset(name), config,
+                        error_rate=rate, seed=4,
+                    ),
+                )
+        return [_SWEEP[(name, rate)] for rate in ERROR_RATES]
+
+    perfect, moderate, noisy = benchmark.pedantic(sweep, rounds=1,
+                                                  iterations=1)
+    for rate, summary in zip(ERROR_RATES, (perfect, moderate, noisy)):
+        _ROWS.append([
+            name, f"{rate:.0%}", pct(summary.f1),
+            f"${summary.dollars:.1f}", summary.pairs_labeled,
+        ])
+
+    # Shape: a perfect crowd does well; more noise never helps much.
+    assert perfect.f1 >= 0.75
+    assert perfect.f1 >= noisy.f1 - 0.05
+    # Noise inflates answer volume (strong-majority escalation).
+    assert noisy.result.cost.answers >= perfect.result.cost.answers
+
+
+def test_sec93_sensitivity_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_table(
+        "sec93_sensitivity",
+        "Section 9.3: sensitivity to crowd error rate "
+        "(single-iteration runs on reduced datasets)",
+        ["dataset", "error rate", "F1", "cost", "#pairs"],
+        _ROWS,
+        notes="Paper: 10% error costs 2-4% F1 and up to +$20; 20% error "
+              "costs up to 28% F1 (restaurants) and +$250-500.",
+    )
+    assert len(_ROWS) == 9
+
+
+class TestVotingSchemeAblation:
+    """DESIGN.md ablation: 2+1 vs strong vs asymmetric voting."""
+
+    def _label_accuracy_and_cost(self, scheme, error_rate=0.2,
+                                 n_questions=400, positive_share=0.3,
+                                 seed=0):
+        pairs = [Pair(f"a{i}", f"b{i}") for i in range(n_questions)]
+        cut = int(positive_share * n_questions)
+        matches = set(pairs[:cut])
+        crowd = SimulatedCrowd(matches, error_rate=error_rate,
+                               rng=np.random.default_rng(seed))
+        service = LabelingService(crowd, CrowdConfig(),
+                                  CostTracker(price_per_question=0.01))
+        labels = service.label_all(pairs, scheme=scheme)
+        correct = sum(
+            1 for pair, label in labels.items()
+            if label == (pair in matches)
+        )
+        false_positives = sum(
+            1 for pair, label in labels.items()
+            if label and pair not in matches
+        )
+        return (correct / n_questions, false_positives,
+                service.tracker.answers)
+
+    def test_ablation_voting_schemes(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: {
+                scheme: self._label_accuracy_and_cost(scheme)
+                for scheme in VoteScheme
+            },
+            rounds=1, iterations=1,
+        )
+        rows = [
+            [scheme.value, f"{acc:.3f}", fp, answers]
+            for scheme, (acc, fp, answers) in results.items()
+        ]
+        save_table(
+            "sec93_voting_ablation",
+            "Ablation (Section 8): voting schemes at 20% worker error",
+            ["scheme", "label accuracy", "false positives", "answers"],
+            rows,
+        )
+
+        plain = results[VoteScheme.MAJORITY_2PLUS1]
+        strong = results[VoteScheme.STRONG_MAJORITY]
+        asym = results[VoteScheme.ASYMMETRIC]
+        # Strong majority is the most accurate and most expensive.
+        assert strong[0] >= plain[0]
+        assert strong[2] >= asym[2] >= plain[2]
+        # The asymmetric scheme kills false positives almost as well as
+        # full strong majority at a fraction of the extra cost.
+        assert asym[1] <= plain[1]

@@ -1,0 +1,57 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the paper's Table 1 (|A|, |B|, # matches) for the synthetic
+stand-ins at both bench scale (used by all other benches) and the paper's
+original scale, and times dataset generation.
+"""
+
+from __future__ import annotations
+
+from _common import DATASETS, save_table
+from repro.synth import load_dataset
+from repro.synth.registry import PAPER_SCALE
+
+
+def test_table1_dataset_statistics(runs, benchmark):
+    def generate_bench_datasets():
+        return [runs.dataset(name) for name in DATASETS]
+
+    datasets = benchmark.pedantic(generate_bench_datasets, rounds=1,
+                                  iterations=1)
+
+    rows = []
+    for dataset in datasets:
+        stats = dataset.stats()
+        paper_a, paper_b, paper_m = PAPER_SCALE[dataset.name]
+        rows.append([
+            dataset.name, stats.size_a, stats.size_b, stats.n_matches,
+            f"{stats.positive_density:.5%}",
+            f"{paper_a}x{paper_b} ({paper_m})",
+        ])
+        # Invariants the rest of the suite relies on.
+        assert stats.n_matches >= 4
+        assert stats.size_a * stats.size_b > 0
+
+    save_table(
+        "table1_datasets",
+        "Table 1: data sets (bench scale; paper scale in last column)",
+        ["dataset", "|A|", "|B|", "#matches", "density", "paper |A|x|B| (#m)"],
+        rows,
+    )
+
+    # The size *ratios* of the paper are preserved at bench scale.
+    bench = {d.name: d.stats() for d in datasets}
+    assert bench["citations"].size_b > 5 * bench["citations"].size_a
+    assert bench["products"].size_b > 5 * bench["products"].size_a
+    assert bench["restaurants"].size_a < 600
+
+
+def test_table1_paper_scale_generation(benchmark):
+    """Generating the full-size citations tables stays tractable."""
+    dataset = benchmark.pedantic(
+        lambda: load_dataset("citations", scale="paper", seed=0),
+        rounds=1, iterations=1,
+    )
+    stats = dataset.stats()
+    assert (stats.size_a, stats.size_b, stats.n_matches) == \
+        PAPER_SCALE["citations"]

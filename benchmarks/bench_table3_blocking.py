@@ -1,0 +1,64 @@
+"""Table 3 — blocking results.
+
+For each dataset: Cartesian product size, umbrella-set size, blocking
+recall (share of gold matches retained), crowd cost of blocking and
+pairs labelled during blocking.  Restaurants must not trigger blocking
+(its product is below t_B), mirroring the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import DATASETS, save_table
+from repro.evaluation.reporting import pct
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_table3_blocking_run(runs, benchmark, name):
+    summary = benchmark.pedantic(
+        lambda: runs.corleone(name), rounds=1, iterations=1
+    )
+    blocker = summary.result.blocker
+    if name == "restaurants":
+        assert not blocker.triggered
+        assert blocker.pairs_labeled == 0
+    else:
+        assert blocker.triggered
+        # Dramatic reduction of the Cartesian product...
+        assert blocker.umbrella_size <= 0.15 * blocker.cartesian
+        # ...while keeping nearly all true matches.
+        assert summary.blocking_recall >= 0.9
+        assert blocker.applied_rules
+
+
+def test_table3_report(runs, benchmark):
+    # Report assembly is immediate; the pedantic call keeps this test
+    # visible under --benchmark-only (which skips non-benchmark tests).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        summary = runs.corleone(name)
+        blocker = summary.result.blocker
+        rows.append([
+            name,
+            f"{blocker.cartesian / 1000:.1f}K",
+            f"{blocker.umbrella_size / 1000:.1f}K",
+            pct(summary.blocking_recall, 0),
+            f"${blocker.dollars:.1f}",
+            blocker.pairs_labeled,
+            len(blocker.applied_rules),
+        ])
+    save_table(
+        "table3_blocking",
+        "Table 3: blocking results",
+        ["dataset", "cartesian", "umbrella", "recall%", "cost", "#pairs",
+         "#rules"],
+        rows,
+        notes=(
+            "Paper: restaurants 176.4K -> 176.4K (no blocking, $0); "
+            "citations 168.1M -> 38.2K, recall 99%, $7.2, 214 pairs; "
+            "products 56.4M -> 173.4K, recall 92%, $22, 333 pairs. "
+            "Paper applied 1-3 rules per run."
+        ),
+    )

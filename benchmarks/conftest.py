@@ -1,0 +1,17 @@
+"""Benchmark fixtures: one shared run cache per session."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RunCache  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()

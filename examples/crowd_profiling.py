@@ -1,0 +1,73 @@
+"""Crowd profiling & budget planning: the paper's §10 extensions, live.
+
+Two questions the paper leaves as future work, answered by this repo:
+
+1. *What is my crowd's error rate, and should I pay for stronger
+   voting?* — `ProfilingLabelingService` estimates the per-answer error
+   rate purely from answer disagreement (no gold labels needed) and can
+   adapt the voting scheme on the fly.
+2. *How should a fixed budget be split across pipeline phases?* —
+   `BudgetPlan.from_total` allocates dollars to blocking / matching /
+   estimation / reduction with rollover, and each phase degrades
+   gracefully when its allocation runs dry.
+
+Run:  python examples/crowd_profiling.py
+"""
+
+import numpy as np
+
+from repro import SimulatedCrowd, load_dataset, scaled_config
+from repro.config import CrowdConfig
+from repro.core.budgeting import BudgetPlan
+from repro.core.pipeline import Corleone
+from repro.crowd.profiler import AdaptivePolicy, ProfilingLabelingService
+from repro.data.pairs import Pair
+from repro.metrics import prf1
+
+
+def demo_profiling() -> None:
+    print("== 1. Profiling an unknown crowd ==")
+    matches = {Pair(f"a{i}", f"b{i}") for i in range(500)}
+    questions = [Pair(f"a{i}", f"b{i + (i % 3 == 0)}") for i in range(400)]
+
+    for true_rate in (0.02, 0.12, 0.25):
+        crowd = SimulatedCrowd(matches, error_rate=true_rate,
+                               rng=np.random.default_rng(1))
+        service = ProfilingLabelingService(
+            crowd, CrowdConfig(), policy=AdaptivePolicy(),
+            min_questions=40,
+        )
+        service.label_all(questions)
+        profile = service.profile
+        print(f"  true error {true_rate:.0%}: estimated "
+              f"{profile['error_rate']:.1%} "
+              f"[{profile['error_rate_low']:.1%}, "
+              f"{profile['error_rate_high']:.1%}] "
+              f"from {profile['questions_observed']} questions, "
+              f"{service.tracker.answers} answers paid")
+
+
+def demo_budget_plan() -> None:
+    print("\n== 2. Splitting a budget across phases ==")
+    dataset = load_dataset("citations", seed=4)
+    plan = BudgetPlan.from_total(40.0)
+    print(f"  plan for $40: blocking=${plan.blocking:.1f} "
+          f"matching=${plan.matching:.1f} "
+          f"estimation=${plan.estimation:.1f} "
+          f"reduction=${plan.reduction:.1f}")
+
+    crowd = SimulatedCrowd(dataset.matches, error_rate=0.1,
+                           rng=np.random.default_rng(2))
+    config = scaled_config(t_b=20_000).replace(max_pipeline_iterations=1)
+    pipeline = Corleone(config, crowd, rng=np.random.default_rng(0))
+    result = pipeline.run(dataset.table_a, dataset.table_b,
+                          dataset.seed_labels, budget_plan=plan)
+
+    p, r, f1 = prf1(result.predicted_matches, dataset.matches)
+    print(f"  spent ${result.cost.dollars:.2f} of ${plan.total:.2f}; "
+          f"true F1 {f1:.1%} (stop: {result.stop_reason})")
+
+
+if __name__ == "__main__":
+    demo_profiling()
+    demo_budget_plan()

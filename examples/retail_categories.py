@@ -1,0 +1,84 @@
+"""The retailer scenario of Example 3.1: many categories, one crowd.
+
+The paper motivates hands-off crowdsourcing with a retailer that must
+match products in 500+ categories — 500 separate EM problems that no
+developer team could configure by hand.  `MultiTaskRunner` runs a batch
+of such tasks against a single crowd platform, splitting an overall
+budget across categories by their Cartesian sizes.
+
+This demo uses eight small categories (four dataset families x two
+seeds); scale the loop up and the code path is identical.
+
+Run:  python examples/retail_categories.py
+"""
+
+import numpy as np
+
+from repro import EMTask, MultiTaskRunner, SimulatedCrowd, scaled_config
+from repro.metrics import prf1
+from repro.synth import (
+    generate_citations,
+    generate_products,
+    generate_restaurants,
+    generate_songs,
+)
+
+
+def build_categories():
+    """Eight EM tasks with their gold matches (for crowd + scoring)."""
+    generators = {
+        "home": lambda seed: generate_restaurants(
+            n_a=60, n_b=45, n_matches=14, seed=seed),
+        "media": lambda seed: generate_citations(
+            n_a=40, n_b=260, n_matches=60, seed=seed),
+        "electronics": lambda seed: generate_products(
+            n_a=50, n_b=260, n_matches=16, seed=seed),
+        "music": lambda seed: generate_songs(
+            n_a=50, n_b=240, n_matches=18, seed=seed),
+    }
+    tasks, gold = [], {}
+    for family, generate in generators.items():
+        for seed in (1, 2):
+            dataset = generate(seed)
+            name = f"{family}_{seed}"
+            tasks.append(EMTask(
+                name=name,
+                table_a=dataset.table_a,
+                table_b=dataset.table_b,
+                seed_labels=dataset.seed_labels,
+            ))
+            gold[name] = set(dataset.matches)
+    return tasks, gold
+
+
+def main() -> None:
+    tasks, gold = build_categories()
+    all_matches = set().union(*gold.values())
+    crowd = SimulatedCrowd(all_matches, error_rate=0.1,
+                           rng=np.random.default_rng(3))
+
+    runner = MultiTaskRunner(
+        scaled_config(t_b=8000).replace(max_pipeline_iterations=1),
+        crowd, seed=0,
+    )
+    print(f"running {len(tasks)} categories under a shared $80 budget\n")
+    batch = runner.run(tasks, total_budget=80.0, mode="one_iteration")
+
+    print(f"{'category':16s} {'pairs':>8s} {'cost':>8s} "
+          f"{'matches':>8s} {'true F1':>8s}")
+    for outcome in batch.outcomes:
+        _, _, f1 = prf1(outcome.predicted_matches, gold[outcome.task.name])
+        print(f"{outcome.task.name:16s} "
+              f"{outcome.task.cartesian:8,d} "
+              f"${outcome.dollars:7.2f} "
+              f"{len(outcome.predicted_matches):8d} "
+              f"{f1:8.1%}")
+
+    print(f"\ntotal: ${batch.total_dollars:.2f}, "
+          f"{batch.total_pairs_labeled} pairs labelled, "
+          f"{batch.total_matches} matches found — "
+          "zero developer configuration per category.")
+
+
+if __name__ == "__main__":
+    main()

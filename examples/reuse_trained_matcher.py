@@ -1,0 +1,81 @@
+"""Next month's catalog: reuse a trained matcher without the crowd.
+
+Example 3.1 notes that once an EM solution is trained it can match
+future products of the same category automatically.  This script trains
+once (paying the simulated crowd), persists the certified blocking rules
+and the forest to JSON, then matches a *fresh* batch for $0 — and uses
+the drift report to decide when the free ride should end.
+
+Run:  python examples/reuse_trained_matcher.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Corleone,
+    SimulatedCrowd,
+    build_feature_library,
+    drift_report,
+    reapply_matcher,
+    scaled_config,
+)
+from repro.metrics import prf1
+from repro.persistence import load_forest, load_rules, save_forest, save_rules
+from repro.synth import generate_restaurants
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="corleone_artifacts_"))
+
+    # ------------------------------------------------------------------
+    # 1. Train once, with the crowd.
+    # ------------------------------------------------------------------
+    march = generate_restaurants(n_a=120, n_b=90, n_matches=30, seed=41)
+    crowd = SimulatedCrowd(march.matches, error_rate=0.08,
+                           rng=np.random.default_rng(2))
+    config = scaled_config(t_b=4000).replace(max_pipeline_iterations=1)
+    pipeline = Corleone(config, crowd, rng=np.random.default_rng(3))
+    result = pipeline.run(march.table_a, march.table_b,
+                          march.seed_labels, mode="one_iteration")
+    p, r, f1 = prf1(result.predicted_matches, march.matches)
+    print(f"March (trained with crowd): F1={f1:.1%}, "
+          f"cost ${result.cost.dollars:.2f}")
+
+    # Persist what the run learned.
+    forest = result.iterations[0].matcher.forest
+    save_rules(result.blocker.applied_rules, workdir / "blocking.json")
+    save_forest(forest, workdir / "forest.json")
+    training_confidence = float(
+        forest.confidence(result.candidates.features).mean()
+    )
+    print(f"saved artifacts to {workdir} "
+          f"(training mean confidence {training_confidence:.2f})\n")
+
+    # ------------------------------------------------------------------
+    # 2. April: same category, new listings — match for free.
+    # ------------------------------------------------------------------
+    april = generate_restaurants(n_a=120, n_b=90, n_matches=30, seed=42)
+    library = build_feature_library(april.table_a, april.table_b)
+    reapplied = reapply_matcher(
+        april.table_a, april.table_b, library,
+        load_rules(workdir / "blocking.json"),
+        load_forest(workdir / "forest.json"),
+    )
+    p, r, f1 = prf1(reapplied.predicted_matches, april.matches)
+    print(f"April (reused, $0 crowd): F1={f1:.1%}, "
+          f"umbrella {reapplied.umbrella_size:,} of "
+          f"{reapplied.cartesian:,} pairs")
+
+    report = drift_report(reapplied,
+                          training_mean_confidence=training_confidence)
+    print(f"drift: confidence {report.current_mean_confidence:.2f} "
+          f"(drop {report.confidence_drop:+.3f}), "
+          f"{report.low_confidence_fraction:.0%} low-confidence pairs "
+          f"-> refresh {'RECOMMENDED' if report.refresh_recommended else 'not needed'}")
+
+
+if __name__ == "__main__":
+    main()

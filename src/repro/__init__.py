@@ -1,0 +1,129 @@
+"""Corleone: hands-off crowdsourced entity matching (SIGMOD 2014).
+
+A from-scratch reproduction of the Corleone system of Gokhale et al.:
+the crowd — not a developer — executes every step of the entity-matching
+workflow: blocking, matcher training, accuracy estimation, and iterative
+refinement over difficult pairs.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Corleone, SimulatedCrowd, load_dataset, scaled_config
+
+    dataset = load_dataset("products")
+    crowd = SimulatedCrowd(dataset.matches, error_rate=0.1,
+                           rng=np.random.default_rng(7))
+    pipeline = Corleone(scaled_config(), crowd)
+    result = pipeline.run(dataset.table_a, dataset.table_b,
+                          dataset.seed_labels)
+    print(len(result.predicted_matches), "matches,",
+          f"${result.cost.dollars:.2f} crowd cost")
+"""
+
+from .config import (
+    BlockerConfig,
+    CorleoneConfig,
+    CrowdConfig,
+    DEFAULT_CONFIG,
+    EstimatorConfig,
+    ForestConfig,
+    LocatorConfig,
+    MatcherConfig,
+    scaled_config,
+)
+from .core.baselines import BaselineResult, developer_blocking, run_baseline
+from .core.blocker import Blocker, BlockerResult
+from .core.budgeting import BudgetPlan, PhaseBudgetManager
+from .core.multitask import BatchOutcome, EMTask, MultiTaskRunner
+from .core.reapply import DriftReport, ReapplyResult, drift_report, reapply_matcher
+from .core.dedup import DedupResult, Deduplicator, cluster_duplicates
+from .core.estimator import AccuracyEstimate, AccuracyEstimator
+from .core.locator import DifficultPairsLocator, LocatorResult
+from .core.matcher import ActiveLearningMatcher, MatcherResult
+from .core.pipeline import Corleone, CorleoneResult, IterationRecord
+from .crowd import (
+    AdaptivePolicy,
+    CostTracker,
+    ErrorRateEstimator,
+    HeterogeneousCrowd,
+    LabelingService,
+    PerfectCrowd,
+    ProfilingLabelingService,
+    SimulatedCrowd,
+    VoteScheme,
+)
+from .data import (
+    Attribute,
+    AttrType,
+    CandidateSet,
+    Pair,
+    Record,
+    Schema,
+    Table,
+    read_csv_table,
+    write_csv_table,
+)
+from .evaluation import CorleoneRunSummary, run_corleone
+from .exceptions import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    CorleoneError,
+    CrowdError,
+    DataError,
+    EstimationError,
+    FeatureError,
+    RuleError,
+    SchemaError,
+)
+from .features import FeatureLibrary, build_feature_library, vectorize_pairs
+from .forest import DecisionTree, RandomForest, train_forest
+from .metrics import Confusion, confusion_from_sets, prf1
+from .rules import Rule, extract_negative_rules, extract_positive_rules
+from .synth import (
+    SyntheticDataset,
+    generate_citations,
+    generate_products,
+    generate_restaurants,
+    load_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "BlockerConfig", "CorleoneConfig", "CrowdConfig", "DEFAULT_CONFIG",
+    "EstimatorConfig", "ForestConfig", "LocatorConfig", "MatcherConfig",
+    "scaled_config",
+    # pipeline & modules
+    "Corleone", "CorleoneResult", "IterationRecord",
+    "Blocker", "BlockerResult",
+    "ActiveLearningMatcher", "MatcherResult",
+    "AccuracyEstimator", "AccuracyEstimate",
+    "DifficultPairsLocator", "LocatorResult",
+    "BaselineResult", "developer_blocking", "run_baseline",
+    "BudgetPlan", "PhaseBudgetManager",
+    "EMTask", "MultiTaskRunner", "BatchOutcome",
+    "ReapplyResult", "DriftReport", "reapply_matcher", "drift_report",
+    "Deduplicator", "DedupResult", "cluster_duplicates",
+    # crowd
+    "SimulatedCrowd", "PerfectCrowd", "HeterogeneousCrowd",
+    "LabelingService", "CostTracker", "VoteScheme",
+    "ProfilingLabelingService", "AdaptivePolicy", "ErrorRateEstimator",
+    # data
+    "Attribute", "AttrType", "CandidateSet", "Pair", "Record", "Schema",
+    "Table", "read_csv_table", "write_csv_table",
+    # features & learning
+    "FeatureLibrary", "build_feature_library", "vectorize_pairs",
+    "DecisionTree", "RandomForest", "train_forest",
+    "Rule", "extract_negative_rules", "extract_positive_rules",
+    # metrics & evaluation
+    "Confusion", "confusion_from_sets", "prf1",
+    "CorleoneRunSummary", "run_corleone",
+    # datasets
+    "SyntheticDataset", "load_dataset",
+    "generate_restaurants", "generate_citations", "generate_products",
+    # errors
+    "CorleoneError", "ConfigurationError", "SchemaError", "DataError",
+    "FeatureError", "RuleError", "CrowdError", "BudgetExhaustedError",
+    "EstimationError",
+]

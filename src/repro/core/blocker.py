@@ -1,0 +1,349 @@
+"""Crowdsourced blocking (Section 4).
+
+The Blocker decides whether |A x B| is too large to match directly; if so
+it learns a random forest over a density-aware sample S via crowdsourced
+active learning, extracts candidate blocking rules from the forest's
+"no"-leaf paths, has the crowd certify the top-k rules' precision, picks a
+rule subset greedily by (precision, coverage, tuple cost) with re-ranking
+after every pick, and streams the chosen rules over the full Cartesian
+product to produce the umbrella set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CorleoneConfig
+from ..crowd.service import LabelingService
+from ..data.pairs import CandidateSet, Pair
+from ..data.sampling import (
+    blocker_sample,
+    cartesian_size,
+    iter_cartesian,
+    weighted_blocker_sample,
+)
+from ..data.table import Table
+from ..features.library import FeatureLibrary
+from ..features.vectorize import vectorize_pairs
+from ..rules.evaluation import RuleEvaluation, evaluate_rules
+from ..rules.extraction import extract_negative_rules
+from ..rules.rule import Rule
+from ..rules.selection import select_top_k
+from .matcher import ActiveLearningMatcher, MatcherResult
+
+_STREAM_CHUNK = 8192
+"""Pairs per chunk when applying rules over A x B."""
+
+
+@dataclass
+class BlockerResult:
+    """The Blocker's output: the umbrella set plus full telemetry."""
+
+    triggered: bool
+    """False when |A x B| <= t_B and blocking was skipped."""
+
+    candidate_pairs: list[Pair]
+    """The umbrella set: pairs surviving the applied blocking rules."""
+
+    cartesian: int
+    sample_size: int = 0
+    applied_rules: list[Rule] = field(default_factory=list)
+    evaluations: list[RuleEvaluation] = field(default_factory=list)
+    n_candidate_rules: int = 0
+    matcher_result: MatcherResult | None = None
+    pairs_labeled: int = 0
+    dollars: float = 0.0
+
+    @property
+    def umbrella_size(self) -> int:
+        return len(self.candidate_pairs)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Umbrella size as a fraction of the Cartesian product."""
+        if self.cartesian == 0:
+            return 0.0
+        return self.umbrella_size / self.cartesian
+
+
+class Blocker:
+    """Generates, certifies and applies blocking rules with the crowd."""
+
+    def __init__(self, config: CorleoneConfig, service: LabelingService,
+                 rng: np.random.Generator) -> None:
+        self.config = config
+        self.service = service
+        self.rng = rng
+
+    def run(self, table_a: Table, table_b: Table, library: FeatureLibrary,
+            seed_labels: dict[Pair, bool]) -> BlockerResult:
+        """Execute the full Section 4 workflow.
+
+        ``seed_labels`` are the user's four examples; they are injected
+        into the label cache as trusted labels and added to the sample.
+        """
+        total = cartesian_size(table_a, table_b)
+        before = self.service.tracker.snapshot()
+        self.service.seed(seed_labels)
+
+        if total <= self.config.blocker.t_b:
+            # Small product: skip blocking entirely (Restaurants' path).
+            return BlockerResult(
+                triggered=False,
+                candidate_pairs=list(iter_cartesian(table_a, table_b)),
+                cartesian=total,
+            )
+
+        if self.config.blocker.sampling_strategy == "weighted":
+            sample_pairs = weighted_blocker_sample(
+                table_a, table_b, self.config.blocker.t_b, self.rng,
+                attribute=self.config.blocker.sampling_attribute,
+                seed_pairs=seed_labels.keys(),
+            )
+        else:
+            sample_pairs = blocker_sample(
+                table_a, table_b, self.config.blocker.t_b, self.rng,
+                seed_pairs=seed_labels.keys(),
+            )
+        sample = vectorize_pairs(table_a, table_b, sample_pairs, library)
+
+        # The blocking forest grows to pure leaves (min_samples_leaf=1):
+        # rule extraction wants sharp, specific paths, and the crowd
+        # certification step already rejects imprecise rules, so the
+        # matcher's noise regularization would only blunt the rules.
+        blocking_config = self.config.replace(
+            forest=dataclasses.replace(self.config.forest,
+                                       min_samples_leaf=1)
+        )
+        matcher = ActiveLearningMatcher(blocking_config, self.service,
+                                        self.rng)
+        matcher_result = matcher.train(sample, seed_labels)
+
+        candidates = extract_negative_rules(
+            matcher_result.forest, library.names, library.costs
+        )
+        ranked = select_top_k(
+            candidates, sample.features,
+            matcher_result.labeled_rows, self.config.blocker.top_k_rules,
+        )
+        evaluations = evaluate_rules(
+            [r.rule for r in ranked], sample, self.service, self.rng,
+            batch_size=self.config.blocker.eval_batch_size,
+            min_precision=self.config.blocker.min_precision,
+            max_error_margin=self.config.blocker.max_error_margin,
+            confidence=self.config.blocker.confidence,
+            max_labels_per_rule=self.config.blocker.max_labels_per_rule,
+        )
+        accepted = [ev.rule for ev in evaluations if ev.accepted]
+
+        chosen = self.select_rule_subset(accepted, sample, total)
+        if chosen:
+            survivors = apply_rules_streaming(
+                table_a, table_b, chosen, library
+            )
+        else:
+            survivors = list(iter_cartesian(table_a, table_b))
+
+        spent = self.service.tracker.snapshot().minus(before)
+        return BlockerResult(
+            triggered=True,
+            candidate_pairs=survivors,
+            cartesian=total,
+            sample_size=len(sample_pairs),
+            applied_rules=chosen,
+            evaluations=evaluations,
+            n_candidate_rules=len(candidates),
+            matcher_result=matcher_result,
+            pairs_labeled=spent.pairs_labeled,
+            dollars=spent.dollars,
+        )
+
+    def select_rule_subset(self, rules: list[Rule], sample: CandidateSet,
+                           cartesian: int) -> list[Rule]:
+        """Greedy subset selection with re-ranking (Section 4.3).
+
+        Rules are repeatedly ranked on the *current* reduced sample by
+        precision upper bound (desc), coverage (desc) and tuple cost
+        (asc); the best is applied to the sample and the rest re-ranked,
+        until the sample has shrunk to |S| * t_B / |A x B| or rules run
+        out.
+        """
+        if not rules:
+            return []
+        target = len(sample) * (self.config.blocker.t_b / cartesian)
+        known = self._known_labels(sample)
+
+        remaining = list(rules)
+        chosen: list[Rule] = []
+        active_rows = np.arange(len(sample))
+        features = sample.features
+
+        while remaining and active_rows.size > target:
+            scored = []
+            for rule in remaining:
+                mask = rule.applies(features[active_rows])
+                coverage = int(mask.sum())
+                if coverage == 0:
+                    continue
+                contrary = sum(
+                    1 for i, row in enumerate(active_rows)
+                    if mask[i] and known.get(int(row)) is True
+                )
+                precision = (coverage - contrary) / coverage
+                scored.append((precision, coverage, -rule.cost, rule, mask))
+            if not scored:
+                break
+            scored.sort(key=lambda item: item[:3], reverse=True)
+            _, _, _, best_rule, best_mask = scored[0]
+            chosen.append(best_rule)
+            remaining.remove(best_rule)
+            active_rows = active_rows[~best_mask]
+        return chosen
+
+    def _known_labels(self, sample: CandidateSet) -> dict[int, bool]:
+        """Sample row -> crowd label, for rows the cache knows."""
+        cached = self.service.labeled_pairs()
+        return {
+            row: cached[pair]
+            for row, pair in enumerate(sample.pairs)
+            if pair in cached
+        }
+
+
+def apply_rules_parallel(table_a: Table, table_b: Table,
+                         rules: list[Rule], library: FeatureLibrary,
+                         n_workers: int = 2,
+                         chunk_size: int = _STREAM_CHUNK) -> list[Pair]:
+    """Apply blocking rules over A x B across worker processes.
+
+    The multi-core stand-in for the paper's Hadoop job: A is broadcast
+    to every worker and the rows of A are sharded, each worker streaming
+    its shard's slice of A x B through :func:`apply_rules_streaming`.
+    Survivor order matches the sequential function (shards are
+    concatenated in A order), so the two are interchangeable.
+
+    Feature closures cannot cross process boundaries, so workers rebuild
+    the library from the tables (cheap relative to pair scoring).  That
+    makes corpus-dependent features unsafe to shard — a worker's TF/IDF
+    weights would differ from the full corpus — so rules touching a
+    ``cosine_tfidf`` feature force the sequential path.  Also falls back
+    when ``n_workers <= 1`` or A is tiny.
+    """
+    corpus_dependent = any(
+        library.features[index].measure == "cosine_tfidf"
+        for rule in rules for index in rule.feature_indices
+    )
+    if corpus_dependent or n_workers <= 1 or len(table_a) < 2 * n_workers:
+        return apply_rules_streaming(table_a, table_b, rules, library,
+                                     chunk_size)
+    import multiprocessing
+
+    a_ids = table_a.record_ids
+    shard_size = -(-len(a_ids) // n_workers)
+    shards = [
+        a_ids[start:start + shard_size]
+        for start in range(0, len(a_ids), shard_size)
+    ]
+    rule_payload = [_rule_payload(rule) for rule in rules]
+    jobs = [
+        (table_a.subset(shard, name=f"shard{i}"), table_b,
+         rule_payload, chunk_size)
+        for i, shard in enumerate(shards)
+    ]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(n_workers, len(jobs))) as pool:
+        results = pool.map(_apply_shard, jobs)
+    survivors: list[Pair] = []
+    for part in results:
+        survivors.extend(Pair(a, b) for a, b in part)
+    return survivors
+
+
+def _rule_payload(rule: Rule) -> dict:
+    """A picklable description of a rule (predicates carry no closures)."""
+    return {
+        "predicts_match": rule.predicts_match,
+        "cost": rule.cost,
+        "source": rule.source,
+        "predicates": [
+            (p.feature_index, p.feature_name, p.le, p.threshold,
+             p.nan_satisfies)
+            for p in rule.predicates
+        ],
+    }
+
+
+def _rule_from_payload(payload: dict) -> Rule:
+    from ..rules.predicates import Predicate
+
+    return Rule(
+        [Predicate(*fields) for fields in payload["predicates"]],
+        predicts_match=payload["predicts_match"],
+        cost=payload["cost"],
+        source=payload["source"],
+    )
+
+
+def _apply_shard(job: tuple) -> list[tuple[str, str]]:
+    """Worker body: rebuild the library, stream one shard of A x B."""
+    shard_a, table_b, rule_payload, chunk_size = job
+    from ..features.library import build_feature_library
+
+    library = build_feature_library(shard_a, table_b)
+    rules = [_rule_from_payload(payload) for payload in rule_payload]
+    survivors = apply_rules_streaming(shard_a, table_b, rules, library,
+                                      chunk_size)
+    return [(pair.a_id, pair.b_id) for pair in survivors]
+
+
+def apply_rules_streaming(table_a: Table, table_b: Table,
+                          rules: list[Rule], library: FeatureLibrary,
+                          chunk_size: int = _STREAM_CHUNK) -> list[Pair]:
+    """Apply blocking rules over A x B in chunks; return the survivors.
+
+    Only the features the rules actually reference are computed — the
+    per-pair cost the greedy selector optimized for.  This is the
+    laptop-scale stand-in for the paper's Hadoop job.
+    """
+    needed = sorted({
+        index for rule in rules for index in rule.feature_indices
+    })
+    needed_features = [library.features[i] for i in needed]
+    column_of = {index: col for col, index in enumerate(needed)}
+    width = len(library)
+
+    survivors: list[Pair] = []
+    chunk: list[Pair] = []
+
+    def flush() -> None:
+        if not chunk:
+            return
+        partial = np.full((len(chunk), len(needed)), np.nan)
+        for row, pair in enumerate(chunk):
+            record_a = table_a[pair.a_id]
+            record_b = table_b[pair.b_id]
+            for col, feature in enumerate(needed_features):
+                partial[row, col] = feature.value(record_a, record_b)
+        # Expand to full library width so predicate indices line up.
+        matrix = np.full((len(chunk), width), np.nan)
+        for index, col in column_of.items():
+            matrix[:, index] = partial[:, col]
+        blocked = np.zeros(len(chunk), dtype=bool)
+        for rule in rules:
+            blocked |= rule.applies(matrix)
+            if blocked.all():
+                break
+        survivors.extend(
+            pair for pair, is_blocked in zip(chunk, blocked) if not is_blocked
+        )
+        chunk.clear()
+
+    for pair in iter_cartesian(table_a, table_b):
+        chunk.append(pair)
+        if len(chunk) >= chunk_size:
+            flush()
+    flush()
+    return survivors

@@ -1,0 +1,167 @@
+"""Phase-level budget allocation (Section 10 future work).
+
+The paper asks: *given a monetary budget constraint, how to best
+allocate it among the blocking, matching, and accuracy estimation
+steps?*  This module implements a practical answer:
+
+* :class:`BudgetPlan` — dollar allocations for the four crowd-consuming
+  phases.  :meth:`BudgetPlan.from_total` splits a total using default
+  shares derived from the paper's cost breakdowns (blocking is cheap,
+  matching dominates, estimation next, reduction a sliver — Tables 2-4).
+* :class:`PhaseBudgetManager` — clamps a shared
+  :class:`~repro.crowd.cost.CostTracker`'s budget to the entering
+  phase's remaining allocation.  When a phase overruns, the module
+  running it sees :class:`~repro.exceptions.BudgetExhaustedError` from
+  the labelling service and wraps up gracefully with the labels it has;
+  the next phase then starts with its own allocation intact.
+
+Unspent allocation rolls forward: the manager caps each phase at
+``allocation(phase) - already spent in that phase`` plus any global
+headroom, never letting total spend exceed the plan's total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crowd.cost import CostTracker
+from ..exceptions import ConfigurationError
+
+PHASES = ("blocking", "matching", "estimation", "reduction")
+
+DEFAULT_SHARES = {
+    # Paper-derived: blocking cost was $7-22 of $9-257 totals; matching
+    # dominates; estimation substantial; reduction 3-10% (Section 9.2).
+    "blocking": 0.15,
+    "matching": 0.45,
+    "estimation": 0.30,
+    "reduction": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """Dollar allocations per pipeline phase."""
+
+    blocking: float
+    matching: float
+    estimation: float
+    reduction: float
+
+    def __post_init__(self) -> None:
+        for phase in PHASES:
+            if getattr(self, phase) < 0:
+                raise ConfigurationError(
+                    f"budget allocation for {phase} must be >= 0"
+                )
+        if self.total <= 0:
+            raise ConfigurationError("budget plan total must be positive")
+
+    @property
+    def total(self) -> float:
+        return self.blocking + self.matching + self.estimation + self.reduction
+
+    def allocation(self, phase: str) -> float:
+        """The dollars this plan assigns to ``phase``."""
+        if phase not in PHASES:
+            raise ConfigurationError(f"unknown phase {phase!r}")
+        return float(getattr(self, phase))
+
+    @classmethod
+    def from_total(cls, total: float,
+                   shares: dict[str, float] | None = None) -> "BudgetPlan":
+        """Split ``total`` dollars using ``shares`` (default: paper mix).
+
+        Shares must cover exactly the four phases and sum to 1 (within
+        rounding).
+        """
+        if total <= 0:
+            raise ConfigurationError("total budget must be positive")
+        shares = dict(DEFAULT_SHARES if shares is None else shares)
+        if set(shares) != set(PHASES):
+            raise ConfigurationError(
+                f"shares must name exactly the phases {PHASES}"
+            )
+        weight = sum(shares.values())
+        if not 0.999 <= weight <= 1.001:
+            raise ConfigurationError("shares must sum to 1")
+        return cls(**{
+            phase: total * share / weight
+            for phase, share in shares.items()
+        })
+
+
+class PhaseBudgetManager:
+    """Applies a :class:`BudgetPlan` to a shared cost tracker.
+
+    Usage::
+
+        manager = PhaseBudgetManager(plan, tracker)
+        with manager.phase("matching"):
+            ...  # labelling beyond the matching allocation raises
+    """
+
+    def __init__(self, plan: BudgetPlan, tracker: CostTracker) -> None:
+        self.plan = plan
+        self.tracker = tracker
+        self._spent: dict[str, float] = dict.fromkeys(PHASES, 0.0)
+        self._baseline = tracker.dollars
+        """Dollars already on the tracker before the plan took effect."""
+
+    def spent(self, phase: str) -> float:
+        """Dollars consumed by ``phase`` so far."""
+        if phase not in PHASES:
+            raise ConfigurationError(f"unknown phase {phase!r}")
+        return self._spent[phase]
+
+    def remaining(self, phase: str) -> float:
+        """Allocation left for ``phase`` (rollover not included)."""
+        return max(0.0, self.plan.allocation(phase) - self._spent[phase])
+
+    @property
+    def total_remaining(self) -> float:
+        """Unspent dollars across the whole plan."""
+        spent = sum(self._spent.values())
+        return max(0.0, self.plan.total - spent)
+
+    def cap(self, phase: str) -> float:
+        """Dollars ``phase`` may spend right now.
+
+        Everything unspent so far is available except the remaining
+        allocations *reserved* for phases that come later in the
+        pipeline order — so underspend in early phases rolls forward,
+        while later phases keep their guaranteed minimum.
+        """
+        if phase not in PHASES:
+            raise ConfigurationError(f"unknown phase {phase!r}")
+        index = PHASES.index(phase)
+        reserved = sum(self.remaining(later) for later in PHASES[index + 1:])
+        return max(0.0, self.total_remaining - reserved)
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Context manager scoping the tracker's budget to one phase."""
+        if name not in PHASES:
+            raise ConfigurationError(f"unknown phase {name!r}")
+        return _PhaseContext(self, name)
+
+
+class _PhaseContext:
+    def __init__(self, manager: PhaseBudgetManager, phase: str) -> None:
+        self._manager = manager
+        self._phase = phase
+        self._entry_dollars = 0.0
+        self._saved_budget: float | None = None
+
+    def __enter__(self) -> "_PhaseContext":
+        manager = self._manager
+        tracker = manager.tracker
+        self._entry_dollars = tracker.dollars
+        self._saved_budget = tracker.budget
+        tracker.budget = tracker.dollars + manager.cap(self._phase)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        manager = self._manager
+        tracker = manager.tracker
+        manager._spent[self._phase] += tracker.dollars - self._entry_dollars
+        tracker.budget = self._saved_budget

@@ -1,0 +1,225 @@
+"""Crowdsourced active learning of a random-forest matcher (Section 5).
+
+The matcher trains an initial forest from the user's seed examples, then
+iterates: pick the p unlabelled pairs the forest disagrees about most
+(entropy, Eq. 1), weighted-sample q of them for diversity, have the crowd
+label the batch (2+1 scheme — training data tolerates some noise), retrain,
+and monitor conf(V) on a held-out slice until a Section 5.3 stopping
+pattern fires.  On a degrading stop the matcher rolls back to its best
+pre-degradation forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CorleoneConfig
+from ..crowd.aggregation import VoteScheme
+from ..crowd.service import LabelingService
+from ..data.pairs import CandidateSet, Pair
+from ..exceptions import BudgetExhaustedError, DataError
+from ..forest.forest import RandomForest, train_forest
+from .stopping import ConfidenceMonitor, StopDecision
+
+
+@dataclass
+class MatcherResult:
+    """Everything the rest of the pipeline needs from a matcher run."""
+
+    forest: RandomForest
+    """The selected forest (post-rollback if training degraded)."""
+
+    predictions: np.ndarray
+    """Boolean predictions over the candidate set, aligned to its rows."""
+
+    labeled_rows: dict[int, bool]
+    """Candidate-set row -> crowd/seed label used for training."""
+
+    confidence_history: list[float]
+    """Raw conf(V) per iteration (Figure 3's series)."""
+
+    stop_reason: str
+    n_iterations: int
+    pairs_labeled: int
+    """Distinct pairs the crowd labelled during this training run."""
+
+    extra_labels: dict[Pair, bool] = field(default_factory=dict)
+    """Training labels for pairs outside the candidate set (seeds)."""
+
+    def predicted_pairs(self, candidates: CandidateSet) -> set[Pair]:
+        """The pairs of ``candidates`` this matcher predicts as matches."""
+        return {
+            candidates.pairs[row]
+            for row in np.flatnonzero(self.predictions)
+        }
+
+
+class ActiveLearningMatcher:
+    """Trains a forest over a candidate set via crowdsourced labelling."""
+
+    def __init__(self, config: CorleoneConfig, service: LabelingService,
+                 rng: np.random.Generator) -> None:
+        self.config = config
+        self.service = service
+        self.rng = rng
+
+    def train(self, candidates: CandidateSet,
+              initial_labels: dict[Pair, bool],
+              extra_vectors: np.ndarray | None = None,
+              extra_labels: np.ndarray | None = None) -> MatcherResult:
+        """Run the full active-learning loop over ``candidates``.
+
+        ``initial_labels`` hold trusted labels (the user's seed examples
+        and anything already cached); pairs not present in the candidate
+        set are ignored here — pass their vectors via ``extra_vectors`` /
+        ``extra_labels`` to still use them for training.
+        """
+        if len(candidates) == 0:
+            raise DataError("cannot train a matcher on an empty candidate set")
+        cfg = self.config.matcher
+
+        labeled_rows: dict[int, bool] = {}
+        for pair, label in initial_labels.items():
+            if pair in candidates:
+                labeled_rows[candidates.index_of(pair)] = label
+
+        monitor_rows = self._pick_monitor_rows(candidates, labeled_rows)
+        monitor_x = candidates.features[monitor_rows] if monitor_rows.size else None
+
+        monitor = ConfidenceMonitor(cfg)
+        forests: list[RandomForest] = []
+        pairs_before = self.service.tracker.pairs_labeled
+        decision: StopDecision | None = None
+        stop_reason = "max_iterations"
+        excluded = set(int(r) for r in monitor_rows)
+
+        for _ in range(cfg.max_iterations):
+            forest = self._fit(candidates, labeled_rows,
+                               extra_vectors, extra_labels)
+            forests.append(forest)
+
+            if monitor_x is not None:
+                confidence = forest.mean_confidence(monitor_x)
+            else:
+                confidence = forest.mean_confidence(candidates.features)
+            decision = monitor.add(confidence)
+            if decision is not None:
+                stop_reason = decision.reason
+                break
+
+            batch_rows = self._select_batch(
+                forest, candidates, labeled_rows, excluded
+            )
+            if not batch_rows:
+                stop_reason = "pool_exhausted"
+                break
+            try:
+                new_labels = self.service.label_batch(
+                    [candidates.pairs[row] for row in batch_rows],
+                    scheme=VoteScheme.MAJORITY_2PLUS1,
+                )
+            except BudgetExhaustedError:
+                # Out of money: keep the current forest and wrap up.
+                stop_reason = "budget_exhausted"
+                break
+            if not new_labels:
+                stop_reason = "no_labels_returned"
+                break
+            for row in batch_rows:
+                pair = candidates.pairs[row]
+                if pair in new_labels:
+                    labeled_rows[row] = new_labels[pair]
+
+        chosen_index = decision.rollback_index if decision else len(forests) - 1
+        chosen = forests[min(chosen_index, len(forests) - 1)]
+        # Predictions come from the forest for every pair, including the
+        # crowd-labelled ones: individual crowd labels are noisy (2+1
+        # voting tolerates errors) and the ensemble smooths them out.
+        predictions = chosen.predict(candidates.features)
+
+        return MatcherResult(
+            forest=chosen,
+            predictions=predictions,
+            labeled_rows=dict(labeled_rows),
+            confidence_history=monitor.raw,
+            stop_reason=stop_reason,
+            n_iterations=len(forests),
+            pairs_labeled=self.service.tracker.pairs_labeled - pairs_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _pick_monitor_rows(self, candidates: CandidateSet,
+                           labeled_rows: dict[int, bool]) -> np.ndarray:
+        """The held-out monitoring set V: a small unlabelled slice of C."""
+        cfg = self.config.matcher
+        n = len(candidates)
+        size = min(cfg.monitor_cap, max(1, int(cfg.monitor_fraction * n)))
+        available = np.array(
+            [row for row in range(n) if row not in labeled_rows],
+            dtype=np.intp,
+        )
+        if available.size == 0:
+            return np.empty(0, dtype=np.intp)
+        size = min(size, available.size)
+        return self.rng.choice(available, size=size, replace=False)
+
+    def _fit(self, candidates: CandidateSet, labeled_rows: dict[int, bool],
+             extra_vectors: np.ndarray | None,
+             extra_labels: np.ndarray | None) -> RandomForest:
+        rows = sorted(labeled_rows)
+        x = candidates.features[rows] if rows else np.empty(
+            (0, len(candidates.feature_names))
+        )
+        y = np.array([labeled_rows[row] for row in rows], dtype=bool)
+        if extra_vectors is not None and extra_labels is not None:
+            x = np.vstack([x, extra_vectors]) if x.size else np.asarray(extra_vectors)
+            y = np.concatenate([y, np.asarray(extra_labels, dtype=bool)])
+        if x.shape[0] == 0:
+            raise DataError("no labelled examples available to train on")
+        return train_forest(x, y, self.config.forest, self.rng)
+
+    def _select_batch(self, forest: RandomForest, candidates: CandidateSet,
+                      labeled_rows: dict[int, bool],
+                      excluded: set[int]) -> list[int]:
+        """Pick the next q examples per the configured strategy (§5.2).
+
+        The paper's default is entropy top-p pooling followed by
+        entropy-weighted sampling; the alternatives exist for the
+        Section 9.4 ablation.
+        """
+        cfg = self.config.matcher
+        unlabeled = np.array([
+            row for row in range(len(candidates))
+            if row not in labeled_rows and row not in excluded
+        ], dtype=np.intp)
+        if unlabeled.size == 0:
+            return []
+
+        take = min(cfg.batch_size, unlabeled.size)
+        if cfg.selection_strategy == "random":
+            chosen = self.rng.choice(unlabeled.size, size=take,
+                                     replace=False)
+            return [int(unlabeled[i]) for i in chosen]
+
+        entropy = forest.entropy(candidates.features[unlabeled])
+        if cfg.selection_strategy == "top_entropy":
+            order = np.argsort(entropy)[::-1][:take]
+            return [int(unlabeled[i]) for i in order]
+
+        pool_size = min(cfg.pool_size, unlabeled.size)
+        pool_order = np.argsort(entropy)[::-1][:pool_size]
+        pool_rows = unlabeled[pool_order]
+        pool_entropy = entropy[pool_order]
+
+        take = min(take, pool_rows.size)
+        weights = pool_entropy + 1e-9  # keep zero-entropy rows samplable
+        weights = weights / weights.sum()
+        chosen = self.rng.choice(
+            pool_rows.size, size=take, replace=False, p=weights
+        )
+        return [int(pool_rows[i]) for i in chosen]

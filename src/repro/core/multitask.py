@@ -1,0 +1,147 @@
+"""Many EM tasks, one crowd (the paper's Example 3.1).
+
+The retailer of Example 3.1 has 500+ product categories, each its own EM
+problem — the scenario hands-off crowdsourcing exists for: no developer
+could configure 500 pipelines, but one crowd can run them all.
+:class:`MultiTaskRunner` executes a batch of EM tasks sequentially
+against a shared crowd platform, giving each task its own label cache
+and cost tracker (labels must not leak across unrelated categories)
+while aggregating cost and outcome reporting, and optionally splitting
+one overall budget across tasks proportionally to their Cartesian sizes
+(bigger categories get more money, mirroring where labels are needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CorleoneConfig
+from ..crowd.base import CrowdPlatform
+from ..data.pairs import Pair
+from ..data.table import Table
+from ..exceptions import ConfigurationError, DataError
+from .pipeline import Corleone, CorleoneResult
+
+
+@dataclass(frozen=True)
+class EMTask:
+    """One entity-matching problem: two tables plus the user's seeds."""
+
+    name: str
+    table_a: Table
+    table_b: Table
+    seed_labels: dict[Pair, bool]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataError("task name must be non-empty")
+
+    @property
+    def cartesian(self) -> int:
+        return len(self.table_a) * len(self.table_b)
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one task within a batch run."""
+
+    task: EMTask
+    result: CorleoneResult
+
+    @property
+    def dollars(self) -> float:
+        return self.result.cost.dollars
+
+    @property
+    def predicted_matches(self) -> frozenset[Pair]:
+        return self.result.predicted_matches
+
+
+@dataclass
+class BatchOutcome:
+    """Everything a batch run produced."""
+
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+
+    @property
+    def total_dollars(self) -> float:
+        return sum(outcome.dollars for outcome in self.outcomes)
+
+    @property
+    def total_pairs_labeled(self) -> int:
+        return sum(
+            outcome.result.cost.pairs_labeled for outcome in self.outcomes
+        )
+
+    @property
+    def total_matches(self) -> int:
+        return sum(
+            len(outcome.predicted_matches) for outcome in self.outcomes
+        )
+
+    def by_name(self, name: str) -> TaskOutcome:
+        """The outcome of the task called ``name``."""
+        for outcome in self.outcomes:
+            if outcome.task.name == name:
+                return outcome
+        raise DataError(f"no task named {name!r} in this batch")
+
+
+class MultiTaskRunner:
+    """Runs a batch of EM tasks against one crowd platform.
+
+    Tasks run sequentially (a crowd answers one HIT at a time anyway);
+    each gets a fresh :class:`Corleone` pipeline — schemas differ across
+    categories, so neither feature libraries nor label caches are
+    shareable — but the platform object is shared, so simulated crowds
+    preserve their worker-statistics across tasks.
+    """
+
+    def __init__(self, config: CorleoneConfig, platform: CrowdPlatform,
+                 seed: int = 0) -> None:
+        self.config = config
+        self.platform = platform
+        self.seed = seed
+
+    def run(self, tasks: list[EMTask], total_budget: float | None = None,
+            mode: str = "full") -> BatchOutcome:
+        """Run every task; optionally split ``total_budget`` across them.
+
+        Budget split is proportional to each task's Cartesian-product
+        size (the driver of labelling need).  Unspent budget from a task
+        rolls into the remaining tasks' pool.
+        """
+        if not tasks:
+            raise DataError("task batch must not be empty")
+        names = [task.name for task in tasks]
+        if len(set(names)) != len(names):
+            raise DataError("task names must be unique within a batch")
+        if total_budget is not None and total_budget <= 0:
+            raise ConfigurationError("total_budget must be positive")
+
+        outcomes: list[TaskOutcome] = []
+        remaining_budget = total_budget
+        remaining_weight = sum(task.cartesian for task in tasks)
+
+        for index, task in enumerate(tasks):
+            config = self.config
+            if remaining_budget is not None:
+                share = (task.cartesian / remaining_weight
+                         if remaining_weight else 1.0 / (len(tasks) - index))
+                config = config.replace(
+                    budget=max(0.01, remaining_budget * share)
+                )
+            pipeline = Corleone(
+                config, self.platform,
+                rng=np.random.default_rng(self.seed + index),
+            )
+            result = pipeline.run(task.table_a, task.table_b,
+                                  task.seed_labels, mode=mode)
+            outcomes.append(TaskOutcome(task=task, result=result))
+            if remaining_budget is not None:
+                remaining_budget = max(0.0,
+                                       remaining_budget - result.cost.dollars)
+                remaining_weight -= task.cartesian
+        return BatchOutcome(outcomes=outcomes)

@@ -1,0 +1,279 @@
+"""The Corleone orchestrator (Figure 1).
+
+Wires the Blocker, Matcher, Accuracy Estimator and Difficult Pairs'
+Locator into the hands-off loop: block A x B, train a matcher with the
+crowd, estimate its accuracy, locate the difficult pairs, train a new
+matcher for those, and repeat until the estimated accuracy stops
+improving (or a budget/iteration cap is hit).  The final prediction is an
+ensemble: each pair is decided by the matcher of the iteration in which
+it left the difficult set (Section 7, step 3).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CorleoneConfig
+from ..crowd.base import CrowdPlatform
+from ..crowd.cost import CostSnapshot, CostTracker
+from ..crowd.service import LabelingService
+from ..data.pairs import CandidateSet, Pair
+from ..data.table import Table
+from ..exceptions import BudgetExhaustedError, DataError
+from ..features.library import FeatureLibrary, build_feature_library
+from ..features.vectorize import vectorize_pairs
+from .budgeting import BudgetPlan, PhaseBudgetManager
+from .blocker import Blocker, BlockerResult
+from .estimator import AccuracyEstimate, AccuracyEstimator
+from .locator import DifficultPairsLocator, LocatorResult
+from .matcher import ActiveLearningMatcher, MatcherResult
+
+
+@dataclass
+class IterationRecord:
+    """Telemetry for one matching iteration (one row group of Table 4)."""
+
+    index: int
+    matcher: MatcherResult
+    matcher_pairs_labeled: int
+    predicted_pairs: frozenset[Pair]
+    """Combined (ensemble) predicted matches over C after this iteration."""
+    estimate: AccuracyEstimate | None = None
+    estimation_pairs_labeled: int = 0
+    locator: LocatorResult | None = None
+    reduction_pairs_labeled: int = 0
+    difficult_size: int | None = None
+
+
+@dataclass
+class CorleoneResult:
+    """The hands-off run's complete output."""
+
+    predicted_matches: frozenset[Pair]
+    candidates: CandidateSet
+    blocker: BlockerResult
+    iterations: list[IterationRecord] = field(default_factory=list)
+    estimate: AccuracyEstimate | None = None
+    cost: CostSnapshot = field(default_factory=CostSnapshot)
+    stop_reason: str = ""
+
+    @property
+    def total_pairs_labeled(self) -> int:
+        return self.cost.pairs_labeled
+
+    @property
+    def total_dollars(self) -> float:
+        return self.cost.dollars
+
+
+class Corleone:
+    """The hands-off crowdsourced EM pipeline.
+
+    The user supplies only what the paper's Section 3 asks for: the two
+    tables, a matching instruction (carried in the dataset object; shown
+    to real crowds, unused by simulated ones) and four labelled seed
+    pairs.  Everything else — blocking rules, training data, accuracy
+    estimates, iteration — comes from the crowd.
+    """
+
+    def __init__(self, config: CorleoneConfig, platform: CrowdPlatform,
+                 rng: np.random.Generator | None = None) -> None:
+        self.config = config
+        self.platform = platform
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.tracker = CostTracker(
+            price_per_question=config.crowd.price_per_question,
+            budget=config.budget,
+        )
+        self.service = LabelingService(platform, config.crowd, self.tracker)
+
+    def run(self, table_a: Table, table_b: Table,
+            seed_labels: dict[Pair, bool],
+            mode: str = "full",
+            budget_plan: BudgetPlan | None = None) -> CorleoneResult:
+        """Execute the pipeline.
+
+        ``mode`` selects how much of the workflow runs:
+
+        * ``"full"`` — iterate until estimated accuracy stops improving;
+        * ``"one_iteration"`` — block, match, estimate once;
+        * ``"blocker_matcher"`` — block and match only (no estimate).
+
+        ``budget_plan`` optionally allocates dollars per phase (blocking
+        / matching / estimation / reduction); a phase that exhausts its
+        allocation wraps up with the labels it has instead of aborting
+        the run.
+        """
+        if mode not in ("full", "one_iteration", "blocker_matcher"):
+            raise DataError(f"unknown run mode {mode!r}")
+        self._check_seeds(seed_labels)
+        library = build_feature_library(table_a, table_b)
+
+        try:
+            return self._run(table_a, table_b, seed_labels, library, mode,
+                             budget_plan)
+        except BudgetExhaustedError:
+            # Return whatever state the partial run produced.
+            empty = CandidateSet.empty(library.names)
+            return CorleoneResult(
+                predicted_matches=frozenset(self.service.positive_pairs()),
+                candidates=empty,
+                blocker=BlockerResult(
+                    triggered=False, candidate_pairs=[], cartesian=0
+                ),
+                cost=self.tracker.snapshot(),
+                stop_reason="budget_exhausted",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _run(self, table_a: Table, table_b: Table,
+             seed_labels: dict[Pair, bool], library: FeatureLibrary,
+             mode: str, budget_plan: BudgetPlan | None) -> CorleoneResult:
+        manager = (PhaseBudgetManager(budget_plan, self.tracker)
+                   if budget_plan is not None else None)
+
+        def phase(name: str):
+            if manager is None:
+                return nullcontext()
+            return manager.phase(name)
+
+        blocker = Blocker(self.config, self.service, self.rng)
+        with phase("blocking"):
+            blocker_result = blocker.run(table_a, table_b, library,
+                                         seed_labels)
+        candidates = vectorize_pairs(
+            table_a, table_b, blocker_result.candidate_pairs, library
+        )
+        if len(candidates) == 0:
+            return CorleoneResult(
+                predicted_matches=frozenset(),
+                candidates=candidates,
+                blocker=blocker_result,
+                cost=self.tracker.snapshot(),
+                stop_reason="empty_candidate_set",
+            )
+
+        # Seed pairs may sit outside the umbrella set; vectorize them
+        # separately so every matcher still trains on them.
+        seed_items = sorted(seed_labels.items())
+        seed_vectors = vectorize_pairs(
+            table_a, table_b, [pair for pair, _ in seed_items], library
+        ).features
+        seed_flags = np.array([label for _, label in seed_items], dtype=bool)
+
+        matcher = ActiveLearningMatcher(self.config, self.service, self.rng)
+        estimator = AccuracyEstimator(self.config, self.service, self.rng)
+        locator = DifficultPairsLocator(self.config, self.service, self.rng)
+
+        predictions_by_pair: dict[Pair, bool] = {}
+        iterations: list[IterationRecord] = []
+        certified_reductions: list = []
+        working = candidates
+        best_f1 = -1.0
+        best_predictions: frozenset[Pair] = frozenset()
+        best_estimate: AccuracyEstimate | None = None
+        stop_reason = "max_iterations"
+
+        max_rounds = (1 if mode in ("one_iteration", "blocker_matcher")
+                      else self.config.max_pipeline_iterations)
+
+        for index in range(1, max_rounds + 1):
+            initial = {
+                pair: label
+                for pair, label in self.service.labeled_pairs().items()
+                if pair in working
+            }
+            with phase("matching"):
+                matcher_result = matcher.train(
+                    working, initial,
+                    extra_vectors=seed_vectors, extra_labels=seed_flags,
+                )
+            for row, pair in enumerate(working.pairs):
+                predictions_by_pair[pair] = bool(
+                    matcher_result.predictions[row]
+                )
+            combined = np.array([
+                predictions_by_pair.get(pair, False)
+                for pair in candidates.pairs
+            ], dtype=bool)
+            record = IterationRecord(
+                index=index,
+                matcher=matcher_result,
+                matcher_pairs_labeled=matcher_result.pairs_labeled,
+                predicted_pairs=frozenset(
+                    pair for pair, hit in zip(candidates.pairs, combined)
+                    if hit
+                ),
+            )
+            iterations.append(record)
+
+            if mode == "blocker_matcher":
+                best_predictions = record.predicted_pairs
+                stop_reason = "blocker_matcher_mode"
+                break
+
+            est_before = self.tracker.snapshot()
+            with phase("estimation"):
+                estimate = estimator.estimate(
+                    candidates, combined, matcher_result.forest,
+                    certified=certified_reductions,
+                )
+            certified_reductions.extend(
+                ev for ev in estimate.rule_evaluations if ev.accepted
+            )
+            record.estimate = estimate
+            record.estimation_pairs_labeled = (
+                self.tracker.snapshot().minus(est_before).pairs_labeled
+            )
+
+            if estimate.f1 <= best_f1:
+                stop_reason = "no_improvement"
+                break
+            best_f1 = estimate.f1
+            best_predictions = record.predicted_pairs
+            best_estimate = estimate
+
+            if mode == "one_iteration":
+                stop_reason = "one_iteration_mode"
+                break
+            if index == max_rounds:
+                stop_reason = "max_iterations"
+                break
+
+            loc_before = self.tracker.snapshot()
+            with phase("reduction"):
+                locator_result = locator.locate(working,
+                                                matcher_result.forest)
+            record.locator = locator_result
+            record.reduction_pairs_labeled = (
+                self.tracker.snapshot().minus(loc_before).pairs_labeled
+            )
+            if not locator_result.should_continue:
+                stop_reason = f"locator_{locator_result.stop_reason}"
+                break
+            working = locator_result.difficult
+            record.difficult_size = len(working)
+
+        return CorleoneResult(
+            predicted_matches=best_predictions,
+            candidates=candidates,
+            blocker=blocker_result,
+            iterations=iterations,
+            estimate=best_estimate,
+            cost=self.tracker.snapshot(),
+            stop_reason=stop_reason,
+        )
+
+    @staticmethod
+    def _check_seeds(seed_labels: dict[Pair, bool]) -> None:
+        positives = sum(1 for label in seed_labels.values() if label)
+        negatives = len(seed_labels) - positives
+        if positives < 1 or negatives < 1:
+            raise DataError(
+                "seed examples must include at least one positive and one "
+                "negative pair (the paper asks for two of each)"
+            )

@@ -1,0 +1,118 @@
+"""The matcher's stopping rules (Section 5.3, Figure 3).
+
+The matcher records conf(V) — its mean confidence over a held-out
+monitoring set — once per active-learning iteration.  The raw series is
+noisy (crowd mislabels cause peaks and valleys), so a centered moving
+average of width w smooths it, and training stops on the first of three
+patterns:
+
+* **converged** — the last ``n_converged`` smoothed values sit inside a
+  2-epsilon band;
+* **near-absolute** — the last ``n_high`` smoothed values are all at
+  least ``1 - epsilon``;
+* **degrading** — of two adjacent windows of ``n_degrade`` values, the
+  earlier window's maximum exceeds the later's by more than epsilon; the
+  matcher then rolls back to its best pre-degradation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MatcherConfig
+from ..exceptions import ConfigurationError
+
+
+def smooth(values: list[float], window: int) -> list[float]:
+    """Centered moving average of odd width ``window``.
+
+    Boundary values average over the neighbours that exist, so the output
+    has the same length as the input.
+    """
+    if window < 1 or window % 2 == 0:
+        raise ConfigurationError("smoothing window must be odd and >= 1")
+    half = window // 2
+    out: list[float] = []
+    for i in range(len(values)):
+        low = max(0, i - half)
+        high = min(len(values), i + half + 1)
+        out.append(sum(values[low:high]) / (high - low))
+    return out
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Why training stopped, and which recorded model to keep.
+
+    ``rollback_index`` is the iteration whose model should be used; for
+    the degrading pattern this is the peak inside the earlier window, for
+    the other patterns it is the latest iteration.
+    """
+
+    reason: str
+    rollback_index: int
+
+
+class ConfidenceMonitor:
+    """Accumulates conf(V) values and detects the three stop patterns."""
+
+    def __init__(self, config: MatcherConfig) -> None:
+        self.config = config
+        self._raw: list[float] = []
+
+    @property
+    def raw(self) -> list[float]:
+        """The recorded conf(V) series (a copy)."""
+        return list(self._raw)
+
+    def smoothed(self) -> list[float]:
+        """The smoothed series used for pattern detection."""
+        return smooth(self._raw, self.config.smoothing_window)
+
+    def add(self, confidence: float) -> StopDecision | None:
+        """Record one conf(V) value; return a decision if a pattern fires.
+
+        Patterns are checked in the paper's order of cheapness: the
+        near-absolute check fires after only ``n_high`` iterations, so it
+        is tried first; then convergence; then degradation.
+        """
+        self._raw.append(confidence)
+        series = self.smoothed()
+        return (
+            self._near_absolute(series)
+            or self._converged(series)
+            or self._degrading(series)
+        )
+
+    def _near_absolute(self, series: list[float]) -> StopDecision | None:
+        n = self.config.n_high
+        if len(series) < n:
+            return None
+        tail = series[-n:]
+        if all(v >= 1.0 - self.config.epsilon for v in tail):
+            return StopDecision("near_absolute", len(series) - 1)
+        return None
+
+    def _converged(self, series: list[float]) -> StopDecision | None:
+        n = self.config.n_converged
+        if len(series) < n:
+            return None
+        tail = series[-n:]
+        # |v - v*| <= epsilon for some v* is equivalent to the tail
+        # fitting inside a band of width 2 * epsilon.
+        if max(tail) - min(tail) <= 2.0 * self.config.epsilon:
+            return StopDecision("converged", len(series) - 1)
+        return None
+
+    def _degrading(self, series: list[float]) -> StopDecision | None:
+        n = self.config.n_degrade
+        if len(series) < 2 * n:
+            return None
+        earlier = series[-2 * n:-n]
+        later = series[-n:]
+        if max(earlier) > max(later) + self.config.epsilon:
+            # Roll back to the peak inside the earlier window.
+            offset = len(series) - 2 * n
+            peak = offset + max(range(n), key=lambda i: earlier[i])
+            return StopDecision("degrading", peak)
+        return None

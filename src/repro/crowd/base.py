@@ -1,0 +1,38 @@
+"""Platform abstraction: a crowd is anything that answers match questions.
+
+A :class:`CrowdPlatform` answers one question — "does pair (a, b) match?" —
+with one worker's (possibly wrong) boolean answer.  Vote aggregation,
+caching and budgeting are layered on top by
+:class:`repro.crowd.service.LabelingService`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import NamedTuple
+
+from ..data.pairs import Pair
+
+
+class WorkerAnswer(NamedTuple):
+    """One worker's answer to one question."""
+
+    pair: Pair
+    label: bool
+    worker_id: int
+
+
+class CrowdPlatform(abc.ABC):
+    """Source of single-worker answers to match questions."""
+
+    @abc.abstractmethod
+    def ask(self, pair: Pair) -> WorkerAnswer:
+        """Solicit one fresh answer for ``pair`` from some worker.
+
+        Successive calls for the same pair simulate posting the question
+        to additional workers (as the 2+1 / strong-majority schemes do).
+        """
+
+    def ask_many(self, pair: Pair, n: int) -> list[WorkerAnswer]:
+        """Solicit ``n`` independent answers for ``pair``."""
+        return [self.ask(pair) for _ in range(n)]

@@ -1,0 +1,152 @@
+"""Rendering pairs as crowd questions and HITs (Section 8, Figure 4).
+
+A real deployment must show workers something: the paper's Figure 4
+renders the two records side by side under "Do these products match?"
+with Yes / No / Not sure buttons.  This module produces that artifact in
+two formats — plain text (for logs, CLIs, terminal-based labelling) and
+minimal self-contained HTML (what would be uploaded as an AMT HIT
+layout) — and packs questions into HITs of the configured size.
+"""
+
+from __future__ import annotations
+
+import html
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..config import CrowdConfig
+from ..data.pairs import Pair
+from ..data.table import Table
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class Question:
+    """One "does x match y?" question, fully rendered."""
+
+    pair: Pair
+    prompt: str
+    rows: tuple[tuple[str, str, str], ...]
+    """(attribute, value_a, value_b) per schema attribute."""
+
+
+@dataclass(frozen=True)
+class Hit:
+    """A batch of questions posted as one Human Intelligence Task."""
+
+    hit_id: str
+    instruction: str
+    questions: tuple[Question, ...]
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+
+def render_question(table_a: Table, table_b: Table, pair: Pair,
+                    prompt: str = "Do these records match?") -> Question:
+    """Build the Figure 4 side-by-side comparison for one pair."""
+    record_a = table_a[pair.a_id]
+    record_b = table_b[pair.b_id]
+    if table_a.schema != table_b.schema:
+        raise DataError("question rendering requires a shared schema")
+    rows = tuple(
+        (
+            attr.name,
+            _display(record_a.get(attr.name)),
+            _display(record_b.get(attr.name)),
+        )
+        for attr in table_a.schema
+    )
+    return Question(pair=Pair(*pair), prompt=prompt, rows=rows)
+
+
+def question_to_text(question: Question) -> str:
+    """A monospace side-by-side rendering of one question."""
+    name_width = max(len(row[0]) for row in question.rows)
+    a_width = max(max((len(row[1]) for row in question.rows), default=0),
+                  len("Record 1"))
+    lines = [question.prompt, ""]
+    header = (f"{'':{name_width}}  {'Record 1':{a_width}}  Record 2")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, value_a, value_b in question.rows:
+        lines.append(f"{name:{name_width}}  {value_a:{a_width}}  {value_b}")
+    lines.append("")
+    lines.append("[ Yes ]  [ No ]  [ Not sure ]")
+    return "\n".join(lines)
+
+
+def question_to_html(question: Question) -> str:
+    """A self-contained HTML fragment for one question (an AMT layout)."""
+    pair_id = html.escape(f"{question.pair.a_id}|{question.pair.b_id}")
+    parts = [
+        f'<div class="corleone-question" data-pair="{pair_id}">',
+        f"<h3>{html.escape(question.prompt)}</h3>",
+        "<table border='1' cellpadding='4'>",
+        "<tr><th></th><th>Record 1</th><th>Record 2</th></tr>",
+    ]
+    for name, value_a, value_b in question.rows:
+        parts.append(
+            "<tr>"
+            f"<th>{html.escape(name)}</th>"
+            f"<td>{html.escape(value_a)}</td>"
+            f"<td>{html.escape(value_b)}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+    parts.append(
+        f'<label><input type="radio" name="{pair_id}" value="yes"> Yes'
+        "</label> "
+        f'<label><input type="radio" name="{pair_id}" value="no"> No'
+        "</label> "
+        f'<label><input type="radio" name="{pair_id}" value="unsure"> '
+        "Not sure</label>"
+    )
+    parts.append("</div>")
+    return "\n".join(parts)
+
+
+def pack_hits(table_a: Table, table_b: Table, pairs: Sequence[Pair],
+              instruction: str, config: CrowdConfig,
+              prompt: str = "Do these records match?") -> list[Hit]:
+    """Pack rendered questions into HITs of ``questions_per_hit``.
+
+    The final HIT may be partial; the :class:`LabelingService` decides
+    separately whether a partial HIT is worth posting (§8 item 3) — this
+    function only renders.
+    """
+    questions = [
+        render_question(table_a, table_b, pair, prompt=prompt)
+        for pair in pairs
+    ]
+    per_hit = config.questions_per_hit
+    hits = []
+    for start in range(0, len(questions), per_hit):
+        batch = tuple(questions[start:start + per_hit])
+        hits.append(Hit(
+            hit_id=f"hit{start // per_hit}",
+            instruction=instruction,
+            questions=batch,
+        ))
+    return hits
+
+
+def hit_to_html(hit: Hit) -> str:
+    """One HIT as a self-contained HTML document."""
+    body = "\n<hr>\n".join(
+        question_to_html(question) for question in hit.questions
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(hit.hit_id)}</title></head>\n<body>\n"
+        f"<p>{html.escape(hit.instruction)}</p>\n{body}\n"
+        "</body></html>"
+    )
+
+
+def _display(value: object) -> str:
+    if value is None:
+        return "(missing)"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,78 @@
+"""CSV persistence for tables.
+
+Corleone's user-facing contract is "upload two tables"; this module provides
+the loading path.  Numeric attributes are parsed as floats, empty cells
+become None, and a missing id column raises a clear error.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..exceptions import DataError
+from .table import AttrType, Record, Schema, Table
+
+ID_COLUMN = "id"
+"""Reserved column holding each record's identifier."""
+
+
+def read_csv_table(path: str | Path, name: str, schema: Schema) -> Table:
+    """Load a table from CSV.
+
+    The file must have a header row containing :data:`ID_COLUMN` plus every
+    schema attribute.  Extra columns are ignored.  Numeric cells that fail
+    to parse raise :class:`DataError` with the offending row.
+    """
+    path = Path(path)
+    table = Table(name, schema)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"{path}: empty CSV file")
+        if ID_COLUMN not in reader.fieldnames:
+            raise DataError(f"{path}: missing {ID_COLUMN!r} column")
+        missing = [n for n in schema.names if n not in reader.fieldnames]
+        if missing:
+            raise DataError(f"{path}: missing columns {missing}")
+        for row_number, row in enumerate(reader, start=2):
+            record_id = (row.get(ID_COLUMN) or "").strip()
+            if not record_id:
+                raise DataError(f"{path}:{row_number}: empty record id")
+            values = {}
+            for attr in schema:
+                raw = row.get(attr.name)
+                values[attr.name] = _parse_cell(
+                    raw, attr.attr_type, path, row_number, attr.name
+                )
+            table.add(Record(record_id, values))
+    return table
+
+
+def _parse_cell(raw: str | None, attr_type: AttrType, path: Path,
+                row_number: int, column: str) -> str | float | None:
+    if raw is None or raw.strip() == "":
+        return None
+    if attr_type is AttrType.NUMERIC:
+        try:
+            return float(raw)
+        except ValueError:
+            raise DataError(
+                f"{path}:{row_number}: column {column!r} expected a "
+                f"number, got {raw!r}"
+            ) from None
+    return raw
+
+
+def write_csv_table(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with an id column plus schema attributes."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([ID_COLUMN, *table.schema.names])
+        for record in table:
+            row: list[str] = [record.record_id]
+            for attr in table.schema:
+                value = record.get(attr.name)
+                row.append("" if value is None else str(value))
+            writer.writerow(row)

@@ -1,0 +1,27 @@
+"""Experiment harness: run Corleone/baselines against gold and format tables."""
+
+from .experiment import (
+    CorleoneRunSummary,
+    evaluate_result,
+    run_corleone,
+    score_iteration,
+)
+from .explain import MatchExplanation, TreeVote, explain_errors, explain_pair
+from .plotting import line_plot, multi_series_table, sparkline
+from .reporting import format_table, pct
+
+__all__ = [
+    "CorleoneRunSummary",
+    "evaluate_result",
+    "run_corleone",
+    "score_iteration",
+    "format_table",
+    "pct",
+    "MatchExplanation",
+    "TreeVote",
+    "explain_errors",
+    "explain_pair",
+    "line_plot",
+    "multi_series_table",
+    "sparkline",
+]

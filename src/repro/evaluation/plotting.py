@@ -1,0 +1,112 @@
+"""Dependency-free text plots for benchmark artifacts.
+
+The benchmark suite regenerates the paper's *figures* as well as its
+tables; these helpers render line series (e.g. Figure 3's conf(V)
+trajectories) as ASCII plots that live happily in a results .txt file or
+a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import DataError
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], low: float | None = None,
+              high: float | None = None) -> str:
+    """A one-line unicode sparkline of a series.
+
+    ``low``/``high`` fix the scale (default: the series' own range).
+    """
+    if not values:
+        raise DataError("cannot plot an empty series")
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    if hi <= lo:
+        return _BLOCKS[-1] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        clipped = min(max(value, lo), hi)
+        index = int((clipped - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def line_plot(values: Sequence[float], width: int = 64, height: int = 12,
+              title: str = "", y_low: float | None = None,
+              y_high: float | None = None) -> str:
+    """A multi-line ASCII plot of one series.
+
+    The series is resampled to ``width`` columns; the y-axis is labelled
+    with the scale bounds.  Good enough to *see* a confidence plateau or
+    a degradation without matplotlib.
+    """
+    if not values:
+        raise DataError("cannot plot an empty series")
+    if width < 2 or height < 2:
+        raise DataError("plot must be at least 2x2")
+
+    lo = min(values) if y_low is None else y_low
+    hi = max(values) if y_high is None else y_high
+    if hi <= lo:
+        hi = lo + 1.0
+
+    # Resample by bucket-averaging onto the plot width.
+    resampled: list[float] = []
+    n = len(values)
+    for col in range(min(width, n)):
+        start = col * n // min(width, n)
+        stop = max(start + 1, (col + 1) * n // min(width, n))
+        bucket = values[start:stop]
+        resampled.append(sum(bucket) / len(bucket))
+
+    rows = []
+    grid = [[" "] * len(resampled) for _ in range(height)]
+    for col, value in enumerate(resampled):
+        clipped = min(max(value, lo), hi)
+        level = int((clipped - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - level][col] = "*"
+
+    label_hi = f"{hi:.2f}"
+    label_lo = f"{lo:.2f}"
+    gutter = max(len(label_hi), len(label_lo))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = label_hi
+        elif i == height - 1:
+            label = label_lo
+        else:
+            label = ""
+        rows.append(f"{label:>{gutter}} |{''.join(row)}")
+    rows.append(f"{'':>{gutter}} +{'-' * len(resampled)}")
+    rows.append(
+        f"{'':>{gutter}}  iteration 1 .. {len(values)}"
+    )
+    if title:
+        rows.insert(0, title)
+    return "\n".join(rows)
+
+
+def multi_series_table(series: dict[str, Sequence[float]],
+                       low: float | None = None,
+                       high: float | None = None) -> str:
+    """Aligned sparklines for several named series on a shared scale."""
+    if not series:
+        raise DataError("no series to plot")
+    if low is None:
+        low = min(min(values) for values in series.values())
+    if high is None:
+        high = max(max(values) for values in series.values())
+    name_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        spark = sparkline(values, low=low, high=high)
+        lines.append(
+            f"{name:<{name_width}}  {spark}  "
+            f"[{values[0]:.2f} -> {values[-1]:.2f}, n={len(values)}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a [0, 1] ratio as a percentage string, e.g. 0.965 -> '96.5'."""
+    return f"{100.0 * value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a header separator."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(value.ljust(width)
+                         for value, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

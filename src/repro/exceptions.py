@@ -1,0 +1,57 @@
+"""Exception hierarchy for the Corleone reproduction.
+
+All errors raised by this package derive from :class:`CorleoneError`, so a
+caller can catch everything the library raises with a single ``except``
+clause while still being able to distinguish configuration problems from
+data problems or crowd-budget exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class CorleoneError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(CorleoneError):
+    """An invalid parameter value or inconsistent configuration."""
+
+
+class SchemaError(CorleoneError):
+    """Tables or records do not conform to the expected schema."""
+
+
+class DataError(CorleoneError):
+    """Malformed input data (empty tables, bad CSV rows, unknown ids...)."""
+
+
+class FeatureError(CorleoneError):
+    """A feature could not be computed or an unknown feature was requested."""
+
+
+class RuleError(CorleoneError):
+    """A rule is malformed or cannot be applied to the given data."""
+
+
+class CrowdError(CorleoneError):
+    """The crowd platform failed to answer a question batch."""
+
+
+class BudgetExhaustedError(CrowdError):
+    """The monetary budget for crowdsourcing has been exhausted.
+
+    Raised by budget-capped crowd platforms when a question batch would
+    exceed the remaining budget.  The pipeline catches this to terminate
+    gracefully and return the best result obtained so far.
+    """
+
+    def __init__(self, spent: float, budget: float) -> None:
+        super().__init__(
+            f"crowd budget exhausted: spent ${spent:.2f} of ${budget:.2f}"
+        )
+        self.spent = spent
+        self.budget = budget
+
+
+class EstimationError(CorleoneError):
+    """Accuracy estimation could not be completed."""

@@ -1,0 +1,216 @@
+"""Schema-driven feature generation (Section 4.1, step 3).
+
+Given the two input tables, :func:`build_feature_library` produces a
+:class:`FeatureLibrary`: one :class:`Feature` per (attribute, measure)
+combination appropriate for the attribute's type — e.g. no TF/IDF features
+for numeric attributes, exactly as the paper prescribes.  Every feature
+carries a relative compute cost, which the Blocker's greedy rule-selection
+uses as the "tuple pair cost" (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from functools import lru_cache
+
+from ..data.table import AttrType, Record, Table
+from ..exceptions import FeatureError
+from . import similarity as sim
+from .tokenize import qgrams, word_tokens
+
+
+@lru_cache(maxsize=1 << 16)
+def _tokens(text: str) -> tuple[str, ...]:
+    """Cached word tokenization: table values recur across many pairs."""
+    return tuple(word_tokens(text))
+
+
+@lru_cache(maxsize=1 << 16)
+def _qgrams3(text: str) -> tuple[str, ...]:
+    """Cached 3-gram extraction."""
+    return tuple(qgrams(text, 3))
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A named similarity feature over one attribute of a tuple pair.
+
+    ``compute`` maps the two attribute values to a float; missing values
+    on either side yield NaN so the forest can route them explicitly.
+    ``cost`` is a relative compute-cost estimate in arbitrary units used
+    to rank blocking rules by cheapness.
+    """
+
+    name: str
+    attribute: str
+    measure: str
+    cost: float
+    compute: Callable[[object, object], float] = field(compare=False)
+
+    def value(self, record_a: Record, record_b: Record) -> float:
+        """Evaluate this feature on a pair of records."""
+        a = record_a.get(self.attribute)
+        b = record_b.get(self.attribute)
+        if a is None or b is None:
+            return math.nan
+        return float(self.compute(a, b))
+
+
+class FeatureLibrary:
+    """An ordered collection of features with name-based lookup."""
+
+    def __init__(self, features: Sequence[Feature]) -> None:
+        if not features:
+            raise FeatureError("feature library must not be empty")
+        self._features = tuple(features)
+        self._by_name = {feature.name: feature for feature in self._features}
+        if len(self._by_name) != len(self._features):
+            raise FeatureError("duplicate feature names in library")
+
+    @property
+    def features(self) -> tuple[Feature, ...]:
+        return self._features
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(feature.name for feature in self._features)
+
+    @property
+    def costs(self) -> tuple[float, ...]:
+        return tuple(feature.cost for feature in self._features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self._features)
+
+    def __getitem__(self, name: str) -> Feature:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FeatureError(f"unknown feature {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+
+# Relative compute costs per measure (arbitrary units; used only to rank
+# blocking rules by how cheap they are to apply at A x B scale).
+_MEASURE_COSTS: Mapping[str, float] = {
+    "exact": 1.0,
+    "abs_diff": 1.0,
+    "rel_diff": 1.0,
+    "jaccard_word": 3.0,
+    "jaccard_qgram": 4.0,
+    "overlap": 3.0,
+    "jaro_winkler": 4.0,
+    "levenshtein": 6.0,
+    "cosine_tfidf": 5.0,
+    "monge_elkan": 8.0,
+    # Extended measures (opt-in via build_feature_library(extended=True)).
+    "containment": 3.0,
+    "prefix": 1.0,
+    "soundex": 3.0,
+    "smith_waterman": 7.0,
+}
+
+
+def _string_measures(idf: Mapping[str, float]) -> dict[str, Callable[[object, object], float]]:
+    return {
+        "exact": sim.exact_match,
+        "levenshtein": lambda a, b: sim.levenshtein_similarity(str(a), str(b)),
+        "jaro_winkler": lambda a, b: sim.jaro_winkler(str(a), str(b)),
+        "jaccard_qgram": lambda a, b: sim.jaccard(_qgrams3(str(a)), _qgrams3(str(b))),
+    }
+
+
+def _text_measures(idf: Mapping[str, float]) -> dict[str, Callable[[object, object], float]]:
+    return {
+        "jaccard_word": lambda a, b: sim.jaccard(_tokens(str(a)), _tokens(str(b))),
+        "overlap": lambda a, b: sim.overlap_coefficient(
+            _tokens(str(a)), _tokens(str(b))
+        ),
+        "cosine_tfidf": lambda a, b: sim.cosine_tfidf(
+            _tokens(str(a)), _tokens(str(b)), idf
+        ),
+        "monge_elkan": lambda a, b: sim.monge_elkan(str(a), str(b)),
+    }
+
+
+def _numeric_measures() -> dict[str, Callable[[object, object], float]]:
+    return {
+        "exact": sim.exact_match,
+        "abs_diff": lambda a, b: sim.abs_diff(float(a), float(b)),
+        "rel_diff": lambda a, b: sim.rel_diff(float(a), float(b)),
+    }
+
+
+def build_feature_library(table_a: Table, table_b: Table,
+                          extended: bool = False) -> FeatureLibrary:
+    """Generate all applicable features for the shared schema of A and B.
+
+    TF/IDF weights are fit over the union of both tables' values for each
+    text attribute, so cosine features see corpus-wide term rarity.
+    ``extended=True`` adds the measures from
+    :mod:`repro.features.extended` (containment, prefix, Soundex,
+    Smith-Waterman) — useful on code-heavy or phonetically noisy data at
+    extra vectorization cost.
+
+    Raises :class:`FeatureError` if the two schemas differ.
+    """
+    if table_a.schema != table_b.schema:
+        raise FeatureError(
+            "tables must share a schema "
+            f"({table_a.schema!r} != {table_b.schema!r})"
+        )
+    from . import extended as ext
+
+    features: list[Feature] = []
+    for attr in table_a.schema:
+        if attr.attr_type is AttrType.NUMERIC:
+            measures = _numeric_measures()
+        else:
+            documents = [
+                word_tokens(str(value))
+                for table in (table_a, table_b)
+                for record in table
+                if (value := record.get(attr.name)) is not None
+            ]
+            idf = sim.build_idf(documents)
+            if attr.attr_type is AttrType.TEXT:
+                measures = _text_measures(idf)
+                if extended:
+                    measures["containment"] = (
+                        lambda a, b: ext.containment(_tokens(str(a)),
+                                                     _tokens(str(b)))
+                    )
+                    measures["soundex"] = (
+                        lambda a, b: ext.soundex_similarity(str(a), str(b))
+                    )
+            else:
+                measures = _string_measures(idf)
+                # Multi-word short strings (e.g. names) also benefit from a
+                # token-level view.
+                measures["jaccard_word"] = (
+                    lambda a, b: sim.jaccard(_tokens(str(a)), _tokens(str(b)))
+                )
+                if extended:
+                    measures["prefix"] = (
+                        lambda a, b: ext.prefix_similarity(str(a), str(b))
+                    )
+                    measures["smith_waterman"] = (
+                        lambda a, b: ext.smith_waterman(str(a), str(b))
+                    )
+        for measure, fn in measures.items():
+            features.append(Feature(
+                name=f"{attr.name}_{measure}",
+                attribute=attr.name,
+                measure=measure,
+                cost=_MEASURE_COSTS[measure],
+                compute=fn,
+            ))
+    return FeatureLibrary(features)

@@ -1,0 +1,148 @@
+"""Matching-quality metrics: confusion counts, precision, recall, F1.
+
+These are the quantities reported throughout the paper's evaluation
+(Tables 2-4).  Predictions and gold labels are boolean sequences or
+sets of pair identifiers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """A binary confusion matrix."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def predicted_positives(self) -> int:
+        return self.tp + self.fp
+
+    @property
+    def actual_positives(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def precision(self) -> float:
+        """tp / (tp + fp); defined as 0.0 when nothing was predicted."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """tp / (tp + fn); defined as 0.0 when there are no positives."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+
+def confusion_from_labels(predicted: Iterable[bool],
+                          actual: Iterable[bool]) -> Confusion:
+    """Build a confusion matrix from aligned boolean sequences.
+
+    Raises ``ValueError`` if the sequences have different lengths.
+    """
+    tp = fp = fn = tn = 0
+    sentinel = object()
+    predicted_iter, actual_iter = iter(predicted), iter(actual)
+    while True:
+        p = next(predicted_iter, sentinel)
+        a = next(actual_iter, sentinel)
+        if p is sentinel and a is sentinel:
+            break
+        if p is sentinel or a is sentinel:
+            raise ValueError("predicted and actual have different lengths")
+        if p and a:
+            tp += 1
+        elif p and not a:
+            fp += 1
+        elif not p and a:
+            fn += 1
+        else:
+            tn += 1
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def confusion_from_sets(predicted: Collection[Hashable],
+                        actual: Collection[Hashable],
+                        universe_size: int | None = None) -> Confusion:
+    """Build a confusion matrix from sets of positive pair identifiers.
+
+    ``universe_size`` is the total number of candidate pairs; when given,
+    true negatives are computed, otherwise ``tn`` is 0 (it does not affect
+    precision/recall/F1).
+    """
+    predicted_set = set(predicted)
+    actual_set = set(actual)
+    tp = len(predicted_set & actual_set)
+    fp = len(predicted_set - actual_set)
+    fn = len(actual_set - predicted_set)
+    tn = 0
+    if universe_size is not None:
+        tn = universe_size - tp - fp - fn
+        if tn < 0:
+            raise ValueError(
+                "universe_size is smaller than the observed pair count"
+            )
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def prf1(predicted: Collection[Hashable],
+         actual: Collection[Hashable]) -> tuple[float, float, float]:
+    """Convenience: (precision, recall, F1) from sets of positive ids."""
+    c = confusion_from_sets(predicted, actual)
+    return c.precision, c.recall, c.f1
+
+
+def blocking_recall(surviving: Collection[Hashable],
+                    gold_matches: Collection[Hashable]) -> float:
+    """Fraction of true matches retained by blocking (Table 3 'Recall')."""
+    gold = set(gold_matches)
+    if not gold:
+        return 1.0
+    return len(gold & set(surviving)) / len(gold)
+
+
+def density(positives: int, total: int) -> float:
+    """Positive density of an example universe (Section 6)."""
+    return positives / total if total else 0.0
+
+
+def summarize(confusions: Mapping[str, Confusion]) -> dict[str, dict[str, float]]:
+    """Render a name->confusion mapping as name->{p, r, f1} percentages."""
+    return {
+        name: {
+            "precision": 100.0 * c.precision,
+            "recall": 100.0 * c.recall,
+            "f1": 100.0 * c.f1,
+        }
+        for name, c in confusions.items()
+    }

@@ -1,0 +1,295 @@
+"""JSON persistence for rules, forests and run reports.
+
+A production EM deployment wants to keep what a run learned: the
+certified blocking rules (reusable on the next data refresh), the
+trained forest (apply without re-crowdsourcing), and a machine-readable
+run report.  Everything round-trips through plain JSON-compatible dicts
+— no pickling, so artifacts are inspectable and portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.pipeline import CorleoneResult
+from .data.pairs import CandidateSet
+from .exceptions import DataError
+from .forest.forest import RandomForest
+from .forest.tree import DecisionTree, Node
+from .rules.predicates import Predicate
+from .rules.rule import Rule
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+def rule_to_dict(rule: Rule) -> dict[str, Any]:
+    """A JSON-compatible representation of one rule."""
+    return {
+        "predicts_match": rule.predicts_match,
+        "cost": rule.cost,
+        "source": rule.source,
+        "predicates": [
+            {
+                "feature_index": p.feature_index,
+                "feature_name": p.feature_name,
+                "le": p.le,
+                "threshold": p.threshold,
+                "nan_satisfies": p.nan_satisfies,
+            }
+            for p in rule.predicates
+        ],
+    }
+
+
+def rule_from_dict(data: dict[str, Any]) -> Rule:
+    """Rebuild a rule saved with :func:`rule_to_dict`."""
+    try:
+        predicates = [
+            Predicate(
+                feature_index=p["feature_index"],
+                feature_name=p["feature_name"],
+                le=p["le"],
+                threshold=p["threshold"],
+                nan_satisfies=p.get("nan_satisfies", False),
+            )
+            for p in data["predicates"]
+        ]
+        return Rule(
+            predicates,
+            predicts_match=data["predicts_match"],
+            cost=data.get("cost", 0.0),
+            source=data.get("source", ""),
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed rule document: {error}") from None
+
+
+def save_rules(rules: list[Rule], path: str | Path) -> None:
+    """Write a rule set to a JSON file."""
+    document = {
+        "format": "corleone-rules",
+        "version": FORMAT_VERSION,
+        "rules": [rule_to_dict(rule) for rule in rules],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_rules(path: str | Path) -> list[Rule]:
+    """Load a rule set saved by :func:`save_rules`."""
+    document = _load_document(path, "corleone-rules")
+    return [rule_from_dict(item) for item in document["rules"]]
+
+
+# ----------------------------------------------------------------------
+# Forests
+# ----------------------------------------------------------------------
+
+def tree_to_dict(tree: DecisionTree) -> dict[str, Any]:
+    """A JSON-compatible representation of one fitted tree."""
+    return {
+        "n_features": tree.n_features_,
+        "max_depth": tree.max_depth,
+        "min_samples_split": tree.min_samples_split,
+        "min_samples_leaf": tree.min_samples_leaf,
+        "max_features": tree.max_features,
+        "nodes": [
+            [node.feature, node.threshold, node.left, node.right,
+             node.nan_left, node.label, node.n_total, node.n_positive]
+            for node in tree.nodes
+        ],
+    }
+
+
+def tree_from_dict(data: dict[str, Any]) -> DecisionTree:
+    """Rebuild a tree saved with :func:`tree_to_dict`."""
+    try:
+        tree = DecisionTree(
+            max_depth=data["max_depth"],
+            min_samples_split=data["min_samples_split"],
+            min_samples_leaf=data["min_samples_leaf"],
+            max_features=data["max_features"],
+        )
+        tree.n_features_ = data["n_features"]
+        tree.nodes = [
+            Node(feature=f, threshold=t, left=l, right=r, nan_left=nl,
+                 label=lab, n_total=nt, n_positive=np_)
+            for f, t, l, r, nl, lab, nt, np_ in data["nodes"]
+        ]
+        return tree
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(f"malformed tree document: {error}") from None
+
+
+def forest_to_dict(forest: RandomForest,
+                   feature_names: list[str] | None = None) -> dict[str, Any]:
+    """A JSON-compatible representation of a trained forest."""
+    return {
+        "format": "corleone-forest",
+        "version": FORMAT_VERSION,
+        "feature_names": feature_names,
+        "trees": [tree_to_dict(tree) for tree in forest.trees],
+    }
+
+
+def forest_from_dict(data: dict[str, Any]) -> RandomForest:
+    """Rebuild a forest saved with :func:`forest_to_dict`."""
+    if data.get("format") != "corleone-forest":
+        raise DataError("not a corleone-forest document")
+    trees = [tree_from_dict(item) for item in data["trees"]]
+    if not trees:
+        raise DataError("forest document contains no trees")
+    return RandomForest(trees)
+
+
+def save_forest(forest: RandomForest, path: str | Path,
+                feature_names: list[str] | None = None) -> None:
+    """Write a trained forest to a JSON file."""
+    Path(path).write_text(
+        json.dumps(forest_to_dict(forest, feature_names))
+    )
+
+
+def load_forest(path: str | Path) -> RandomForest:
+    """Load a forest saved by :func:`save_forest`."""
+    return forest_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Candidate sets
+# ----------------------------------------------------------------------
+
+def save_candidates(candidates: CandidateSet, path: str | Path) -> None:
+    """Persist a vectorized candidate set as a compressed ``.npz``.
+
+    Vectorization dominates experiment start-up time; saving the matrix
+    lets repeated experiments on the same umbrella set skip it.
+    """
+    import numpy as np
+
+    np.savez_compressed(
+        Path(path),
+        a_ids=np.array([pair.a_id for pair in candidates.pairs]),
+        b_ids=np.array([pair.b_id for pair in candidates.pairs]),
+        features=candidates.features,
+        feature_names=np.array(candidates.feature_names),
+    )
+
+
+def load_candidates(path: str | Path) -> CandidateSet:
+    """Load a candidate set saved by :func:`save_candidates`."""
+    import numpy as np
+
+    from .data.pairs import Pair
+
+    path = Path(path)
+    if not path.is_file():
+        raise DataError(f"{path}: no such candidate file")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            pairs = [
+                Pair(str(a), str(b))
+                for a, b in zip(data["a_ids"], data["b_ids"])
+            ]
+            return CandidateSet(
+                pairs,
+                data["features"],
+                [str(name) for name in data["feature_names"]],
+            )
+    except (KeyError, ValueError) as error:
+        raise DataError(f"{path}: malformed candidate file "
+                        f"({error})") from None
+
+
+# ----------------------------------------------------------------------
+# Run reports
+# ----------------------------------------------------------------------
+
+def result_report(result: CorleoneResult) -> dict[str, Any]:
+    """A machine-readable summary of a pipeline run.
+
+    Predicted matches are included as sorted (a_id, b_id) pairs;
+    everything else is telemetry a monitoring system would want.
+    """
+    report: dict[str, Any] = {
+        "format": "corleone-report",
+        "version": FORMAT_VERSION,
+        "stop_reason": result.stop_reason,
+        "predicted_matches": [
+            [pair.a_id, pair.b_id]
+            for pair in sorted(result.predicted_matches)
+        ],
+        "cost": {
+            "dollars": result.cost.dollars,
+            "answers": result.cost.answers,
+            "pairs_labeled": result.cost.pairs_labeled,
+            "hits": result.cost.hits,
+        },
+        "blocking": {
+            "triggered": result.blocker.triggered,
+            "cartesian": result.blocker.cartesian,
+            "umbrella": result.blocker.umbrella_size,
+            "rules": [rule_to_dict(rule)
+                      for rule in result.blocker.applied_rules],
+        },
+        "iterations": [
+            {
+                "index": record.index,
+                "matcher_pairs_labeled": record.matcher_pairs_labeled,
+                "matcher_stop_reason": record.matcher.stop_reason,
+                "matcher_al_iterations": record.matcher.n_iterations,
+                "confidence_history": record.matcher.confidence_history,
+                "estimation_pairs_labeled": record.estimation_pairs_labeled,
+                "reduction_pairs_labeled": record.reduction_pairs_labeled,
+                "difficult_size": record.difficult_size,
+                "estimate": None if record.estimate is None else {
+                    "precision": record.estimate.precision,
+                    "recall": record.estimate.recall,
+                    "f1": record.estimate.f1,
+                    "eps_precision": record.estimate.eps_precision,
+                    "eps_recall": record.estimate.eps_recall,
+                    "converged": record.estimate.converged,
+                    "n_labeled": record.estimate.n_labeled,
+                },
+            }
+            for record in result.iterations
+        ],
+    }
+    if result.estimate is not None:
+        report["estimate"] = {
+            "precision": result.estimate.precision,
+            "recall": result.estimate.recall,
+            "f1": result.estimate.f1,
+            "eps_precision": result.estimate.eps_precision,
+            "eps_recall": result.estimate.eps_recall,
+            "converged": result.estimate.converged,
+        }
+    return report
+
+
+def save_report(result: CorleoneResult, path: str | Path) -> None:
+    """Write a run report to a JSON file."""
+    Path(path).write_text(json.dumps(result_report(result), indent=2))
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load and validate a report saved by :func:`save_report`."""
+    return _load_document(path, "corleone-report")
+
+
+def _load_document(path: str | Path, expected_format: str) -> dict[str, Any]:
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise DataError(f"{path}: invalid JSON ({error})") from None
+    if document.get("format") != expected_format:
+        raise DataError(
+            f"{path}: expected a {expected_format} document, got "
+            f"{document.get('format')!r}"
+        )
+    return document

@@ -1,0 +1,36 @@
+"""Machine-readable rules extracted from random forests.
+
+Blocking rules (Section 4), reduction rules (Section 6) and the locator's
+positive/negative rules (Section 7) are all the same object: a conjunction
+of threshold predicates over features, extracted from a root-to-leaf tree
+path, that predicts "match" or "no match" for any pair it covers.
+"""
+
+from .predicates import Predicate
+from .rule import Rule, RuleStats
+from .extraction import extract_rules, extract_negative_rules, extract_positive_rules
+from .statistics import (
+    z_value,
+    fpc_error_margin,
+    required_sample_size,
+    proportion_interval,
+)
+from .selection import RankedRule, select_top_k
+from .evaluation import RuleEvaluation, evaluate_rules
+
+__all__ = [
+    "Predicate",
+    "Rule",
+    "RuleStats",
+    "extract_rules",
+    "extract_negative_rules",
+    "extract_positive_rules",
+    "z_value",
+    "fpc_error_margin",
+    "required_sample_size",
+    "proportion_interval",
+    "RankedRule",
+    "select_top_k",
+    "RuleEvaluation",
+    "evaluate_rules",
+]

@@ -1,0 +1,93 @@
+"""Extracting candidate rules from a random forest (Figure 2).
+
+Every root-to-leaf path of every tree is a conjunction of threshold
+conditions; a path ending in a "no" leaf is a candidate negative
+(blocking/reduction) rule, a path ending in a "yes" leaf a candidate
+positive rule.  Paths are simplified (redundant conditions on a feature
+merged) and de-duplicated across trees.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import RuleError
+from ..forest.forest import RandomForest
+from .predicates import Predicate
+from .rule import Rule, simplify_predicates
+
+
+def extract_rules(forest: RandomForest, feature_names: Sequence[str],
+                  feature_costs: Sequence[float] | None = None,
+                  predicts_match: bool | None = None) -> list[Rule]:
+    """All candidate rules from ``forest``'s tree paths.
+
+    ``predicts_match`` filters to negative rules (False), positive rules
+    (True), or both (None).  ``feature_costs`` gives per-feature compute
+    costs; a rule's cost is the sum over its *distinct* features (§4.3's
+    tuple pair cost).  Duplicates (same predicate set and label, possibly
+    from different trees) are removed, keeping the first occurrence.
+    """
+    n_features = forest.n_features_ or 0
+    if len(feature_names) != n_features:
+        raise RuleError(
+            f"forest has {n_features} features but "
+            f"{len(feature_names)} names were given"
+        )
+    if feature_costs is not None and len(feature_costs) != n_features:
+        raise RuleError("feature_costs length must match feature count")
+
+    rules: list[Rule] = []
+    seen: set[Rule] = set()
+    for tree_index, tree in enumerate(forest.trees):
+        for path in tree.paths():
+            if predicts_match is not None and path.label != predicts_match:
+                continue
+            predicates = simplify_predicates([
+                Predicate(
+                    feature_index=c.feature,
+                    feature_name=feature_names[c.feature],
+                    le=c.le,
+                    threshold=c.threshold,
+                    nan_satisfies=c.nan_satisfies,
+                )
+                for c in path.conditions
+            ])
+            if not predicates:
+                # A root-only leaf (unsplit tree) yields no conditions and
+                # therefore no usable rule.
+                continue
+            rule = Rule(
+                predicates,
+                predicts_match=path.label,
+                cost=_rule_cost(predicates, feature_costs),
+                source=f"tree{tree_index}",
+            )
+            if rule not in seen:
+                seen.add(rule)
+                rules.append(rule)
+    return rules
+
+
+def extract_negative_rules(forest: RandomForest, feature_names: Sequence[str],
+                           feature_costs: Sequence[float] | None = None) -> list[Rule]:
+    """Candidate blocking/reduction rules: paths to "no" leaves."""
+    return extract_rules(forest, feature_names, feature_costs,
+                         predicts_match=False)
+
+
+def extract_positive_rules(forest: RandomForest, feature_names: Sequence[str],
+                           feature_costs: Sequence[float] | None = None) -> list[Rule]:
+    """Candidate positive rules: paths to "yes" leaves (Section 7)."""
+    return extract_rules(forest, feature_names, feature_costs,
+                         predicts_match=True)
+
+
+def _rule_cost(predicates: Sequence[Predicate],
+               feature_costs: Sequence[float] | None) -> float:
+    if feature_costs is None:
+        return float(len({p.feature_index for p in predicates}))
+    return sum(
+        feature_costs[index]
+        for index in {p.feature_index for p in predicates}
+    )

@@ -1,0 +1,72 @@
+"""Threshold predicates over pair features.
+
+A predicate is one condition of a rule: ``feature <= threshold`` or
+``feature > threshold``, with explicit routing for missing (NaN) values so
+that a rule extracted from a tree path behaves exactly like the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import RuleError
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One threshold test on a single feature column."""
+
+    feature_index: int
+    feature_name: str
+    le: bool
+    """True for ``<= threshold``, False for ``> threshold``."""
+    threshold: float
+    nan_satisfies: bool = False
+    """Whether a missing feature value satisfies this predicate."""
+
+    def __post_init__(self) -> None:
+        if self.feature_index < 0:
+            raise RuleError("feature_index must be >= 0")
+        if not np.isfinite(self.threshold):
+            raise RuleError("threshold must be finite")
+
+    def evaluate(self, features: np.ndarray) -> np.ndarray:
+        """Boolean satisfaction mask over the rows of ``features``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise RuleError("features must be a 2-d matrix")
+        if self.feature_index >= features.shape[1]:
+            raise RuleError(
+                f"predicate refers to feature {self.feature_index} but the "
+                f"matrix has only {features.shape[1]} columns"
+            )
+        column = features[:, self.feature_index]
+        nan = np.isnan(column)
+        if self.le:
+            satisfied = column <= self.threshold
+        else:
+            satisfied = column > self.threshold
+        if self.nan_satisfies:
+            return satisfied | nan
+        return satisfied & ~nan
+
+    def implies(self, other: "Predicate") -> bool:
+        """True if any value satisfying self also satisfies ``other``.
+
+        Only defined for predicates on the same feature and direction;
+        used to drop redundant conditions when simplifying a rule.
+        """
+        if (self.feature_index != other.feature_index
+                or self.le != other.le):
+            return False
+        if self.nan_satisfies and not other.nan_satisfies:
+            return False
+        if self.le:
+            return self.threshold <= other.threshold
+        return self.threshold >= other.threshold
+
+    def __str__(self) -> str:
+        op = "<=" if self.le else ">"
+        return f"{self.feature_name} {op} {self.threshold:.4g}"

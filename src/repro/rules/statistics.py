@@ -1,0 +1,109 @@
+"""Sampling statistics: confidence intervals with finite-population
+correction (Wasserman [32]), used by rule evaluation (§4.2) and accuracy
+estimation (§6, Eqs. 2-3).
+
+The error margin for an estimated proportion P from n of m population
+items is
+
+    epsilon = Z_{1-delta/2} * sqrt( (P (1-P) / n) * ((m - n) / (m - 1)) )
+
+and :func:`required_sample_size` inverts the formula to answer "how many
+labels until the margin is at most epsilon_max?".
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import EstimationError
+
+
+def z_value(confidence: float) -> float:
+    """The (1 - delta/2) standard-normal percentile for a confidence level.
+
+    E.g. ``z_value(0.95) == 1.959...``.  Computed from the exact inverse
+    error function relationship Z = sqrt(2) * erfinv(confidence), with
+    erfinv evaluated by Newton refinement of an initial rational
+    approximation — accurate to ~1e-12 without a SciPy dependency.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError("confidence must be in (0, 1)")
+    return math.sqrt(2.0) * _erfinv(confidence)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function on (-1, 1)."""
+    if not -1.0 < y < 1.0:
+        raise EstimationError("erfinv argument must be in (-1, 1)")
+    if y == 0.0:
+        return 0.0
+    # Initial guess: Winitzki's approximation.
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    guess = math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y
+    )
+    # Newton iterations: f(x) = erf(x) - y, f'(x) = 2/sqrt(pi) e^{-x^2}.
+    x = guess
+    two_over_sqrt_pi = 2.0 / math.sqrt(math.pi)
+    for _ in range(4):
+        error = math.erf(x) - y
+        derivative = two_over_sqrt_pi * math.exp(-x * x)
+        if derivative == 0.0:
+            break
+        x -= error / derivative
+    return x
+
+
+def fpc_error_margin(p: float, n: int, population: int,
+                     confidence: float = 0.95) -> float:
+    """Margin of error for proportion ``p`` from ``n`` of ``population``.
+
+    Returns 0.0 when the whole population was sampled (n >= population) or
+    the population has a single member.  Raises for a non-positive sample.
+    """
+    if n <= 0:
+        raise EstimationError("sample size must be positive")
+    if population < n:
+        raise EstimationError("population must be >= sample size")
+    if not 0.0 <= p <= 1.0:
+        raise EstimationError("p must be in [0, 1]")
+    if population <= 1 or n == population:
+        return 0.0
+    fpc = (population - n) / (population - 1)
+    return z_value(confidence) * math.sqrt(p * (1.0 - p) / n * fpc)
+
+
+def proportion_interval(p: float, n: int, population: int,
+                        confidence: float = 0.95) -> tuple[float, float]:
+    """The confidence interval [P - eps, P + eps], clipped to [0, 1]."""
+    eps = fpc_error_margin(p, n, population, confidence)
+    return max(0.0, p - eps), min(1.0, p + eps)
+
+
+def required_sample_size(p: float, epsilon: float, population: int,
+                         confidence: float = 0.95) -> int:
+    """Smallest n with margin <= epsilon for an anticipated proportion p.
+
+    Uses the worst case p=0.5 if ``p`` is None-like (call with 0.5).  The
+    closed-form solution of the FPC margin equation:
+
+        n0 = Z^2 p (1-p) / epsilon^2          (infinite population)
+        n  = n0 / (1 + (n0 - 1) / population) (finite correction)
+    """
+    if not 0.0 <= p <= 1.0:
+        raise EstimationError("p must be in [0, 1]")
+    if epsilon <= 0.0:
+        raise EstimationError("epsilon must be positive")
+    if population <= 0:
+        raise EstimationError("population must be positive")
+    variance = p * (1.0 - p)
+    if variance == 0.0:
+        return 1
+    z = z_value(confidence)
+    n0 = z * z * variance / (epsilon * epsilon)
+    n = n0 * population / (n0 + population - 1.0)
+    # The tolerance keeps an exactly-invertible epsilon from being bumped
+    # one unit up by floating-point noise before the ceiling.
+    return min(population, max(1, math.ceil(n - 1e-9)))

@@ -1,0 +1,31 @@
+"""Synthetic stand-ins for the paper's three evaluation datasets.
+
+The originals (Fodors/Zagat restaurants, DBLP/Google-Scholar citations,
+Amazon/Walmart products) are not redistributable offline, so this package
+generates datasets with the same schemas, size ratios, match densities and
+difficulty ordering (restaurants easy, citations medium, products hard).
+Each generator is fully seeded and ships ground truth plus the paper's
+user-supplied artifacts: the matching instruction and four seed examples
+(two positive, two negative).
+"""
+
+from .base import SyntheticDataset, DatasetStats
+from .corruption import Corruptor
+from .restaurants import generate_restaurants
+from .citations import generate_citations
+from .products import generate_products
+from .songs import generate_songs
+from .registry import DATASET_NAMES, PAPER_SCALE, load_dataset
+
+__all__ = [
+    "SyntheticDataset",
+    "DatasetStats",
+    "Corruptor",
+    "generate_restaurants",
+    "generate_citations",
+    "generate_products",
+    "generate_songs",
+    "DATASET_NAMES",
+    "PAPER_SCALE",
+    "load_dataset",
+]

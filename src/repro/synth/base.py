@@ -1,0 +1,81 @@
+"""Common structure for synthetic datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.pairs import Pair
+from ..data.table import Table
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table 1 row for a dataset."""
+
+    name: str
+    size_a: int
+    size_b: int
+    n_matches: int
+
+    @property
+    def cartesian(self) -> int:
+        return self.size_a * self.size_b
+
+    @property
+    def positive_density(self) -> float:
+        return self.n_matches / self.cartesian if self.cartesian else 0.0
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A generated EM task: two tables, gold matches, and user inputs.
+
+    ``seed_positive`` / ``seed_negative`` are the paper's four illustrating
+    examples the user supplies (two matching pairs, two non-matching).
+    ``instruction`` is the short textual instruction shown to the crowd.
+    """
+
+    name: str
+    table_a: Table
+    table_b: Table
+    matches: frozenset[Pair]
+    seed_positive: tuple[Pair, Pair]
+    seed_negative: tuple[Pair, Pair]
+    instruction: str = ""
+
+    def __post_init__(self) -> None:
+        for pair in self.matches:
+            if pair.a_id not in self.table_a or pair.b_id not in self.table_b:
+                raise DataError(f"gold match {pair} references unknown records")
+        for pair in self.seed_positive:
+            if pair not in self.matches:
+                raise DataError(f"seed positive {pair} is not a gold match")
+        for pair in self.seed_negative:
+            if pair in self.matches:
+                raise DataError(f"seed negative {pair} is a gold match")
+
+    @property
+    def seed_pairs(self) -> tuple[Pair, ...]:
+        """All four user-supplied examples."""
+        return self.seed_positive + self.seed_negative
+
+    @property
+    def seed_labels(self) -> dict[Pair, bool]:
+        """The seed examples with their (trusted) labels."""
+        labels = {pair: True for pair in self.seed_positive}
+        labels.update({pair: False for pair in self.seed_negative})
+        return labels
+
+    def stats(self) -> DatasetStats:
+        """The dataset's Table 1 row."""
+        return DatasetStats(
+            name=self.name,
+            size_a=len(self.table_a),
+            size_b=len(self.table_b),
+            n_matches=len(self.matches),
+        )
+
+    def is_match(self, pair: Pair) -> bool:
+        """Ground-truth membership test (evaluation only)."""
+        return Pair(*pair) in self.matches

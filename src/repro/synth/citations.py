@@ -1,0 +1,223 @@
+"""The Citations dataset: the medium EM task (DBLP/Google-Scholar stand-in).
+
+Table A (DBLP) holds clean bibliography records; table B (Scholar) holds
+noisy scraped copies — typoed or truncated titles, authors reduced to
+initials or "et al", venue strings drawn from wildly different variants,
+missing or off-by-one years.  As in the real dataset, one DBLP record can
+match *several* Scholar records (duplicate scrapes), which is why the
+paper's match count (5347) exceeds |A| fraction-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.pairs import Pair
+from ..data.table import AttrType, Record, Schema, Table
+from ..exceptions import DataError
+from .base import SyntheticDataset
+from .corruption import Corruptor
+from . import vocab
+
+CITATION_SCHEMA = Schema.from_pairs([
+    ("title", AttrType.TEXT),
+    ("authors", AttrType.TEXT),
+    ("venue", AttrType.STRING),
+    ("year", AttrType.NUMERIC),
+])
+
+INSTRUCTION = (
+    "These records are bibliography entries from two digital libraries. "
+    "Two records match if they refer to the same publication, even when "
+    "titles are truncated or author names abbreviated."
+)
+
+
+@dataclass
+class _Paper:
+    title: str
+    authors: list[tuple[str, str]]  # (first, last)
+    venue: str                      # canonical venue key
+    year: int
+
+
+def _make_paper(corruptor: Corruptor,
+                base_title: str | None = None) -> _Paper:
+    rng = corruptor.rng
+    if base_title is None:
+        n_words = int(rng.integers(4, 11))
+        words = [
+            corruptor.choice(list(vocab.CS_TITLE_WORDS))
+            for _ in range(n_words)
+        ]
+        title = " ".join(words)
+    else:
+        # A "same series" sibling: share most words, change a couple —
+        # these are the dataset's hard negatives.
+        words = base_title.split()
+        for _ in range(max(1, len(words) // 4)):
+            words[int(rng.integers(len(words)))] = corruptor.choice(
+                list(vocab.CS_TITLE_WORDS)
+            )
+        title = " ".join(words)
+    n_authors = int(rng.integers(1, 5))
+    authors = [
+        (corruptor.choice(list(vocab.FIRST_NAMES)),
+         corruptor.choice(list(vocab.LAST_NAMES)))
+        for _ in range(n_authors)
+    ]
+    return _Paper(
+        title=title,
+        authors=authors,
+        venue=corruptor.choice(list(vocab.VENUES)),
+        year=int(rng.integers(1985, 2014)),
+    )
+
+
+def _dblp_record(paper: _Paper, record_id: str) -> Record:
+    authors = ", ".join(f"{first} {last}" for first, last in paper.authors)
+    return Record(record_id, {
+        "title": paper.title,
+        "authors": authors,
+        "venue": vocab.VENUES[paper.venue][0],
+        "year": float(paper.year),
+    })
+
+
+def _scholar_record(paper: _Paper, record_id: str,
+                    corruptor: Corruptor) -> Record:
+    title = corruptor.typos(paper.title, 0.08)
+    if corruptor.maybe(0.15):
+        title = corruptor.truncate_tokens(
+            title, max(3, len(title.split()) - 2)
+        )
+
+    names = []
+    for first, last in paper.authors:
+        if corruptor.maybe(0.6):
+            names.append(f"{corruptor.initial(first)} {last}")
+        else:
+            names.append(f"{first} {last}")
+    if len(names) > 2 and corruptor.maybe(0.2):
+        authors = f"{names[0]} et al"
+    else:
+        authors = ", ".join(names)
+
+    venue: str | None = corruptor.choice(list(vocab.VENUES[paper.venue]))
+    if corruptor.maybe(0.15):
+        venue = None
+
+    year: float | None = float(paper.year)
+    if corruptor.maybe(0.2):
+        year = None
+    elif corruptor.maybe(0.05):
+        year = float(paper.year + int(corruptor.rng.integers(-1, 2)))
+
+    return Record(record_id, {
+        "title": title,
+        "authors": authors,
+        "venue": venue,
+        "year": year,
+    })
+
+
+def generate_citations(n_a: int = 2616, n_b: int = 64263,
+                       n_matches: int = 5347,
+                       seed: int = 0) -> SyntheticDataset:
+    """Generate the citations EM task (paper sizes by default).
+
+    ``n_matches`` may exceed the number of matched DBLP papers: each
+    matched paper receives one or more Scholar copies until the match
+    count is reached, so the many-to-one structure of the real dataset is
+    preserved.
+    """
+    if n_matches < 4:
+        raise DataError("need at least 4 matches to supply seed examples")
+    if n_matches > n_b:
+        raise DataError("n_matches cannot exceed the Scholar table size")
+    rng = np.random.default_rng(seed)
+    corruptor = Corruptor(rng)
+
+    # Decide how many DBLP papers have Scholar copies: each gets 1-3.
+    if n_matches > 3 * n_a:
+        raise DataError(
+            "n_matches too large for n_a (each DBLP paper gets <= 3 copies)"
+        )
+    copies: list[int] = []
+    remaining = n_matches
+    while remaining > 0 and len(copies) < n_a:
+        c = min(int(rng.integers(1, 4)), remaining)
+        copies.append(c)
+        remaining -= c
+    # If the random draw ran out of papers, top up existing allocations.
+    slot = 0
+    while remaining > 0:
+        if copies[slot] < 3:
+            copies[slot] += 1
+            remaining -= 1
+        slot = (slot + 1) % len(copies)
+    n_matched_papers = len(copies)
+
+    papers: list[_Paper] = []
+    for _ in range(n_a):
+        if papers and corruptor.maybe(0.15):
+            base = papers[int(rng.integers(len(papers)))]
+            papers.append(_make_paper(corruptor, base_title=base.title))
+        else:
+            papers.append(_make_paper(corruptor))
+
+    table_a = Table("dblp", CITATION_SCHEMA)
+    table_b = Table("scholar", CITATION_SCHEMA)
+    matches: set[Pair] = set()
+
+    matched_indices = rng.choice(n_a, size=n_matched_papers, replace=False)
+    b_counter = 0
+    for a_index in range(n_a):
+        a_id = f"a{a_index}"
+        table_a.add(_dblp_record(papers[a_index], a_id))
+    for slot, a_index in enumerate(matched_indices):
+        for _ in range(copies[slot]):
+            b_id = f"b{b_counter}"
+            b_counter += 1
+            table_b.add(_scholar_record(papers[int(a_index)], b_id, corruptor))
+            matches.add(Pair(f"a{int(a_index)}", b_id))
+
+    # Unmatched Scholar records: fresh papers (some sharing title families
+    # with existing ones to act as hard negatives).
+    while b_counter < n_b:
+        if corruptor.maybe(0.15):
+            base = papers[int(rng.integers(len(papers)))]
+            paper = _make_paper(corruptor, base_title=base.title)
+        else:
+            paper = _make_paper(corruptor)
+        table_b.add(_scholar_record(paper, f"b{b_counter}", corruptor))
+        b_counter += 1
+
+    match_list = sorted(matches)
+    seed_positive = (match_list[0], match_list[1])
+    seed_negative = _seed_negatives(match_list, matches)
+    return SyntheticDataset(
+        name="citations",
+        table_a=table_a,
+        table_b=table_b,
+        matches=frozenset(matches),
+        seed_positive=seed_positive,
+        seed_negative=seed_negative,
+        instruction=INSTRUCTION,
+    )
+
+
+def _seed_negatives(match_list: list[Pair],
+                    matches: set[Pair]) -> tuple[Pair, Pair]:
+    """Two cross-combinations guaranteed not to be gold matches."""
+    candidates = []
+    for pair_x in match_list[:10]:
+        for pair_y in match_list[:10]:
+            crossed = Pair(pair_x.a_id, pair_y.b_id)
+            if crossed not in matches:
+                candidates.append(crossed)
+            if len(candidates) == 2:
+                return (candidates[0], candidates[1])
+    raise DataError("could not derive seed negatives")

@@ -1,0 +1,91 @@
+"""Controlled text corruption for synthetic record variants.
+
+The generators derive table-B records from table-A records (or both from a
+shared entity) by applying these perturbations; each is applied with a
+per-dataset probability, which is how the three datasets get their
+distinct difficulty levels.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+_LETTERS = string.ascii_lowercase
+
+
+class Corruptor:
+    """Seeded bundle of string perturbations."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def maybe(self, probability: float) -> bool:
+        """True with the given probability."""
+        return bool(self.rng.random() < probability)
+
+    def typo(self, text: str) -> str:
+        """One random character edit: swap, delete, insert or replace."""
+        if len(text) < 2:
+            return text
+        kind = int(self.rng.integers(4))
+        i = int(self.rng.integers(len(text) - 1))
+        if kind == 0:  # adjacent swap
+            return text[:i] + text[i + 1] + text[i] + text[i + 2:]
+        if kind == 1:  # delete
+            return text[:i] + text[i + 1:]
+        letter = _LETTERS[int(self.rng.integers(len(_LETTERS)))]
+        if kind == 2:  # insert
+            return text[:i] + letter + text[i:]
+        return text[:i] + letter + text[i + 1:]  # replace
+
+    def typos(self, text: str, probability: float) -> str:
+        """Apply one typo per word, each with the given probability."""
+        words = text.split()
+        out = [
+            self.typo(word) if self.maybe(probability) else word
+            for word in words
+        ]
+        return " ".join(out)
+
+    def abbreviate_word(self, word: str) -> str:
+        """'street' -> 'st.' style abbreviation: first letters + period."""
+        if len(word) <= 3:
+            return word
+        keep = max(1, min(3, len(word) // 3))
+        return word[:keep] + "."
+
+    def initial(self, word: str) -> str:
+        """'michael' -> 'm.'"""
+        return (word[0] + ".") if word else word
+
+    def drop_tokens(self, text: str, probability: float) -> str:
+        """Drop each token with the given probability (keep at least one)."""
+        words = text.split()
+        if len(words) <= 1:
+            return text
+        kept = [word for word in words if not self.maybe(probability)]
+        if not kept:
+            kept = [words[int(self.rng.integers(len(words)))]]
+        return " ".join(kept)
+
+    def truncate_tokens(self, text: str, max_tokens: int) -> str:
+        """Keep only the first ``max_tokens`` tokens."""
+        words = text.split()
+        return " ".join(words[:max_tokens])
+
+    def shuffle_tokens(self, text: str) -> str:
+        """Randomly reorder the tokens."""
+        words = text.split()
+        self.rng.shuffle(words)
+        return " ".join(words)
+
+    def perturb_number(self, value: float, relative_sigma: float) -> float:
+        """Multiplicative Gaussian noise, never flipping the sign."""
+        noisy = value * (1.0 + self.rng.normal(0.0, relative_sigma))
+        return abs(noisy) if value >= 0 else -abs(noisy)
+
+    def choice(self, options: list[str]) -> str:
+        """Uniform pick from a non-empty list."""
+        return options[int(self.rng.integers(len(options)))]

@@ -1,0 +1,197 @@
+"""The Products dataset: the hard EM task (Amazon/Walmart stand-in).
+
+Electronics products come in *families*: the same brand and product line
+in several capacities/speeds/pack sizes, each with its own model number
+(the paper's Figure 4 shows exactly such a near-miss: a 4GB vs a 12GB
+Kingston HyperX kit).  Family siblings share most name tokens, so surface
+similarity is a weak signal; correct matching must rely on model numbers,
+capacities and prices — which the B side then degrades (reformatted or
+missing model numbers, discounted prices).  This makes Products the
+hardest of the three tasks, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.pairs import Pair
+from ..data.table import AttrType, Record, Schema, Table
+from ..exceptions import DataError
+from .base import SyntheticDataset
+from .corruption import Corruptor
+from . import vocab
+
+PRODUCT_SCHEMA = Schema.from_pairs([
+    ("brand", AttrType.STRING),
+    ("name", AttrType.TEXT),
+    ("model_no", AttrType.STRING),
+    ("price", AttrType.NUMERIC),
+    ("description", AttrType.TEXT),
+])
+
+INSTRUCTION = (
+    "These records describe electronics products sold in two stores. Two "
+    "records match only if they are the exact same product (same model "
+    "and same size/capacity), not merely the same product line."
+)
+
+
+@dataclass
+class _Variant:
+    brand: str
+    line: str
+    noun: str
+    adjective: str
+    capacity: int
+    speed: int
+    pack: int
+    color: str
+    model: str
+    price: float
+
+
+def _model_number(brand: str, line: str, speed: int, capacity: int,
+                  pack: int, rng: np.random.Generator) -> str:
+    prefix = (brand[:1] + line[:2]).upper()
+    return (
+        f"{prefix}{speed}C{int(rng.integers(7, 12))}"
+        f"K{pack}/{capacity}G"
+    )
+
+
+def _make_family(corruptor: Corruptor) -> list[_Variant]:
+    """A product family: 1-4 sibling variants differing in capacity/pack."""
+    rng = corruptor.rng
+    brand = corruptor.choice(list(vocab.PRODUCT_BRANDS))
+    line = corruptor.choice(list(vocab.PRODUCT_LINES))
+    noun = corruptor.choice(list(vocab.PRODUCT_NOUNS))
+    adjective = corruptor.choice(list(vocab.PRODUCT_ADJECTIVES))
+    speed = int(corruptor.choice([str(s) for s in vocab.SPEEDS_MHZ]))
+    base_price = float(rng.uniform(15, 400))
+
+    n_variants = int(rng.integers(1, 5))
+    capacity_pool = list(vocab.CAPACITIES_GB)
+    rng.shuffle(capacity_pool)
+    variants = []
+    for capacity in capacity_pool[:n_variants]:
+        pack = int(corruptor.choice(["1", "2", "3"]))
+        variants.append(_Variant(
+            brand=brand,
+            line=line,
+            noun=noun,
+            adjective=adjective,
+            capacity=int(capacity),
+            speed=speed,
+            pack=pack,
+            color=corruptor.choice(list(vocab.COLORS)),
+            model=_model_number(brand, line, speed, int(capacity), pack, rng),
+            price=round(base_price * (0.5 + 0.15 * int(capacity) ** 0.7), 2),
+        ))
+    return variants
+
+
+def _a_record(variant: _Variant, record_id: str) -> Record:
+    per_unit = variant.capacity // variant.pack or variant.capacity
+    name = (
+        f"{variant.brand} {variant.line} {variant.capacity}GB kit "
+        f"{variant.pack} x {per_unit}GB {variant.adjective} {variant.noun}"
+    )
+    description = (
+        f"{variant.capacity} GB total, {variant.pack} x {per_unit} GB "
+        f"modules at {variant.speed} MHz, {variant.color}, "
+        f"{variant.adjective} {variant.noun} by {variant.brand}"
+    )
+    return Record(record_id, {
+        "brand": variant.brand,
+        "name": name,
+        "model_no": variant.model,
+        "price": variant.price,
+        "description": description,
+    })
+
+
+def _b_record(variant: _Variant, record_id: str,
+              corruptor: Corruptor) -> Record:
+    """The other store's listing of the same product."""
+    per_unit = variant.capacity // variant.pack or variant.capacity
+    name = (
+        f"{variant.brand} {variant.capacity}GB {variant.line} "
+        f"{variant.noun} {variant.speed}MHz"
+    )
+    name = corruptor.typos(name, 0.04)
+    model: str | None = variant.model
+    if corruptor.maybe(0.25):
+        model = None
+    elif corruptor.maybe(0.3):
+        model = variant.model.replace("/", "-").lower()
+    price = round(corruptor.perturb_number(variant.price, 0.08), 2)
+    description = (
+        f"{variant.adjective} {variant.noun}, {variant.pack}x{per_unit}GB, "
+        f"{variant.color}"
+    )
+    if corruptor.maybe(0.2):
+        description = corruptor.drop_tokens(description, 0.3)
+    return Record(record_id, {
+        "brand": variant.brand,
+        "name": name,
+        "model_no": model,
+        "price": price,
+        "description": description,
+    })
+
+
+def generate_products(n_a: int = 2554, n_b: int = 22074,
+                      n_matches: int = 1154,
+                      seed: int = 0) -> SyntheticDataset:
+    """Generate the products EM task (paper sizes by default)."""
+    if n_matches < 4:
+        raise DataError("need at least 4 matches to supply seed examples")
+    if n_matches > min(n_a, n_b):
+        raise DataError("n_matches cannot exceed the smaller table size")
+    rng = np.random.default_rng(seed)
+    corruptor = Corruptor(rng)
+
+    # Generate variants until both tables can be filled.  Every variant is
+    # a distinct entity; siblings inside a family are hard negatives.
+    n_entities = n_a + n_b - n_matches
+    variants: list[_Variant] = []
+    while len(variants) < n_entities:
+        variants.extend(_make_family(corruptor))
+    variants = variants[:n_entities]
+
+    order = rng.permutation(n_entities)
+    shared = [variants[i] for i in order[:n_matches]]
+    only_a = [variants[i] for i in order[n_matches:n_a]]
+    only_b = [variants[i] for i in order[n_a:]]
+
+    table_a = Table("amazon", PRODUCT_SCHEMA)
+    table_b = Table("walmart", PRODUCT_SCHEMA)
+    matches: set[Pair] = set()
+
+    for i, variant in enumerate(shared):
+        a_id, b_id = f"a{i}", f"b{i}"
+        table_a.add(_a_record(variant, a_id))
+        table_b.add(_b_record(variant, b_id, corruptor))
+        matches.add(Pair(a_id, b_id))
+    for j, variant in enumerate(only_a):
+        table_a.add(_a_record(variant, f"a{n_matches + j}"))
+    for j, variant in enumerate(only_b):
+        table_b.add(_b_record(variant, f"b{n_matches + j}", corruptor))
+
+    match_list = sorted(matches)
+    seed_positive = (match_list[0], match_list[1])
+    seed_negative = (
+        Pair(match_list[0].a_id, match_list[1].b_id),
+        Pair(match_list[1].a_id, match_list[0].b_id),
+    )
+    return SyntheticDataset(
+        name="products",
+        table_a=table_a,
+        table_b=table_b,
+        matches=frozenset(matches),
+        seed_positive=seed_positive,
+        seed_negative=seed_negative,
+        instruction=INSTRUCTION,
+    )

@@ -1,0 +1,170 @@
+"""The Restaurants dataset: the easy EM task (Fodors/Zagat stand-in).
+
+Two listings of the same restaurant differ in formatting (street-suffix
+abbreviation, phone punctuation) and light typos; the main hard negatives
+are chain restaurants — same name and cuisine, different address/phone —
+mirroring what makes the real Fodors/Zagat task interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.pairs import Pair
+from ..data.table import AttrType, Record, Schema, Table
+from ..exceptions import DataError
+from .base import SyntheticDataset
+from .corruption import Corruptor
+from . import vocab
+
+RESTAURANT_SCHEMA = Schema.from_pairs([
+    ("name", AttrType.STRING),
+    ("addr", AttrType.STRING),
+    ("city", AttrType.STRING),
+    ("phone", AttrType.STRING),
+    ("cuisine", AttrType.STRING),
+])
+
+INSTRUCTION = (
+    "These records describe restaurants from two city guides. Two records "
+    "match if they refer to the same restaurant location (same name and "
+    "same address), even if formatting differs."
+)
+
+
+@dataclass
+class _Entity:
+    name: str
+    street_number: int
+    street: str
+    suffix: str
+    city: str
+    phone: tuple[int, int, int]
+    cuisine: str
+
+
+def _make_entity(corruptor: Corruptor, chain_name: str | None = None) -> _Entity:
+    rng = corruptor.rng
+    if chain_name is None:
+        name = " ".join([
+            corruptor.choice(list(vocab.RESTAURANT_NAME_WORDS)),
+            corruptor.choice(list(vocab.RESTAURANT_NAME_WORDS)),
+            corruptor.choice(list(vocab.RESTAURANT_NAME_SUFFIXES)),
+        ])
+    else:
+        name = chain_name
+    return _Entity(
+        name=name,
+        street_number=int(rng.integers(1, 9900)),
+        street=corruptor.choice(list(vocab.STREET_NAMES)),
+        suffix=corruptor.choice(list(vocab.STREET_SUFFIXES)),
+        city=corruptor.choice(list(vocab.CITIES)),
+        phone=(int(rng.integers(200, 989)), int(rng.integers(200, 989)),
+               int(rng.integers(1000, 9999))),
+        cuisine=corruptor.choice(list(vocab.CUISINES)),
+    )
+
+
+def _a_record(entity: _Entity, record_id: str) -> Record:
+    area, mid, last = entity.phone
+    return Record(record_id, {
+        "name": entity.name,
+        "addr": f"{entity.street_number} {entity.street} {entity.suffix}",
+        "city": entity.city,
+        "phone": f"{area}-{mid}-{last}",
+        "cuisine": entity.cuisine,
+    })
+
+
+def _b_record(entity: _Entity, record_id: str,
+              corruptor: Corruptor) -> Record:
+    """A perturbed second listing of the same restaurant."""
+    area, mid, last = entity.phone
+    suffix = entity.suffix
+    if corruptor.maybe(0.7):
+        suffix = vocab.STREET_ABBREV.get(suffix, suffix)
+    name = corruptor.typos(entity.name, 0.06)
+    addr = corruptor.typos(
+        f"{entity.street_number} {entity.street} {suffix}", 0.04
+    )
+    phone: str | None = f"{area}/{mid}-{last}"
+    if corruptor.maybe(0.05):
+        phone = None
+    cuisine = vocab.CUISINE_SYNONYMS.get(entity.cuisine, entity.cuisine)
+    if corruptor.maybe(0.5):
+        cuisine = entity.cuisine
+    return Record(record_id, {
+        "name": name,
+        "addr": addr,
+        "city": entity.city,
+        "phone": phone,
+        "cuisine": cuisine,
+    })
+
+
+def generate_restaurants(n_a: int = 533, n_b: int = 331,
+                         n_matches: int = 112,
+                         seed: int = 0) -> SyntheticDataset:
+    """Generate the restaurants EM task (paper sizes by default)."""
+    if n_matches > min(n_a, n_b):
+        raise DataError("n_matches cannot exceed the smaller table size")
+    if n_matches < 4:
+        raise DataError("need at least 4 matches to supply seed examples")
+    rng = np.random.default_rng(seed)
+    corruptor = Corruptor(rng)
+
+    n_entities = n_a + n_b - n_matches
+    entities: list[_Entity] = []
+    # ~12% of entities are chain locations: groups of 2-3 sharing a name
+    # and cuisine but with distinct addresses/phones (hard negatives).
+    while len(entities) < n_entities:
+        if corruptor.maybe(0.12) and n_entities - len(entities) >= 2:
+            chain = _make_entity(corruptor)
+            entities.append(chain)
+            branches = min(int(rng.integers(1, 3)),
+                           n_entities - len(entities))
+            for _ in range(branches):
+                branch = _make_entity(corruptor, chain_name=chain.name)
+                branch.cuisine = chain.cuisine
+                entities.append(branch)
+        else:
+            entities.append(_make_entity(corruptor))
+
+    # Entities [0, n_matches) appear in both tables; the next n_a-n_matches
+    # only in A; the rest only in B.  Shuffle so chains spread across roles.
+    order = rng.permutation(n_entities)
+    shared = [entities[i] for i in order[:n_matches]]
+    only_a = [entities[i] for i in order[n_matches:n_a]]
+    only_b = [entities[i] for i in order[n_a:]]
+
+    table_a = Table("fodors", RESTAURANT_SCHEMA)
+    table_b = Table("zagat", RESTAURANT_SCHEMA)
+    matches: set[Pair] = set()
+
+    for i, entity in enumerate(shared):
+        a_id, b_id = f"a{i}", f"b{i}"
+        table_a.add(_a_record(entity, a_id))
+        table_b.add(_b_record(entity, b_id, corruptor))
+        matches.add(Pair(a_id, b_id))
+    for j, entity in enumerate(only_a):
+        table_a.add(_a_record(entity, f"a{n_matches + j}"))
+    for j, entity in enumerate(only_b):
+        table_b.add(_b_record(entity, f"b{n_matches + j}", corruptor))
+
+    match_list = sorted(matches)
+    seed_positive = (match_list[0], match_list[1])
+    seed_negative = (
+        Pair(match_list[0].a_id, match_list[1].b_id),
+        Pair(match_list[1].a_id, match_list[0].b_id),
+    )
+    return SyntheticDataset(
+        name="restaurants",
+        table_a=table_a,
+        table_b=table_b,
+        matches=frozenset(matches),
+        seed_positive=seed_positive,
+        seed_negative=seed_negative,
+        instruction=INSTRUCTION,
+    )

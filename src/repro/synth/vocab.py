@@ -1,0 +1,156 @@
+"""Vocabularies for the synthetic dataset generators.
+
+Plain word pools; the generators combine them with seeded RNGs.  Sizes are
+chosen so that token collisions between unrelated entities happen at a
+realistic rate (which is what makes matching nontrivial).
+"""
+
+from __future__ import annotations
+
+RESTAURANT_NAME_WORDS = (
+    "golden lotus jade dragon palace garden villa bella roma casa luna "
+    "blue ocean harbor bay sunset pacific grand royal imperial crown "
+    "little saigon bangkok tokyo kyoto osaka shanghai peking canton "
+    "olive cypress maple willow cedar magnolia rose tulip orchid ivy "
+    "fiesta cantina hacienda pueblo mesa adobe rio verde sol azteca "
+    "chez maison bistro brasserie petit grande nouveau vieux bon beau "
+    "spice saffron pepper basil thyme sage clove ginger sesame lotus "
+    "union station corner district avenue park plaza market square"
+).split()
+
+RESTAURANT_NAME_SUFFIXES = (
+    "cafe grill kitchen house diner tavern eatery restaurant bar "
+    "trattoria pizzeria cantina brasserie steakhouse chophouse deli "
+    "noodle oyster curry bbq"
+).split()
+
+STREET_NAMES = (
+    "main oak pine elm maple cedar walnut chestnut spruce birch "
+    "washington lincoln jefferson madison monroe jackson franklin "
+    "sunset ocean bay harbor lake river hill valley ridge park "
+    "first second third fourth fifth sixth seventh eighth ninth tenth "
+    "market mission castro geary divisadero fillmore valencia folsom "
+    "broadway spring grand olive figueroa vermont western normandie"
+).split()
+
+STREET_SUFFIXES = ("street avenue boulevard road drive lane way place "
+                   "court circle").split()
+
+STREET_ABBREV = {
+    "street": "st.", "avenue": "ave.", "boulevard": "blvd.",
+    "road": "rd.", "drive": "dr.", "lane": "ln.", "way": "wy.",
+    "place": "pl.", "court": "ct.", "circle": "cir.",
+}
+
+CITIES = (
+    "san francisco|los angeles|new york|chicago|atlanta|boston|seattle|"
+    "portland|austin|denver|miami|dallas|houston|phoenix|philadelphia|"
+    "san diego|san jose|oakland|berkeley|pasadena|santa monica|brooklyn"
+).split("|")
+
+CUISINES = (
+    "american|italian|french|chinese|japanese|thai|mexican|indian|"
+    "mediterranean|greek|spanish|korean|vietnamese|cajun|seafood|"
+    "steakhouses|pizza|delis|coffee shops|hamburgers|health food|bbq"
+).split("|")
+
+CUISINE_SYNONYMS = {
+    "american": "american (new)",
+    "italian": "italian (traditional)",
+    "french": "french (classic)",
+    "bbq": "barbecue",
+    "coffee shops": "coffeehouses",
+    "hamburgers": "burgers",
+    "steakhouses": "steak houses",
+    "delis": "delicatessen",
+}
+
+CS_TITLE_WORDS = (
+    "efficient scalable parallel distributed adaptive incremental "
+    "approximate optimal robust dynamic static probabilistic declarative "
+    "query processing optimization indexing caching storage transaction "
+    "concurrency recovery replication partitioning clustering sampling "
+    "learning mining matching ranking retrieval extraction integration "
+    "cleaning deduplication entity schema record linkage resolution "
+    "database stream graph spatial temporal relational semistructured "
+    "xml web semantic crowdsourcing privacy security provenance workflow "
+    "join aggregation selection projection materialized view cube "
+    "algorithm framework system architecture model language approach "
+    "technique analysis evaluation benchmark survey study networks "
+    "memory disk cache buffer index tree hash bitmap column compression"
+).split()
+
+FIRST_NAMES = (
+    "james john robert michael william david richard joseph thomas "
+    "charles christopher daniel matthew anthony mark donald steven paul "
+    "andrew joshua mary patricia jennifer linda elizabeth barbara susan "
+    "jessica sarah karen nancy lisa betty margaret sandra ashley wei "
+    "ming hua jun feng anil rajeev sanjay priya ahmed fatima carlos "
+    "maria jose luis anna elena ivan dmitri yuki hiroshi kenji akira"
+).split()
+
+LAST_NAMES = (
+    "smith johnson williams brown jones garcia miller davis rodriguez "
+    "martinez hernandez lopez gonzalez wilson anderson thomas taylor "
+    "moore jackson martin lee perez thompson white harris sanchez clark "
+    "ramirez lewis robinson walker young allen king wright scott torres "
+    "nguyen hill flores green adams nelson baker hall rivera campbell "
+    "mitchell carter roberts chen wang li zhang liu yang huang zhao wu "
+    "zhou xu sun ma zhu hu guo lin he gao kumar patel sharma singh gupta"
+).split()
+
+VENUES = {
+    # canonical: (variants...)
+    "sigmod": ("sigmod conference", "acm sigmod",
+               "proceedings of the acm sigmod international conference "
+               "on management of data", "sigmod"),
+    "vldb": ("vldb", "very large data bases",
+             "proceedings of the international conference on very large "
+             "data bases", "pvldb"),
+    "icde": ("icde", "international conference on data engineering",
+             "proceedings of icde", "ieee icde"),
+    "kdd": ("kdd", "sigkdd", "acm sigkdd international conference on "
+            "knowledge discovery and data mining", "proceedings of kdd"),
+    "cikm": ("cikm", "conference on information and knowledge management",
+             "acm cikm"),
+    "www": ("www", "world wide web conference", "the web conference"),
+    "icml": ("icml", "international conference on machine learning"),
+    "nips": ("nips", "neural information processing systems", "neurips"),
+    "edbt": ("edbt", "international conference on extending database "
+             "technology"),
+    "tods": ("tods", "acm transactions on database systems"),
+    "tkde": ("tkde", "ieee transactions on knowledge and data engineering"),
+    "jacm": ("jacm", "journal of the acm"),
+}
+
+PRODUCT_BRANDS = (
+    "kingston corsair sandisk samsung toshiba seagate logitech sony "
+    "panasonic canon nikon garmin netgear linksys belkin asus acer dell "
+    "lenovo toshiba lg sharp vizio philips jvc pioneer kenwood alpine "
+    "plantronics jabra anker aukey tplink dlink"
+).split()
+
+PRODUCT_LINES = (
+    "hyperx fury vengeance dominator elite pro ultra max plus prime "
+    "classic sport touring premium essential advance extreme turbo "
+    "silverline blackline edge core flex nano micro mega quantum"
+).split()
+
+PRODUCT_NOUNS = (
+    "memory|ram kit|ssd|hard drive|flash drive|memory card|router|"
+    "wireless router|webcam|headset|keyboard|mouse|monitor|speaker|"
+    "soundbar|camcorder|camera|lens|gps navigator|network switch|"
+    "usb hub|power adapter|docking station|external drive"
+).split("|")
+
+PRODUCT_ADJECTIVES = (
+    "wireless portable compact slim rugged waterproof gaming wired "
+    "bluetooth rechargeable ergonomic backlit mechanical optical hd "
+    "full-hd 4k dual-band gigabit high-speed low-profile"
+).split()
+
+CAPACITIES_GB = (1, 2, 4, 8, 12, 16, 32, 64, 128, 256)
+
+SPEEDS_MHZ = (1066, 1333, 1600, 1800, 1866, 2133, 2400)
+
+COLORS = "black white silver blue red gray".split()

@@ -1,0 +1,112 @@
+"""Shared fixtures: small tables, feature libraries and crowds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BlockerConfig,
+    CorleoneConfig,
+    EstimatorConfig,
+    ForestConfig,
+    LocatorConfig,
+    MatcherConfig,
+)
+from repro.crowd.simulated import PerfectCrowd, SimulatedCrowd
+from repro.crowd.service import LabelingService
+from repro.data.pairs import Pair
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.features.library import build_feature_library
+from repro.features.vectorize import vectorize_pairs
+from repro.synth.restaurants import generate_restaurants
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def book_schema() -> Schema:
+    return Schema.from_pairs([
+        ("title", AttrType.STRING),
+        ("author", AttrType.STRING),
+        ("pages", AttrType.NUMERIC),
+    ])
+
+
+@pytest.fixture
+def book_tables(book_schema: Schema) -> tuple[Table, Table]:
+    """Two tiny aligned book tables with obvious matches a0-b0, a1-b1."""
+    table_a = Table("a", book_schema, [
+        Record("a0", {"title": "data mining", "author": "joe smith",
+                      "pages": 234.0}),
+        Record("a1", {"title": "database systems", "author": "ann lee",
+                      "pages": 512.0}),
+        Record("a2", {"title": "machine learning", "author": "bo chen",
+                      "pages": 310.0}),
+    ])
+    table_b = Table("b", book_schema, [
+        Record("b0", {"title": "data mining", "author": "joseph smith",
+                      "pages": 234.0}),
+        Record("b1", {"title": "database systems", "author": "a. lee",
+                      "pages": 512.0}),
+        Record("b2", {"title": "operating systems", "author": "cy wu",
+                      "pages": 410.0}),
+    ])
+    return table_a, table_b
+
+
+@pytest.fixture
+def book_matches() -> frozenset[Pair]:
+    return frozenset({Pair("a0", "b0"), Pair("a1", "b1")})
+
+
+@pytest.fixture
+def book_candidates(book_tables):
+    """All 9 pairs of the book tables, vectorized."""
+    table_a, table_b = book_tables
+    library = build_feature_library(table_a, table_b)
+    pairs = [
+        Pair(a.record_id, b.record_id)
+        for a in table_a for b in table_b
+    ]
+    return vectorize_pairs(table_a, table_b, pairs, library), library
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small restaurants dataset for integration-style tests."""
+    return generate_restaurants(n_a=60, n_b=40, n_matches=16, seed=7)
+
+
+@pytest.fixture
+def fast_config() -> CorleoneConfig:
+    """A configuration tuned so full pipeline tests run in seconds."""
+    return CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=3000, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=25),
+        estimator=EstimatorConfig(probe_size=25, max_probes=40),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def perfect_service(tiny_dataset, fast_config) -> LabelingService:
+    crowd = PerfectCrowd(tiny_dataset.matches,
+                         rng=np.random.default_rng(5))
+    return LabelingService(crowd, fast_config.crowd)
+
+
+@pytest.fixture
+def noisy_service(tiny_dataset, fast_config) -> LabelingService:
+    crowd = SimulatedCrowd(tiny_dataset.matches, error_rate=0.1,
+                           rng=np.random.default_rng(5))
+    return LabelingService(crowd, fast_config.crowd)

@@ -1,0 +1,105 @@
+"""Developer blocking and the two traditional baselines (Section 9.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CorleoneConfig, ForestConfig
+from repro.core.baselines import (
+    build_baseline_candidates,
+    developer_blocking,
+    run_baseline,
+)
+from repro.data.pairs import Pair
+from repro.metrics import blocking_recall
+from repro.synth.citations import generate_citations
+from repro.synth.products import generate_products
+from repro.synth.restaurants import generate_restaurants
+
+CONFIG = CorleoneConfig(forest=ForestConfig(n_trees=5))
+
+
+@pytest.fixture(scope="module")
+def small_citations():
+    return generate_citations(n_a=60, n_b=400, n_matches=100, seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_products():
+    return generate_products(n_a=60, n_b=300, n_matches=25, seed=5)
+
+
+class TestDeveloperBlocking:
+    def test_restaurants_no_blocking(self):
+        dataset = generate_restaurants(n_a=30, n_b=20, n_matches=8, seed=1)
+        pairs = developer_blocking(dataset)
+        assert len(pairs) == 600
+
+    def test_citations_blocking_reduces_and_keeps_matches(
+            self, small_citations):
+        pairs = developer_blocking(small_citations)
+        assert len(pairs) < 60 * 400
+        recall = blocking_recall(pairs, small_citations.matches)
+        assert recall >= 0.9
+
+    def test_products_blocking_requires_same_brand(self, small_products):
+        pairs = developer_blocking(small_products)
+        for pair in pairs[:200]:
+            brand_a = small_products.table_a[pair.a_id].get("brand")
+            brand_b = small_products.table_b[pair.b_id].get("brand")
+            assert brand_a.lower() == brand_b.lower()
+
+    def test_products_blocking_recall(self, small_products):
+        pairs = developer_blocking(small_products)
+        assert blocking_recall(pairs, small_products.matches) >= 0.9
+
+    def test_no_duplicate_pairs(self, small_citations):
+        pairs = developer_blocking(small_citations)
+        assert len(pairs) == len(set(pairs))
+
+
+class TestRunBaseline:
+    def test_small_training_set_underperforms(self, small_citations):
+        candidates = build_baseline_candidates(small_citations)
+        tiny = run_baseline(small_citations, n_train=20, config=CONFIG,
+                            candidates=candidates, seed=1,
+                            name="baseline1")
+        large = run_baseline(small_citations, n_train=len(candidates) // 5,
+                             config=CONFIG, candidates=candidates, seed=1,
+                             name="baseline2")
+        assert large.f1 >= tiny.f1
+
+    def test_result_fields(self, small_citations):
+        candidates = build_baseline_candidates(small_citations)
+        result = run_baseline(small_citations, n_train=50, config=CONFIG,
+                              candidates=candidates, name="b1")
+        assert result.name == "b1"
+        assert result.n_train == 50
+        assert result.n_candidates == len(candidates)
+        assert 0.0 <= result.f1 <= 1.0
+
+    def test_n_train_capped(self, small_citations):
+        candidates = build_baseline_candidates(small_citations)
+        result = run_baseline(small_citations, n_train=10**9,
+                              config=CONFIG, candidates=candidates)
+        assert result.n_train == len(candidates)
+
+    def test_blocked_out_matches_count_as_misses(self, small_citations):
+        """Recall is against all gold matches, not just candidates."""
+        candidates = build_baseline_candidates(small_citations)
+        survivors = set(candidates.pairs)
+        lost = [p for p in small_citations.matches if p not in survivors]
+        result = run_baseline(small_citations,
+                              n_train=len(candidates) // 5,
+                              config=CONFIG, candidates=candidates)
+        max_recall = 1.0 - len(lost) / len(small_citations.matches)
+        assert result.recall <= max_recall + 1e-9
+
+    def test_deterministic(self, small_citations):
+        candidates = build_baseline_candidates(small_citations)
+        r1 = run_baseline(small_citations, 100, CONFIG,
+                          candidates=candidates, seed=7)
+        r2 = run_baseline(small_citations, 100, CONFIG,
+                          candidates=candidates, seed=7)
+        assert r1.confusion == r2.confusion

@@ -1,0 +1,142 @@
+"""Phase-level budget plans (the §10 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budgeting import (
+    BudgetPlan,
+    DEFAULT_SHARES,
+    PHASES,
+    PhaseBudgetManager,
+)
+from repro.crowd.cost import CostTracker
+from repro.exceptions import BudgetExhaustedError, ConfigurationError
+
+
+class TestBudgetPlan:
+    def test_total(self):
+        plan = BudgetPlan(blocking=1, matching=2, estimation=3,
+                          reduction=4)
+        assert plan.total == 10
+        assert plan.allocation("estimation") == 3
+
+    def test_from_total_default_shares(self):
+        plan = BudgetPlan.from_total(100.0)
+        assert plan.total == pytest.approx(100.0)
+        assert plan.matching == pytest.approx(
+            100 * DEFAULT_SHARES["matching"]
+        )
+
+    def test_from_total_custom_shares(self):
+        plan = BudgetPlan.from_total(10.0, shares={
+            "blocking": 0.1, "matching": 0.6,
+            "estimation": 0.2, "reduction": 0.1,
+        })
+        assert plan.matching == pytest.approx(6.0)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetPlan(blocking=-1, matching=1, estimation=1, reduction=1)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetPlan(blocking=0, matching=0, estimation=0, reduction=0)
+
+    def test_shares_must_cover_phases(self):
+        with pytest.raises(ConfigurationError):
+            BudgetPlan.from_total(10.0, shares={"matching": 1.0})
+
+    def test_shares_must_sum_to_one(self):
+        shares = dict.fromkeys(PHASES, 0.3)
+        with pytest.raises(ConfigurationError):
+            BudgetPlan.from_total(10.0, shares=shares)
+
+    def test_unknown_phase_lookup(self):
+        plan = BudgetPlan.from_total(10.0)
+        with pytest.raises(ConfigurationError):
+            plan.allocation("coffee")
+
+
+class TestPhaseBudgetManager:
+    def make(self, **alloc):
+        plan = BudgetPlan(**{
+            "blocking": 1.0, "matching": 2.0,
+            "estimation": 1.0, "reduction": 1.0, **alloc,
+        })
+        tracker = CostTracker(price_per_question=0.10)
+        return PhaseBudgetManager(plan, tracker), tracker
+
+    def test_phase_cap_enforced(self):
+        manager, tracker = self.make()
+        with manager.phase("blocking"):
+            tracker.record_answers(9)   # $0.90 of $1.00
+            tracker.check_budget()
+            tracker.record_answers(1)   # exactly $1.00
+            with pytest.raises(BudgetExhaustedError):
+                tracker.check_budget()
+        assert manager.spent("blocking") == pytest.approx(1.0)
+        assert manager.remaining("blocking") == 0.0
+
+    def test_budget_restored_after_phase(self):
+        manager, tracker = self.make()
+        with manager.phase("blocking"):
+            pass
+        assert tracker.budget is None  # no global budget existed
+
+    def test_rollover_to_later_phase(self):
+        manager, tracker = self.make()
+        with manager.phase("blocking"):
+            tracker.record_answers(2)  # $0.20 of blocking's $1.00
+        # Matching may now spend its own $2 plus blocking's unused $0.80,
+        # but must still reserve estimation + reduction ($2.00).
+        assert manager.cap("matching") == pytest.approx(2.8)
+
+    def test_later_phases_keep_reservation(self):
+        manager, tracker = self.make()
+        # Even before anything runs, blocking cannot eat the whole plan.
+        assert manager.cap("blocking") == pytest.approx(1.0)
+        # The last phase has no later reservations: everything left is
+        # available to it (phases execute in pipeline order).
+        assert manager.cap("reduction") == pytest.approx(5.0)
+
+    def test_total_never_exceeded(self):
+        manager, tracker = self.make()
+        for phase in PHASES:
+            with manager.phase(phase):
+                while True:
+                    try:
+                        tracker.check_budget()
+                        tracker.record_answers(1)
+                    except BudgetExhaustedError:
+                        break
+        assert tracker.dollars <= 5.0 + 0.10
+
+    def test_repeated_phase_entries_accumulate(self):
+        manager, tracker = self.make()
+        with manager.phase("matching"):
+            tracker.record_answers(5)  # $0.50
+        with manager.phase("matching"):
+            tracker.record_answers(5)  # $0.50 more
+        assert manager.spent("matching") == pytest.approx(1.0)
+        assert manager.remaining("matching") == pytest.approx(1.0)
+
+    def test_unknown_phase_rejected(self):
+        manager, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            manager.phase("lunch")
+        with pytest.raises(ConfigurationError):
+            manager.spent("lunch")
+
+    def test_preserves_stricter_global_budget(self):
+        plan = BudgetPlan.from_total(100.0)
+        tracker = CostTracker(price_per_question=1.0, budget=3.0)
+        manager = PhaseBudgetManager(plan, tracker)
+        with manager.phase("matching"):
+            # Phase cap would allow $45+, but the phase context replaces
+            # the budget; on exit the stricter global budget returns.
+            tracker.record_answers(2)
+        assert tracker.budget == 3.0
+        tracker.record_answers(1)
+        with pytest.raises(BudgetExhaustedError):
+            tracker.check_budget()

@@ -1,0 +1,189 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_schema
+from repro.data.table import AttrType
+from repro.exceptions import DataError
+
+
+class TestParseSchema:
+    def test_basic(self):
+        schema = parse_schema("title:text,year:numeric,venue:string")
+        assert schema.names == ("title", "year", "venue")
+        assert schema["title"].attr_type is AttrType.TEXT
+        assert schema["year"].attr_type is AttrType.NUMERIC
+
+    def test_default_type_is_string(self):
+        schema = parse_schema("name")
+        assert schema["name"].attr_type is AttrType.STRING
+
+    def test_whitespace_tolerated(self):
+        schema = parse_schema(" a : text , b : numeric ")
+        assert schema.names == ("a", "b")
+
+    def test_unknown_type(self):
+        with pytest.raises(DataError):
+            parse_schema("a:blob")
+
+    def test_empty_spec(self):
+        with pytest.raises(DataError):
+            parse_schema("")
+
+
+class TestDatasetsCommand:
+    def test_list(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "restaurants" in out and "products" in out
+
+    def test_generate_writes_four_files(self, tmp_path, capsys):
+        code = main(["datasets", "restaurants", "--out", str(tmp_path),
+                     "--seed", "3"])
+        assert code == 0
+        for suffix in ("a", "b", "gold", "seeds"):
+            assert (tmp_path / f"restaurants_{suffix}.csv").exists()
+        with (tmp_path / "restaurants_gold.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a_id", "b_id"]
+        assert len(rows) - 1 == 36  # bench-scale match count
+
+
+class TestMatchCommand:
+    def test_end_to_end_from_csv(self, tmp_path, capsys):
+        # Generate a tiny dataset to CSV, then match it back via the CLI.
+        from repro.data.io import write_csv_table
+        from repro.synth.restaurants import generate_restaurants
+        dataset = generate_restaurants(n_a=40, n_b=30, n_matches=10,
+                                       seed=5)
+        a_path = tmp_path / "a.csv"
+        b_path = tmp_path / "b.csv"
+        write_csv_table(dataset.table_a, a_path)
+        write_csv_table(dataset.table_b, b_path)
+        gold_path = tmp_path / "gold.csv"
+        with gold_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["a_id", "b_id"])
+            writer.writerows(sorted(dataset.matches))
+        seeds_path = tmp_path / "seeds.csv"
+        with seeds_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["a_id", "b_id", "label"])
+            for pair, label in dataset.seed_labels.items():
+                writer.writerow([pair.a_id, pair.b_id, int(label)])
+
+        out_path = tmp_path / "matches.csv"
+        report_path = tmp_path / "report.json"
+        code = main([
+            "match", str(a_path), str(b_path),
+            "--schema", "name,addr,city,phone,cuisine",
+            "--gold", str(gold_path),
+            "--seeds", str(seeds_path),
+            "--out", str(out_path),
+            "--report", str(report_path),
+            "--mode", "one_iteration",
+            "--seed", "1",
+        ])
+        assert code == 0
+        with out_path.open() as fh:
+            predicted = {tuple(row) for row in csv.reader(fh)}
+        predicted.discard(("a_id", "b_id"))
+        gold = {tuple(p) for p in dataset.matches}
+        assert len(predicted & gold) >= 0.7 * len(gold)
+
+        report = json.loads(report_path.read_text())
+        assert report["n_predicted_matches"] == len(predicted)
+        assert report["cost"]["pairs_labeled"] > 0
+        assert report["iterations"]
+
+    def test_bad_seeds_file_is_cli_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("only_one_column\n")
+        a = tmp_path / "a.csv"
+        a.write_text("id,name\nr1,x\n")
+        code = main([
+            "match", str(a), str(a), "--schema", "name",
+            "--gold", str(bad), "--seeds", str(bad),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchInfo:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["bench-info"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Table 2", "Figure 3", "Sec 9.4"):
+            assert token in out
+
+
+def test_parser_has_version():
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["--version"])
+    assert excinfo.value.code == 0
+
+
+class TestDedupCommand:
+    def test_end_to_end(self, tmp_path):
+        import numpy as np
+        from repro.core.dedup import canonical_pair
+        from repro.data.io import write_csv_table
+        from repro.data.table import Record, Table
+        from repro.synth.restaurants import (
+            RESTAURANT_SCHEMA, generate_restaurants,
+        )
+        dataset = generate_restaurants(n_a=30, n_b=24, n_matches=8,
+                                       seed=6)
+        table = Table("dirty", RESTAURANT_SCHEMA)
+        for source in (dataset.table_a, dataset.table_b):
+            for record in source:
+                table.add(Record(f"{source.name}_{record.record_id}",
+                                 record.values))
+        duplicates = sorted(
+            canonical_pair(f"fodors_{p.a_id}", f"zagat_{p.b_id}")
+            for p in dataset.matches
+        )
+        table_path = tmp_path / "dirty.csv"
+        write_csv_table(table, table_path)
+        gold_path = tmp_path / "gold.csv"
+        gold_path.write_text(
+            "a_id,b_id\n" + "\n".join(f"{p.a_id},{p.b_id}"
+                                      for p in duplicates) + "\n"
+        )
+        ids = table.record_ids
+        seeds_path = tmp_path / "seeds.csv"
+        negatives = []
+        for i in range(1, 10):
+            pair = canonical_pair(ids[0], ids[i])
+            if pair not in set(duplicates):
+                negatives.append(pair)
+            if len(negatives) == 2:
+                break
+        seeds_path.write_text(
+            "a_id,b_id,label\n"
+            + "\n".join(f"{p.a_id},{p.b_id},1" for p in duplicates[:2])
+            + "\n"
+            + "\n".join(f"{p.a_id},{p.b_id},0" for p in negatives)
+            + "\n"
+        )
+        out_path = tmp_path / "dups.csv"
+        code = main([
+            "dedup", str(table_path),
+            "--schema", "name,addr,city,phone,cuisine",
+            "--gold", str(gold_path),
+            "--seeds", str(seeds_path),
+            "--out", str(out_path),
+            "--mode", "one_iteration",
+        ])
+        assert code == 0
+        rows = out_path.read_text().strip().splitlines()
+        assert rows[0] == "id_a,id_b,cluster"
+        found = {tuple(r.split(",")[:2]) for r in rows[1:]}
+        gold_set = {tuple(p) for p in duplicates}
+        assert len(found & gold_set) >= 0.5 * len(gold_set)

@@ -1,0 +1,65 @@
+"""The benchmark results collector script."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "collect_results.py"
+
+
+@pytest.fixture
+def collector(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("collect_results",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "results")
+    monkeypatch.setattr(module, "OUTPUT", tmp_path / "RESULTS.md")
+    return module, tmp_path
+
+
+def test_collects_in_experiment_order(collector):
+    module, tmp_path = collector
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "sec93_sensitivity.txt").write_text("sensitivity body")
+    (results / "table2_overall.txt").write_text("table2 body")
+    (results / "zzz_custom.txt").write_text("custom body")
+    module.main()
+    output = (tmp_path / "RESULTS.md").read_text()
+    assert output.index("table2_overall") < output.index(
+        "sec93_sensitivity"
+    )
+    # Unknown tables still appear, after the known ones.
+    assert "zzz_custom" in output
+    assert "custom body" in output
+
+
+def test_fenced_blocks(collector):
+    module, tmp_path = collector
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table1_datasets.txt").write_text("line one\nline two")
+    module.main()
+    output = (tmp_path / "RESULTS.md").read_text()
+    assert "```text\nline one\nline two\n```" in output
+
+
+def test_missing_results_dir_fails_clearly(collector):
+    module, tmp_path = collector
+    with pytest.raises(SystemExit):
+        module.main()
+
+
+def test_order_constant_covers_known_artifacts():
+    spec = importlib.util.spec_from_file_location("collect_results",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for required in ("table2_overall", "figure3_confidence_real",
+                     "sec93_estimator_savings", "ext_money_time"):
+        assert required in module.ORDER

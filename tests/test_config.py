@@ -1,0 +1,132 @@
+"""Configuration validation and derived quantities."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BlockerConfig,
+    CorleoneConfig,
+    CrowdConfig,
+    DEFAULT_CONFIG,
+    ForestConfig,
+    MatcherConfig,
+    scaled_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_parameter_values(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.forest.n_trees == 10
+        assert cfg.forest.bagging_fraction == 0.6
+        assert cfg.blocker.t_b == 3_000_000
+        assert cfg.blocker.top_k_rules == 20
+        assert cfg.blocker.eval_batch_size == 20
+        assert cfg.blocker.min_precision == 0.95
+        assert cfg.blocker.max_error_margin == 0.05
+        assert cfg.matcher.batch_size == 20
+        assert cfg.matcher.pool_size == 100
+        assert cfg.matcher.monitor_fraction == 0.03
+        assert cfg.matcher.smoothing_window == 5
+        assert cfg.matcher.epsilon == 0.01
+        assert cfg.matcher.n_converged == 20
+        assert cfg.matcher.n_high == 3
+        assert cfg.matcher.n_degrade == 15
+        assert cfg.estimator.probe_size == 50
+        assert cfg.crowd.questions_per_hit == 10
+        assert cfg.crowd.strong_majority_gap == 3
+        assert cfg.crowd.strong_majority_max == 7
+
+    def test_default_has_no_budget(self):
+        assert DEFAULT_CONFIG.budget is None
+
+
+class TestFeaturesPerSplit:
+    def test_weka_formula(self):
+        cfg = ForestConfig()
+        # m = floor(log2(n)) + 1
+        assert cfg.features_per_split(1) == 1
+        assert cfg.features_per_split(2) == 2
+        assert cfg.features_per_split(8) == 4
+        assert cfg.features_per_split(16) == 5
+        assert cfg.features_per_split(17) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ForestConfig().features_per_split(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("n_trees", 0),
+        ("bagging_fraction", 0.0),
+        ("bagging_fraction", 1.5),
+        ("max_depth", 0),
+    ])
+    def test_bad_forest(self, field, value):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(forest=dataclasses.replace(ForestConfig(),
+                                                      **{field: value}))
+
+    @pytest.mark.parametrize("field, value", [
+        ("t_b", 0),
+        ("top_k_rules", 0),
+        ("min_precision", 0.0),
+        ("min_precision", 1.0),
+        ("max_error_margin", 0.0),
+        ("confidence", 1.0),
+    ])
+    def test_bad_blocker(self, field, value):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(blocker=dataclasses.replace(BlockerConfig(),
+                                                       **{field: value}))
+
+    def test_even_smoothing_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(
+                matcher=dataclasses.replace(MatcherConfig(),
+                                            smoothing_window=4)
+            )
+
+    def test_pool_smaller_than_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(
+                matcher=dataclasses.replace(MatcherConfig(),
+                                            pool_size=5, batch_size=10)
+            )
+
+    def test_strong_majority_max_below_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(
+                crowd=dataclasses.replace(CrowdConfig(),
+                                          strong_majority_gap=5,
+                                          strong_majority_max=3)
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(budget=-1.0)
+
+    def test_zero_pipeline_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorleoneConfig(max_pipeline_iterations=0)
+
+
+class TestScaledConfig:
+    def test_overrides_t_b(self):
+        cfg = scaled_config(t_b=12345, seed=9)
+        assert cfg.blocker.t_b == 12345
+        assert cfg.seed == 9
+
+    def test_extra_changes_apply(self):
+        cfg = scaled_config(budget=50.0)
+        assert cfg.budget == 50.0
+
+    def test_replace_preserves_frozen(self):
+        cfg = DEFAULT_CONFIG.replace(seed=3)
+        assert cfg.seed == 3
+        assert DEFAULT_CONFIG.seed == 0

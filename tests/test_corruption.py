@@ -1,0 +1,93 @@
+"""The corruption toolkit behind the synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.corruption import Corruptor
+
+
+@pytest.fixture
+def corruptor() -> Corruptor:
+    return Corruptor(np.random.default_rng(7))
+
+
+class TestMaybe:
+    def test_extremes(self, corruptor):
+        assert not any(corruptor.maybe(0.0) for _ in range(50))
+        assert all(corruptor.maybe(1.0) for _ in range(50))
+
+    def test_rate(self, corruptor):
+        hits = sum(corruptor.maybe(0.3) for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+
+class TestTypos:
+    def test_single_typo_edit_distance_one_ish(self, corruptor):
+        from repro.features.similarity import levenshtein_distance
+        word = "restaurant"
+        for _ in range(50):
+            mutated = corruptor.typo(word)
+            assert levenshtein_distance(word, mutated) <= 2  # swap = 2
+
+    def test_short_strings_untouched(self, corruptor):
+        assert corruptor.typo("a") == "a"
+        assert corruptor.typo("") == ""
+
+    def test_typos_probability_zero_is_identity(self, corruptor):
+        text = "some words in a sentence"
+        assert corruptor.typos(text, 0.0) == text
+
+    def test_typos_probability_one_touches_words(self, corruptor):
+        text = "alpha bravo charlie delta echo"
+        mutated = corruptor.typos(text, 1.0)
+        assert mutated != text
+        assert len(mutated.split()) == 5
+
+
+class TestTokenOps:
+    def test_abbreviate_word(self, corruptor):
+        short = corruptor.abbreviate_word("boulevard")
+        assert short.endswith(".")
+        assert len(short) <= 4
+        assert corruptor.abbreviate_word("st") == "st"
+
+    def test_initial(self, corruptor):
+        assert corruptor.initial("michael") == "m."
+        assert corruptor.initial("") == ""
+
+    def test_drop_tokens_keeps_at_least_one(self, corruptor):
+        text = "a b c d"
+        for _ in range(30):
+            assert len(corruptor.drop_tokens(text, 0.99).split()) >= 1
+
+    def test_drop_tokens_single_word_safe(self, corruptor):
+        assert corruptor.drop_tokens("word", 1.0) == "word"
+
+    def test_truncate(self, corruptor):
+        assert corruptor.truncate_tokens("a b c d e", 2) == "a b"
+
+    def test_shuffle_preserves_tokens(self, corruptor):
+        text = "one two three four five six"
+        shuffled = corruptor.shuffle_tokens(text)
+        assert sorted(shuffled.split()) == sorted(text.split())
+
+
+class TestNumbers:
+    def test_perturb_preserves_sign(self, corruptor):
+        for _ in range(100):
+            assert corruptor.perturb_number(10.0, 0.5) >= 0
+            assert corruptor.perturb_number(-10.0, 0.5) <= 0
+
+    def test_perturb_mean(self, corruptor):
+        draws = [corruptor.perturb_number(100.0, 0.05)
+                 for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.01)
+
+
+class TestChoice:
+    def test_choice_from_list(self, corruptor):
+        options = ["x", "y", "z"]
+        seen = {corruptor.choice(options) for _ in range(100)}
+        assert seen == set(options)

@@ -1,0 +1,71 @@
+"""Cost tracking and budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.cost import CostSnapshot, CostTracker
+from repro.exceptions import BudgetExhaustedError
+
+
+class TestTracker:
+    def test_accumulation(self):
+        tracker = CostTracker(price_per_question=0.02)
+        tracker.record_answers(3)
+        tracker.record_answers(2)
+        tracker.record_pair()
+        tracker.record_hits(1)
+        assert tracker.answers == 5
+        assert tracker.dollars == pytest.approx(0.10)
+        assert tracker.pairs_labeled == 1
+        assert tracker.hits == 1
+
+    def test_no_budget_never_raises(self):
+        tracker = CostTracker()
+        tracker.record_answers(10**6)
+        tracker.check_budget()  # must not raise
+
+    def test_budget_enforced(self):
+        tracker = CostTracker(price_per_question=1.0, budget=2.5)
+        tracker.record_answers(2)
+        tracker.check_budget()
+        tracker.record_answers(1)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            tracker.check_budget()
+        assert excinfo.value.spent == pytest.approx(3.0)
+        assert excinfo.value.budget == 2.5
+
+    def test_remaining_budget(self):
+        tracker = CostTracker(price_per_question=1.0, budget=5.0)
+        assert tracker.remaining_budget == 5.0
+        tracker.record_answers(3)
+        assert tracker.remaining_budget == 2.0
+        tracker.record_answers(9)
+        assert tracker.remaining_budget == 0.0
+
+    def test_remaining_none_without_budget(self):
+        assert CostTracker().remaining_budget is None
+
+
+class TestSnapshot:
+    def test_delta(self):
+        tracker = CostTracker(price_per_question=0.01)
+        tracker.record_answers(4)
+        before = tracker.snapshot()
+        tracker.record_answers(6)
+        tracker.record_pair()
+        delta = tracker.snapshot().minus(before)
+        assert delta.answers == 6
+        assert delta.pairs_labeled == 1
+        assert delta.dollars == pytest.approx(0.06)
+
+    def test_snapshot_is_immutable_view(self):
+        tracker = CostTracker()
+        snap = tracker.snapshot()
+        tracker.record_answers(5)
+        assert snap.answers == 0
+
+    def test_default_snapshot_zero(self):
+        snap = CostSnapshot()
+        assert (snap.dollars, snap.answers, snap.pairs_labeled,
+                snap.hits) == (0.0, 0, 0, 0)

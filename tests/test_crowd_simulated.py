@@ -1,0 +1,164 @@
+"""Simulated crowds: the random-worker model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.simulated import (
+    HeterogeneousCrowd,
+    PerfectCrowd,
+    SimulatedCrowd,
+    oracle_from_matches,
+)
+from repro.data.pairs import Pair
+from repro.exceptions import CrowdError
+
+MATCHES = {Pair("a0", "b0"), Pair("a1", "b1")}
+
+
+class TestOracle:
+    def test_membership(self):
+        oracle = oracle_from_matches(MATCHES)
+        assert oracle(Pair("a0", "b0"))
+        assert not oracle(Pair("a0", "b1"))
+
+    def test_accepts_plain_tuples(self):
+        oracle = oracle_from_matches({("a0", "b0")})
+        assert oracle(Pair("a0", "b0"))
+
+
+class TestSimulatedCrowd:
+    def test_perfect_always_truthful(self):
+        crowd = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        for _ in range(50):
+            assert crowd.ask(Pair("a0", "b0")).label is True
+            assert crowd.ask(Pair("a9", "b9")).label is False
+
+    def test_error_rate_one_always_flips(self):
+        crowd = SimulatedCrowd(MATCHES, error_rate=1.0,
+                               rng=np.random.default_rng(0))
+        assert crowd.ask(Pair("a0", "b0")).label is False
+        assert crowd.ask(Pair("a9", "b9")).label is True
+
+    def test_error_rate_statistics(self):
+        crowd = SimulatedCrowd(MATCHES, error_rate=0.2,
+                               rng=np.random.default_rng(1))
+        wrong = sum(
+            1 for _ in range(4000)
+            if crowd.ask(Pair("a0", "b0")).label is False
+        )
+        assert wrong / 4000 == pytest.approx(0.2, abs=0.03)
+
+    def test_answers_counted(self):
+        crowd = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        crowd.ask_many(Pair("a0", "b0"), 5)
+        assert crowd.answers_given == 5
+
+    def test_true_label_exposed_for_evaluation(self):
+        crowd = SimulatedCrowd(MATCHES, error_rate=0.5,
+                               rng=np.random.default_rng(0))
+        assert crowd.true_label(Pair("a0", "b0")) is True
+
+    def test_callable_oracle(self):
+        crowd = PerfectCrowd(lambda pair: pair.a_id == pair.b_id,
+                             rng=np.random.default_rng(0))
+        assert crowd.ask(Pair("x", "x")).label is True
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bad_error_rate(self, rate):
+        with pytest.raises(CrowdError):
+            SimulatedCrowd(MATCHES, error_rate=rate)
+
+    def test_deterministic_with_seed(self):
+        answers_1 = [
+            SimulatedCrowd(MATCHES, 0.3, np.random.default_rng(9))
+            .ask(Pair("a0", "b0")).label for _ in range(1)
+        ]
+        answers_2 = [
+            SimulatedCrowd(MATCHES, 0.3, np.random.default_rng(9))
+            .ask(Pair("a0", "b0")).label for _ in range(1)
+        ]
+        assert answers_1 == answers_2
+
+
+class TestHeterogeneousCrowd:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(CrowdError):
+            HeterogeneousCrowd(MATCHES, [])
+
+    def test_bad_worker_rate_rejected(self):
+        with pytest.raises(CrowdError):
+            HeterogeneousCrowd(MATCHES, [0.1, 1.2])
+
+    def test_mixed_pool_error_rate_between_extremes(self):
+        crowd = HeterogeneousCrowd(MATCHES, [0.0, 0.4],
+                                   rng=np.random.default_rng(2))
+        wrong = sum(
+            1 for _ in range(4000)
+            if crowd.ask(Pair("a0", "b0")).label is False
+        )
+        assert 0.1 < wrong / 4000 < 0.3  # expect ~0.2
+
+    def test_worker_ids_within_pool(self):
+        crowd = HeterogeneousCrowd(MATCHES, [0.1] * 7,
+                                   rng=np.random.default_rng(0))
+        for _ in range(30):
+            assert 0 <= crowd.ask(Pair("a0", "b0")).worker_id < 7
+
+    def test_true_label(self):
+        crowd = HeterogeneousCrowd(MATCHES, [0.5])
+        assert crowd.true_label(Pair("a1", "b1")) is True
+
+
+class TestBiasedCrowd:
+    def test_class_conditional_rates(self):
+        from repro.crowd.simulated import BiasedCrowd
+        crowd = BiasedCrowd(MATCHES, false_negative_rate=0.3,
+                            false_positive_rate=0.05,
+                            rng=np.random.default_rng(4))
+        n = 4000
+        missed = sum(
+            1 for _ in range(n)
+            if crowd.ask(Pair("a0", "b0")).label is False
+        )
+        invented = sum(
+            1 for _ in range(n)
+            if crowd.ask(Pair("a9", "b9")).label is True
+        )
+        assert missed / n == pytest.approx(0.3, abs=0.03)
+        assert invented / n == pytest.approx(0.05, abs=0.02)
+
+    def test_rate_validation(self):
+        from repro.crowd.simulated import BiasedCrowd
+        with pytest.raises(CrowdError):
+            BiasedCrowd(MATCHES, false_negative_rate=1.5)
+        with pytest.raises(CrowdError):
+            BiasedCrowd(MATCHES, false_positive_rate=-0.1)
+
+    def test_miss_bias_exposes_the_asymmetric_trade(self):
+        """Under miss-biased workers (25% false negatives) the scheme
+        ordering flips versus the symmetric-noise analysis: full strong
+        majority recovers the most matches, plain 2+1 sits in the middle,
+        and the paper's asymmetric scheme recovers the *fewest* — its
+        cheap unanimous-negative path never escalates, by design, because
+        it optimizes the false-positive side of the ledger (§8)."""
+        from repro.config import CrowdConfig
+        from repro.crowd.aggregation import VoteScheme
+        from repro.crowd.service import LabelingService
+        from repro.crowd.simulated import BiasedCrowd
+        matches = {Pair(f"m{i}", f"n{i}") for i in range(400)}
+
+        def recall(scheme):
+            crowd = BiasedCrowd(matches, false_negative_rate=0.25,
+                                false_positive_rate=0.02,
+                                rng=np.random.default_rng(5))
+            service = LabelingService(crowd, CrowdConfig())
+            labels = service.label_all(sorted(matches), scheme=scheme)
+            return sum(labels.values()) / len(matches)
+
+        strong = recall(VoteScheme.STRONG_MAJORITY)
+        plain = recall(VoteScheme.MAJORITY_2PLUS1)
+        asymmetric = recall(VoteScheme.ASYMMETRIC)
+        assert strong > plain > asymmetric
+        assert strong >= 0.88

@@ -1,0 +1,71 @@
+"""CSV round-tripping of tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import read_csv_table, write_csv_table
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.exceptions import DataError
+
+SCHEMA = Schema.from_pairs([
+    ("name", AttrType.STRING),
+    ("price", AttrType.NUMERIC),
+])
+
+
+def test_round_trip(tmp_path):
+    table = Table("t", SCHEMA, [
+        Record("r1", {"name": "widget, deluxe", "price": 9.5}),
+        Record("r2", {"name": None, "price": None}),
+    ])
+    path = tmp_path / "t.csv"
+    write_csv_table(table, path)
+    loaded = read_csv_table(path, "t", SCHEMA)
+    assert len(loaded) == 2
+    assert loaded["r1"].get("name") == "widget, deluxe"
+    assert loaded["r1"].get("price") == 9.5
+    assert loaded["r2"].get("name") is None
+    assert loaded["r2"].get("price") is None
+
+
+def test_missing_id_column(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("name,price\nwidget,3\n")
+    with pytest.raises(DataError, match="id"):
+        read_csv_table(path, "t", SCHEMA)
+
+
+def test_missing_schema_column(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("id,name\nr1,widget\n")
+    with pytest.raises(DataError, match="price"):
+        read_csv_table(path, "t", SCHEMA)
+
+
+def test_bad_number(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("id,name,price\nr1,widget,cheap\n")
+    with pytest.raises(DataError, match="number"):
+        read_csv_table(path, "t", SCHEMA)
+
+
+def test_empty_id(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("id,name,price\n ,widget,3\n")
+    with pytest.raises(DataError, match="empty record id"):
+        read_csv_table(path, "t", SCHEMA)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(DataError):
+        read_csv_table(path, "t", SCHEMA)
+
+
+def test_extra_columns_ignored(tmp_path):
+    path = tmp_path / "extra.csv"
+    path.write_text("id,name,price,junk\nr1,widget,3,ignored\n")
+    table = read_csv_table(path, "t", SCHEMA)
+    assert table["r1"].get("name") == "widget"

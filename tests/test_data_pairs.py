@@ -1,0 +1,105 @@
+"""CandidateSet: the featurized pair container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import CandidateSet, Pair
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def candidates() -> CandidateSet:
+    pairs = [Pair("a0", "b0"), Pair("a0", "b1"), Pair("a1", "b0")]
+    features = np.array([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+    return CandidateSet(pairs, features, ["f0", "f1"])
+
+
+class TestConstruction:
+    def test_shape_mismatch_rows(self):
+        with pytest.raises(DataError):
+            CandidateSet([Pair("a", "b")], np.zeros((2, 1)), ["f0"])
+
+    def test_shape_mismatch_columns(self):
+        with pytest.raises(DataError):
+            CandidateSet([Pair("a", "b")], np.zeros((1, 2)), ["f0"])
+
+    def test_duplicate_pairs_rejected(self):
+        with pytest.raises(DataError):
+            CandidateSet([Pair("a", "b"), Pair("a", "b")],
+                         np.zeros((2, 1)), ["f0"])
+
+    def test_one_dim_matrix_rejected(self):
+        with pytest.raises(DataError):
+            CandidateSet([Pair("a", "b")], np.zeros(3), ["f0"])
+
+    def test_empty(self):
+        empty = CandidateSet.empty(["f0", "f1"])
+        assert len(empty) == 0
+        assert empty.feature_names == ("f0", "f1")
+
+    def test_features_are_read_only(self, candidates):
+        with pytest.raises(ValueError):
+            candidates.features[0, 0] = 99.0
+
+
+class TestAccess:
+    def test_index_and_vector(self, candidates):
+        assert candidates.index_of(Pair("a0", "b1")) == 1
+        np.testing.assert_array_equal(
+            candidates.vector(Pair("a0", "b1")), [0.3, 0.4]
+        )
+
+    def test_unknown_pair_raises(self, candidates):
+        with pytest.raises(DataError):
+            candidates.index_of(Pair("zz", "zz"))
+
+    def test_feature_index(self, candidates):
+        assert candidates.feature_index("f1") == 1
+        with pytest.raises(DataError):
+            candidates.feature_index("nope")
+
+    def test_contains_and_iter(self, candidates):
+        assert Pair("a1", "b0") in candidates
+        assert list(candidates) == list(candidates.pairs)
+
+
+class TestSubsetting:
+    def test_subset_by_indices(self, candidates):
+        sub = candidates.subset([2, 0])
+        assert sub.pairs == (Pair("a1", "b0"), Pair("a0", "b0"))
+        np.testing.assert_array_equal(sub.features[0], [0.5, 0.6])
+
+    def test_subset_by_pairs(self, candidates):
+        sub = candidates.subset_pairs([Pair("a0", "b1")])
+        assert len(sub) == 1
+        assert sub.pairs[0] == Pair("a0", "b1")
+
+    def test_without(self, candidates):
+        sub = candidates.without([Pair("a0", "b0")])
+        assert len(sub) == 2
+        assert Pair("a0", "b0") not in sub
+
+    def test_split_partitions(self, candidates):
+        first, rest = candidates.split([1])
+        assert first.pairs == (Pair("a0", "b1"),)
+        assert len(rest) == 2
+        assert Pair("a0", "b1") not in rest
+
+    def test_split_out_of_range(self, candidates):
+        with pytest.raises(DataError):
+            candidates.split([99])
+
+    def test_concat(self, candidates):
+        other = CandidateSet([Pair("a9", "b9")],
+                             np.array([[9.0, 9.0]]), ["f0", "f1"])
+        combined = candidates.concat(other)
+        assert len(combined) == 4
+        assert combined.pairs[-1] == Pair("a9", "b9")
+
+    def test_concat_feature_mismatch(self, candidates):
+        other = CandidateSet([Pair("a9", "b9")],
+                             np.array([[9.0]]), ["g0"])
+        with pytest.raises(DataError):
+            candidates.concat(other)

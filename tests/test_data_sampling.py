@@ -1,0 +1,109 @@
+"""The Blocker's density-aware sampling over A x B (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import Pair
+from repro.data.sampling import (
+    blocker_sample,
+    cartesian_size,
+    iter_cartesian,
+    random_pairs,
+)
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.exceptions import DataError
+
+SCHEMA = Schema.from_pairs([("x", AttrType.STRING)])
+
+
+def make_table(name: str, n: int) -> Table:
+    return Table(name, SCHEMA,
+                 [Record(f"{name}{i}", {"x": str(i)}) for i in range(n)])
+
+
+class TestCartesian:
+    def test_size(self):
+        assert cartesian_size(make_table("a", 3), make_table("b", 4)) == 12
+
+    def test_iter_covers_product_once(self):
+        pairs = list(iter_cartesian(make_table("a", 3), make_table("b", 2)))
+        assert len(pairs) == 6
+        assert len(set(pairs)) == 6
+        assert Pair("a2", "b1") in pairs
+
+
+class TestBlockerSample:
+    def test_sample_size_near_t_b(self, rng):
+        table_a, table_b = make_table("a", 10), make_table("b", 100)
+        sample = blocker_sample(table_a, table_b, t_b=200, rng=rng)
+        # 20 rows of B x all 10 of A.
+        assert len(sample) == 200
+
+    def test_crosses_all_of_smaller_table(self, rng):
+        table_a, table_b = make_table("a", 5), make_table("b", 50)
+        sample = blocker_sample(table_a, table_b, t_b=100, rng=rng)
+        a_ids = {pair.a_id for pair in sample}
+        assert a_ids == {f"a{i}" for i in range(5)}
+
+    def test_orientation_preserved_when_b_is_smaller(self, rng):
+        table_a, table_b = make_table("a", 50), make_table("b", 5)
+        sample = blocker_sample(table_a, table_b, t_b=100, rng=rng)
+        for pair in sample:
+            assert pair.a_id.startswith("a")
+            assert pair.b_id.startswith("b")
+        b_ids = {pair.b_id for pair in sample}
+        assert b_ids == {f"b{i}" for i in range(5)}
+
+    def test_seed_pairs_included(self, rng):
+        table_a, table_b = make_table("a", 5), make_table("b", 50)
+        seeds = [Pair("a0", "b49"), Pair("a4", "b48")]
+        sample = blocker_sample(table_a, table_b, t_b=20, rng=rng,
+                                seed_pairs=seeds)
+        for seed in seeds:
+            assert seed in sample
+
+    def test_no_duplicate_seed_insertion(self, rng):
+        table_a, table_b = make_table("a", 2), make_table("b", 2)
+        sample = blocker_sample(table_a, table_b, t_b=4, rng=rng,
+                                seed_pairs=[Pair("a0", "b0")])
+        assert len(sample) == len(set(sample))
+
+    def test_t_b_larger_than_product(self, rng):
+        table_a, table_b = make_table("a", 3), make_table("b", 4)
+        sample = blocker_sample(table_a, table_b, t_b=10_000, rng=rng)
+        assert len(sample) == 12
+
+    def test_empty_table_raises(self, rng):
+        with pytest.raises(DataError):
+            blocker_sample(make_table("a", 0), make_table("b", 5),
+                           t_b=10, rng=rng)
+
+    def test_bad_t_b_raises(self, rng):
+        with pytest.raises(DataError):
+            blocker_sample(make_table("a", 2), make_table("b", 2),
+                           t_b=0, rng=rng)
+
+    def test_deterministic_for_seed(self):
+        table_a, table_b = make_table("a", 5), make_table("b", 50)
+        s1 = blocker_sample(table_a, table_b, 50,
+                            np.random.default_rng(3))
+        s2 = blocker_sample(table_a, table_b, 50,
+                            np.random.default_rng(3))
+        assert s1 == s2
+
+
+class TestRandomPairs:
+    def test_unique_and_valid(self, rng):
+        table_a, table_b = make_table("a", 6), make_table("b", 7)
+        pairs = random_pairs(table_a, table_b, 30, rng)
+        assert len(pairs) == 30
+        assert len(set(pairs)) == 30
+        for pair in pairs:
+            assert pair.a_id in table_a and pair.b_id in table_b
+
+    def test_n_capped_at_product(self, rng):
+        pairs = random_pairs(make_table("a", 2), make_table("b", 3),
+                             999, rng)
+        assert len(pairs) == 6

@@ -1,0 +1,122 @@
+"""Tables, schemas, records: construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import Attribute, AttrType, Record, Schema, Table
+from repro.exceptions import DataError, SchemaError
+
+
+class TestSchema:
+    def test_from_pairs_preserves_order(self):
+        schema = Schema.from_pairs([
+            ("x", AttrType.STRING), ("y", AttrType.NUMERIC),
+        ])
+        assert schema.names == ("x", "y")
+        assert schema["y"].attr_type is AttrType.NUMERIC
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("x"), Attribute("x")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_attribute_lookup(self):
+        schema = Schema([Attribute("x")])
+        with pytest.raises(SchemaError):
+            schema["nope"]
+
+    def test_contains_and_len(self):
+        schema = Schema([Attribute("x"), Attribute("y")])
+        assert "x" in schema and "z" not in schema
+        assert len(schema) == 2
+
+    def test_equality_and_hash(self):
+        s1 = Schema.from_pairs([("x", AttrType.STRING)])
+        s2 = Schema.from_pairs([("x", AttrType.STRING)])
+        s3 = Schema.from_pairs([("x", AttrType.TEXT)])
+        assert s1 == s2 and hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRecord:
+    def test_get_missing_returns_none(self):
+        record = Record("r1", {"x": "hello"})
+        assert record.get("x") == "hello"
+        assert record.get("y") is None
+        assert record["y"] is None
+
+
+class TestTable:
+    @pytest.fixture
+    def schema(self) -> Schema:
+        return Schema.from_pairs([
+            ("name", AttrType.STRING), ("price", AttrType.NUMERIC),
+        ])
+
+    def test_add_and_lookup(self, schema):
+        table = Table("t", schema)
+        table.add(Record("r1", {"name": "widget", "price": 9.5}))
+        assert len(table) == 1
+        assert "r1" in table
+        assert table["r1"].get("price") == 9.5
+        assert table.at(0).record_id == "r1"
+
+    def test_duplicate_id_rejected(self, schema):
+        table = Table("t", schema, [Record("r1", {})])
+        with pytest.raises(DataError):
+            table.add(Record("r1", {}))
+
+    def test_unknown_attribute_rejected(self, schema):
+        table = Table("t", schema)
+        with pytest.raises(SchemaError):
+            table.add(Record("r1", {"bogus": "x"}))
+
+    def test_numeric_type_enforced(self, schema):
+        table = Table("t", schema)
+        with pytest.raises(SchemaError):
+            table.add(Record("r1", {"price": "cheap"}))
+
+    def test_bool_is_not_numeric(self, schema):
+        table = Table("t", schema)
+        with pytest.raises(SchemaError):
+            table.add(Record("r1", {"price": True}))
+
+    def test_string_type_enforced(self, schema):
+        table = Table("t", schema)
+        with pytest.raises(SchemaError):
+            table.add(Record("r1", {"name": 42}))
+
+    def test_none_always_allowed(self, schema):
+        table = Table("t", schema)
+        table.add(Record("r1", {"name": None, "price": None}))
+        assert table["r1"].get("name") is None
+
+    def test_missing_record_lookup_raises(self, schema):
+        table = Table("t", schema)
+        with pytest.raises(DataError):
+            table["ghost"]
+
+    def test_subset_preserves_order(self, schema):
+        table = Table("t", schema, [
+            Record("r1", {}), Record("r2", {}), Record("r3", {}),
+        ])
+        sub = table.subset(["r3", "r1"])
+        assert sub.record_ids == ["r3", "r1"]
+        assert sub.schema is schema
+
+    def test_empty_name_rejected(self, schema):
+        with pytest.raises(DataError):
+            Table("", schema)
+
+    def test_iteration_order(self, schema):
+        records = [Record(f"r{i}", {}) for i in range(5)]
+        table = Table("t", schema, records)
+        assert [r.record_id for r in table] == [f"r{i}" for i in range(5)]

@@ -1,0 +1,141 @@
+"""Single-table deduplication (the "other EM setting" extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dedup import (
+    Deduplicator,
+    canonical_pair,
+    cluster_duplicates,
+)
+from repro.crowd.simulated import PerfectCrowd
+from repro.data.pairs import Pair
+from repro.data.table import Record, Table
+from repro.exceptions import DataError
+from repro.synth.restaurants import RESTAURANT_SCHEMA, generate_restaurants
+
+
+class TestCanonicalPair:
+    def test_orders_ids(self):
+        assert canonical_pair("b", "a") == Pair("a", "b")
+        assert canonical_pair("a", "b") == Pair("a", "b")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(DataError):
+            canonical_pair("x", "x")
+
+
+class TestClustering:
+    def test_transitive_closure(self):
+        pairs = {Pair("a", "b"), Pair("b", "c"), Pair("x", "y")}
+        clusters = cluster_duplicates(pairs)
+        assert ["a", "b", "c"] in clusters
+        assert ["x", "y"] in clusters
+
+    def test_largest_first(self):
+        pairs = {Pair("a", "b"), Pair("b", "c"), Pair("x", "y")}
+        clusters = cluster_duplicates(pairs)
+        assert len(clusters[0]) >= len(clusters[-1])
+
+    def test_empty(self):
+        assert cluster_duplicates(set()) == []
+
+    def test_chain_collapses(self):
+        pairs = {Pair(f"r{i}", f"r{i + 1}") for i in range(6)}
+        clusters = cluster_duplicates(pairs)
+        assert clusters == [[f"r{i}" for i in range(7)]]
+
+
+@pytest.fixture(scope="module")
+def dirty_table():
+    """A single table containing duplicate restaurant listings.
+
+    Built by merging the A and B sides of a generated dataset: matched
+    pairs become in-table duplicates with known ground truth.
+    """
+    dataset = generate_restaurants(n_a=40, n_b=30, n_matches=12, seed=13)
+    table = Table("dirty", RESTAURANT_SCHEMA)
+    for source in (dataset.table_a, dataset.table_b):
+        for record in source:
+            table.add(Record(f"{source.name}_{record.record_id}",
+                             record.values))
+    duplicates = {
+        canonical_pair(f"fodors_{pair.a_id}", f"zagat_{pair.b_id}")
+        for pair in dataset.matches
+    }
+    return table, duplicates
+
+
+class TestDeduplicator:
+    def test_finds_planted_duplicates(self, dirty_table, fast_config):
+        table, duplicates = dirty_table
+        crowd = PerfectCrowd(duplicates, rng=np.random.default_rng(2))
+        dedup = Deduplicator(fast_config, crowd,
+                             rng=np.random.default_rng(3))
+        seeds = dict.fromkeys(sorted(duplicates)[:2], True)
+        non_dups = [
+            canonical_pair(table.at(0).record_id, table.at(i).record_id)
+            for i in range(1, 8)
+        ]
+        seeds.update(dict.fromkeys(
+            [p for p in non_dups if p not in duplicates][:2], False
+        ))
+        result = dedup.run(table, seeds, mode="one_iteration")
+
+        found = result.duplicate_pairs & duplicates
+        assert len(found) >= 0.6 * len(duplicates)
+        # Precision matters too: most findings are real duplicates.
+        if result.duplicate_pairs:
+            precision = len(found) / len(result.duplicate_pairs)
+            assert precision >= 0.6
+
+    def test_no_self_pairs_or_mirrors(self, dirty_table, fast_config):
+        table, duplicates = dirty_table
+        crowd = PerfectCrowd(duplicates, rng=np.random.default_rng(2))
+        dedup = Deduplicator(fast_config, crowd,
+                             rng=np.random.default_rng(3))
+        seeds = dict.fromkeys(sorted(duplicates)[:2], True)
+        ids = table.record_ids
+        seeds[canonical_pair(ids[0], ids[1])] = (
+            canonical_pair(ids[0], ids[1]) in duplicates
+        )
+        seeds[canonical_pair(ids[2], ids[3])] = (
+            canonical_pair(ids[2], ids[3]) in duplicates
+        )
+        if sum(seeds.values()) == len(seeds):
+            seeds[canonical_pair(ids[4], ids[5])] = False
+        result = dedup.run(table, seeds, mode="one_iteration")
+        for pair in result.duplicate_pairs:
+            assert pair.a_id != pair.b_id
+            assert pair.a_id < pair.b_id  # canonical order
+
+    def test_clusters_cover_duplicate_pairs(self, dirty_table,
+                                            fast_config):
+        table, duplicates = dirty_table
+        crowd = PerfectCrowd(duplicates, rng=np.random.default_rng(2))
+        dedup = Deduplicator(fast_config, crowd,
+                             rng=np.random.default_rng(3))
+        seeds = dict.fromkeys(sorted(duplicates)[:2], True)
+        seeds[canonical_pair(table.at(0).record_id,
+                             table.at(5).record_id)] = False
+        seeds[canonical_pair(table.at(1).record_id,
+                             table.at(6).record_id)] = False
+        result = dedup.run(table, seeds, mode="one_iteration")
+        in_clusters = {
+            record_id
+            for cluster in result.clusters for record_id in cluster
+        }
+        for pair in result.duplicate_pairs:
+            assert pair.a_id in in_clusters
+            assert pair.b_id in in_clusters
+        assert result.n_duplicates == len(in_clusters)
+
+    def test_tiny_table_rejected(self, fast_config):
+        table = Table("t", RESTAURANT_SCHEMA, [Record("only", {})])
+        dedup = Deduplicator(fast_config,
+                             PerfectCrowd(set(),
+                                          rng=np.random.default_rng(0)))
+        with pytest.raises(DataError):
+            dedup.run(table, {})

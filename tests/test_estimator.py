@@ -1,0 +1,182 @@
+"""Accuracy estimation (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BlockerConfig,
+    CorleoneConfig,
+    EstimatorConfig,
+    ForestConfig,
+)
+from repro.core.estimator import AccuracyEstimate, AccuracyEstimator
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import PerfectCrowd
+from repro.data.pairs import CandidateSet, Pair
+from repro.forest.forest import train_forest
+from repro.metrics import confusion_from_labels
+
+
+def skewed_candidates(n: int = 3000, density: float = 0.02, seed: int = 0):
+    """A candidate set whose positives live at high f0+f1."""
+    rng = np.random.default_rng(seed)
+    features = rng.random((n, 4))
+    score = features[:, 0] * features[:, 1]
+    threshold = np.quantile(score, 1.0 - density)
+    labels = score > threshold
+    pairs = [Pair(f"a{i}", f"b{i}") for i in range(n)]
+    matches = {pairs[i] for i in np.flatnonzero(labels)}
+    return CandidateSet(pairs, features, list("wxyz")), matches, labels
+
+
+def make_estimator(matches, probe_size=40, max_probes=120,
+                   seed=1) -> tuple[AccuracyEstimator, LabelingService]:
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=10_000, max_labels_per_rule=80),
+        estimator=EstimatorConfig(probe_size=probe_size,
+                                  max_probes=max_probes),
+    )
+    crowd = PerfectCrowd(matches, rng=np.random.default_rng(seed))
+    service = LabelingService(crowd, config.crowd)
+    return AccuracyEstimator(config, service, np.random.default_rng(seed)), service
+
+
+class TestBaselineSampling:
+    """Without a forest the estimator is plain incremental sampling."""
+
+    def test_perfect_predictions_estimated_high(self):
+        candidates, matches, labels = skewed_candidates(n=800, density=0.1)
+        estimator, _ = make_estimator(matches)
+        estimate = estimator.estimate(candidates, labels, forest=None)
+        assert estimate.converged
+        assert estimate.precision >= 0.9
+        assert estimate.recall >= 0.9
+
+    def test_bad_predictions_estimated_low(self):
+        candidates, matches, labels = skewed_candidates(n=800, density=0.1)
+        estimator, _ = make_estimator(matches)
+        # Predict the complement: zero precision and recall.
+        estimate = estimator.estimate(candidates, ~labels, forest=None)
+        assert estimate.precision <= 0.1
+        assert estimate.recall <= 0.1
+
+    def test_margins_reported(self):
+        candidates, matches, labels = skewed_candidates(n=600, density=0.1)
+        estimator, _ = make_estimator(matches)
+        estimate = estimator.estimate(candidates, labels, forest=None)
+        assert estimate.eps_precision <= 0.05
+        assert estimate.eps_recall <= 0.05
+
+
+class TestReductionEstimation:
+    def _forest(self, candidates, labels, seed=0):
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(len(candidates), size=400, replace=False)
+        # Balance the training set so the forest learns both classes.
+        pos = np.flatnonzero(labels)
+        rows = np.concatenate([rows, pos[:50]])
+        return train_forest(candidates.features[rows], labels[rows],
+                            ForestConfig(), rng)
+
+    def test_estimate_close_to_truth(self):
+        candidates, matches, labels = skewed_candidates(
+            n=4000, density=0.02
+        )
+        forest = self._forest(candidates, labels)
+        predictions = forest.predict(candidates.features)
+        truth = confusion_from_labels(predictions, labels)
+
+        estimator, _ = make_estimator(matches)
+        estimate = estimator.estimate(candidates, predictions, forest)
+        assert estimate.precision == pytest.approx(truth.precision,
+                                                   abs=0.12)
+        assert estimate.recall == pytest.approx(truth.recall, abs=0.12)
+
+    def test_reduction_saves_labels_vs_baseline(self):
+        """The headline claim of Section 6: far fewer labels with rules."""
+        candidates, matches, labels = skewed_candidates(
+            n=4000, density=0.02
+        )
+        forest = self._forest(candidates, labels)
+        predictions = forest.predict(candidates.features)
+
+        with_rules, service_rules = make_estimator(matches)
+        est_rules = with_rules.estimate(candidates, predictions, forest)
+
+        without_rules, service_plain = make_estimator(matches)
+        est_plain = without_rules.estimate(candidates, predictions, None)
+
+        assert est_rules.n_labeled < est_plain.n_labeled
+
+    def test_certified_rules_reused_free(self):
+        candidates, matches, labels = skewed_candidates(
+            n=3000, density=0.02
+        )
+        forest = self._forest(candidates, labels)
+        predictions = forest.predict(candidates.features)
+
+        first, service = make_estimator(matches)
+        est1 = first.estimate(candidates, predictions, forest)
+        accepted = [ev for ev in est1.rule_evaluations if ev.accepted]
+        if not accepted:
+            pytest.skip("no rules were certified on this seed")
+
+        # Re-estimating with the certified rules available costs less.
+        second, _ = make_estimator(matches, seed=9)
+        est2 = second.estimate(candidates, predictions, forest,
+                               certified=accepted)
+        assert est2.n_labeled <= est1.n_labeled
+        assert est2.applied_rules  # certified rules were re-applied
+
+    def test_removed_positives_depress_recall(self):
+        """A certified-but-imperfect rule must not inflate recall."""
+        candidates, matches, labels = skewed_candidates(
+            n=2000, density=0.05
+        )
+        forest = self._forest(candidates, labels)
+        predictions = forest.predict(candidates.features)
+        estimator, _ = make_estimator(matches)
+        estimate = estimator.estimate(candidates, predictions, forest)
+        truth = confusion_from_labels(predictions, labels)
+        # The recall estimate must not exceed truth by a large margin.
+        assert estimate.recall <= truth.recall + 0.15
+
+
+class TestEdgeCases:
+    def test_all_negative_predictions(self):
+        candidates, matches, labels = skewed_candidates(n=400, density=0.1)
+        estimator, _ = make_estimator(matches)
+        estimate = estimator.estimate(
+            candidates, np.zeros(len(candidates), dtype=bool), None
+        )
+        assert estimate.precision == 0.0
+        assert estimate.recall == 0.0
+
+    def test_tiny_candidate_set_fully_sampled(self):
+        candidates, matches, labels = skewed_candidates(n=60, density=0.2)
+        estimator, service = make_estimator(matches)
+        estimate = estimator.estimate(candidates, labels, None)
+        assert estimate.converged
+        # Everything sampled -> margins are exactly zero.
+        assert estimate.eps_precision == 0.0
+        assert estimate.eps_recall == 0.0
+
+    def test_probe_cap_terminates(self):
+        candidates, matches, labels = skewed_candidates(
+            n=4000, density=0.005
+        )
+        estimator, _ = make_estimator(matches, probe_size=10, max_probes=3)
+        estimate = estimator.estimate(candidates, labels, None)
+        assert estimate.n_probes <= 3
+        assert not estimate.converged
+
+    def test_f1_property(self):
+        estimate = AccuracyEstimate(
+            precision=0.8, recall=0.6, eps_precision=0.01,
+            eps_recall=0.01, n_labeled=0, n_probes=0, density=0.1,
+            converged=True,
+        )
+        assert estimate.f1 == pytest.approx(2 * 0.8 * 0.6 / 1.4)

@@ -1,0 +1,156 @@
+"""White-box tests for the estimator's option selection and corrections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CorleoneConfig, EstimatorConfig
+from repro.core.estimator import AccuracyEstimate, AccuracyEstimator
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import PerfectCrowd
+from repro.data.pairs import CandidateSet, Pair
+from repro.rules.predicates import Predicate
+from repro.rules.rule import Rule
+
+
+def make_estimator(matches=frozenset(), **estimator_kwargs):
+    config = CorleoneConfig(
+        estimator=EstimatorConfig(**estimator_kwargs)
+    )
+    crowd = PerfectCrowd(matches, rng=np.random.default_rng(0))
+    service = LabelingService(crowd, config.crowd)
+    return AccuracyEstimator(config, service, np.random.default_rng(1))
+
+
+def simple_candidates(n=200):
+    values = np.linspace(0.0, 1.0, n, endpoint=False).reshape(-1, 1)
+    pairs = [Pair(f"a{i}", f"b{i}") for i in range(n)]
+    return CandidateSet(pairs, values, ["f0"])
+
+
+def neg_rule(threshold: float) -> Rule:
+    return Rule([Predicate(0, "f0", True, threshold)],
+                predicts_match=False)
+
+
+def blank_estimate(density=0.1, recall=0.8):
+    return AccuracyEstimate(
+        precision=0.0, recall=recall, eps_precision=1.0, eps_recall=1.0,
+        n_labeled=0, n_probes=0, density=density, converged=False,
+    )
+
+
+class TestSelectOption:
+    def test_no_rules_returns_empty(self):
+        estimator = make_estimator()
+        candidates = simple_candidates()
+        option = estimator._select_option(
+            candidates, np.ones(len(candidates), bool), {},
+            blank_estimate(), [],
+        )
+        assert option == []
+
+    def test_big_cheap_rule_selected_on_skewed_data(self):
+        """When density is tiny, removing most of the population beats
+        raw sampling, so a wide rule gets picked."""
+        estimator = make_estimator()
+        candidates = simple_candidates(n=2000)
+        rule = neg_rule(0.9)  # covers 90% of rows
+        option = estimator._select_option(
+            candidates, np.ones(len(candidates), bool), {},
+            blank_estimate(density=0.005), [rule],
+        )
+        assert option == [rule]
+
+    def test_zero_coverage_rules_never_selected(self):
+        estimator = make_estimator()
+        candidates = simple_candidates()
+        option = estimator._select_option(
+            candidates, np.ones(len(candidates), bool), {},
+            blank_estimate(density=0.005), [neg_rule(-1.0)],
+        )
+        assert option == []
+
+    def test_empty_active_set(self):
+        estimator = make_estimator()
+        candidates = simple_candidates()
+        option = estimator._select_option(
+            candidates, np.zeros(len(candidates), bool), {},
+            blank_estimate(), [neg_rule(0.5)],
+        )
+        assert option == []
+
+    def test_small_rule_not_worth_evaluating_at_high_density(self):
+        """A rule whose coverage barely changes the density cannot repay
+        its own evaluation cost, so the empty option wins."""
+        estimator = make_estimator()
+        candidates = simple_candidates(n=300)
+        option = estimator._select_option(
+            candidates, np.ones(len(candidates), bool), {},
+            blank_estimate(density=0.5), [neg_rule(0.1)],
+        )
+        assert option == []
+
+
+class TestRemovedCorrections:
+    def test_extrapolation_per_stratum(self):
+        estimator = make_estimator()
+        n = 100
+        predictions = np.zeros(n, bool)
+        predictions[:40] = True  # rows 0-39 predicted positive
+        removed = np.zeros(n, bool)
+        removed[:60] = True      # 40 removed-pp rows + 20 removed-pn rows
+        # Audit samples: 10 of the pp stratum (3 positive), 10 of the pn
+        # stratum (1 positive).
+        removed_sampled = {i: (i < 3) for i in range(10)}
+        removed_sampled.update({40 + i: (i < 1) for i in range(10)})
+
+        tp_removed, ap_removed, pp_removed = (
+            estimator._removed_corrections(predictions, removed,
+                                           removed_sampled)
+        )
+        assert pp_removed == 40
+        assert tp_removed == pytest.approx(0.3 * 40)    # 12
+        assert ap_removed == pytest.approx(12 + 0.1 * 20)  # + 2
+
+    def test_empty_region(self):
+        estimator = make_estimator()
+        predictions = np.zeros(10, bool)
+        removed = np.zeros(10, bool)
+        tp_removed, ap_removed, pp_removed = (
+            estimator._removed_corrections(predictions, removed, {})
+        )
+        assert (tp_removed, ap_removed, pp_removed) == (0.0, 0.0, 0)
+
+    def test_unsampled_stratum_contributes_zero(self):
+        estimator = make_estimator()
+        predictions = np.zeros(10, bool)
+        removed = np.ones(10, bool)
+        tp_removed, ap_removed, _ = estimator._removed_corrections(
+            predictions, removed, {}
+        )
+        assert tp_removed == 0.0 and ap_removed == 0.0
+
+
+class TestAuditHarvest:
+    def test_cached_labels_harvested_for_free(self):
+        matches = {Pair("a0", "b0"), Pair("a5", "b5")}
+        estimator = make_estimator(matches, removed_audit_cap=5)
+        candidates = simple_candidates(n=20)
+        # Pre-label some removed rows through the service cache.
+        estimator.service.label_all(
+            [candidates.pairs[i] for i in range(8)]
+        )
+        answers_before = estimator.service.tracker.answers
+        removed = np.zeros(20, bool)
+        removed[:10] = True
+        predictions = np.zeros(20, bool)
+        removed_sampled: dict[int, bool] = {}
+        estimator._audit_removed(candidates, predictions, removed,
+                                 removed_sampled)
+        # Rows 0-7 came from the cache; at most cap-adjusted fresh labels
+        # were bought for the remainder.
+        assert all(row in removed_sampled for row in range(8))
+        fresh = estimator.service.tracker.answers - answers_before
+        assert fresh <= 3 * 2  # at most two fresh pairs aggregated

@@ -1,0 +1,48 @@
+"""The experiment harness and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_table, pct
+from repro.metrics import Confusion
+
+
+class TestPct:
+    def test_basic(self):
+        assert pct(0.965) == "96.5"
+        assert pct(1.0) == "100.0"
+        assert pct(0.12345, digits=2) == "12.35"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"],
+                           [["restaurants", 96.5], ["x", 1]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("restaurants")
+
+    def test_column_width_fits_longest(self):
+        out = format_table(["h"], [["a-very-long-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) == len("a-very-long-cell")
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestHarness:
+    def test_run_and_score(self, tiny_dataset, fast_config):
+        from repro.evaluation.experiment import run_corleone
+        summary = run_corleone(tiny_dataset, fast_config, error_rate=0.0,
+                               seed=2, mode="one_iteration")
+        assert isinstance(summary.confusion, Confusion)
+        assert 0.0 <= summary.f1 <= 1.0
+        assert summary.pairs_labeled > 0
+        assert 0.0 <= summary.blocking_recall <= 1.0
+        # The run used the dataset's gold matches through the crowd only.
+        assert summary.dataset is tiny_dataset

@@ -1,0 +1,66 @@
+"""Example scripts: syntax and structural checks.
+
+Full example runs are exercised manually (they simulate minutes of
+crowdsourcing); these tests keep them importable and honest — every
+example must compile, carry a run instruction, and expose a main().
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3, "the paper repro promises >=3 examples"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestEveryExample:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_docstring_with_run_instruction(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} needs a module docstring"
+        assert "Run:" in docstring or "python examples/" in docstring
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_uses_only_public_api(self, path):
+        """Examples must demonstrate the public surface: no reaching into
+        single-underscore library internals.  Private attributes on
+        ``self`` are fine — examples may define their own classes."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                continue
+            assert not (node.attr.startswith("_")
+                        and not node.attr.startswith("__")), (
+                f"{path.name} uses private attribute {node.attr}"
+            )
+
+    def test_seeded_rngs_only(self, path):
+        """Examples must be reproducible: every default_rng call takes an
+        explicit seed argument."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "default_rng"):
+                assert node.args or node.keywords, (
+                    f"{path.name} calls default_rng() without a seed"
+                )

@@ -1,0 +1,89 @@
+"""Property-based tests on the §8 HIT-packing rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import CrowdConfig
+from repro.crowd.aggregation import VoteScheme
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import PerfectCrowd
+from repro.data.pairs import Pair
+
+ALL_PAIRS = [Pair(f"a{i}", f"b{i}") for i in range(60)]
+MATCHES = set(ALL_PAIRS[:30])
+
+
+def fresh_service(per_hit: int = 10) -> LabelingService:
+    crowd = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+    return LabelingService(crowd, CrowdConfig(questions_per_hit=per_hit))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    cached=st.sets(st.integers(0, 59), max_size=25),
+    requested=st.lists(st.integers(0, 59), min_size=1, max_size=30,
+                       unique=True),
+    per_hit=st.sampled_from([4, 10]),
+)
+def test_packing_invariants(cached, requested, per_hit):
+    """The generalized §8 item-3 rules, for any cache state and batch:
+
+    1. every cached pair in the request is returned;
+    2. fresh labels are bought only in whole HITs — except when the
+       batch would otherwise return nothing at all;
+    3. a batch never returns pairs that were not requested;
+    4. answers are paid only for pairs actually labelled.
+    """
+    service = fresh_service(per_hit)
+    cached_pairs = [ALL_PAIRS[i] for i in sorted(cached)]
+    if cached_pairs:
+        service.label_all(cached_pairs)
+    answers_before = service.tracker.answers
+
+    batch = [ALL_PAIRS[i] for i in requested]
+    result = service.label_batch(batch)
+
+    requested_set = set(batch)
+    cached_in_request = requested_set & set(cached_pairs)
+    fresh_returned = set(result) - cached_in_request
+
+    # (1) cache always serves.
+    assert cached_in_request <= set(result)
+    # (3) nothing extraneous.
+    assert set(result) <= requested_set
+    # (2) whole HITs, except the empty-batch rescue.
+    n_uncached = len(requested_set - cached_in_request)
+    expected_full = (n_uncached // per_hit) * per_hit
+    if expected_full > 0 or cached_in_request:
+        assert len(fresh_returned) == expected_full
+    else:
+        assert len(fresh_returned) == n_uncached  # padded rescue HIT
+    # (4) money moved only for fresh labels.
+    if not fresh_returned:
+        assert service.tracker.answers == answers_before
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 40), per_hit=st.sampled_from([3, 7, 10]))
+def test_label_all_hit_count(n, per_hit):
+    """label_all posts ceil(fresh / per_hit) HITs."""
+    service = fresh_service(per_hit)
+    service.label_all(ALL_PAIRS[:n])
+    assert service.tracker.hits == -(-n // per_hit)
+
+
+@settings(max_examples=20, deadline=None)
+@given(subset=st.sets(st.integers(0, 19), min_size=1, max_size=20))
+def test_label_batch_idempotent_after_label_all(subset):
+    """Once everything is cached, batches are free and complete."""
+    service = fresh_service()
+    pairs = [ALL_PAIRS[i] for i in sorted(subset)]
+    service.label_all(pairs)
+    spent = service.tracker.answers
+    result = service.label_batch(pairs)
+    assert set(result) == set(pairs)
+    assert service.tracker.answers == spent

@@ -1,0 +1,132 @@
+"""The money-time trade-off model (the §10 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.latency import (
+    LatencyModel,
+    PayPoint,
+    TimedCrowd,
+    cheapest_within_deadline,
+    pareto_sweep,
+)
+from repro.crowd.simulated import PerfectCrowd
+from repro.data.pairs import Pair
+from repro.exceptions import CrowdError
+
+MATCHES = {Pair("a0", "b0")}
+
+
+class TestLatencyModel:
+    def test_more_pay_is_faster(self):
+        model = LatencyModel()
+        assert model.mean_seconds(0.04) < model.mean_seconds(0.01)
+
+    def test_diminishing_returns(self):
+        """Quadrupling pay at elasticity 0.5 only halves latency."""
+        model = LatencyModel(base_seconds=60.0, elasticity=0.5,
+                             floor_seconds=0.0)
+        assert model.mean_seconds(0.04) == pytest.approx(30.0)
+
+    def test_floor_respected(self):
+        model = LatencyModel(floor_seconds=5.0)
+        assert model.mean_seconds(100.0) == 5.0
+
+    def test_sample_positive_and_mean_reasonable(self):
+        model = LatencyModel(base_seconds=30.0, sigma=0.4,
+                             floor_seconds=0.1)
+        rng = np.random.default_rng(0)
+        draws = [model.sample_seconds(0.01, rng) for _ in range(3000)]
+        assert all(d > 0 for d in draws)
+        assert np.mean(draws) == pytest.approx(30.0, rel=0.1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_seconds=0.0),
+        dict(reference_pay=0.0),
+        dict(elasticity=3.0),
+        dict(sigma=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(CrowdError):
+            LatencyModel(**kwargs)
+
+    def test_bad_pay_rejected(self):
+        with pytest.raises(CrowdError):
+            LatencyModel().mean_seconds(0.0)
+
+
+class TestTimedCrowd:
+    def test_accumulates_time(self):
+        inner = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        crowd = TimedCrowd(inner, LatencyModel(sigma=0.0),
+                           pay_per_question=0.01,
+                           rng=np.random.default_rng(1), parallelism=1)
+        assert crowd.elapsed_seconds == 0.0
+        for _ in range(4):
+            crowd.ask(Pair("a0", "b0"))
+        assert crowd.elapsed_seconds == pytest.approx(4 * 60.0)
+
+    def test_parallelism_divides_time(self):
+        def elapsed(parallelism):
+            inner = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+            crowd = TimedCrowd(inner, LatencyModel(sigma=0.0),
+                               pay_per_question=0.01,
+                               rng=np.random.default_rng(1),
+                               parallelism=parallelism)
+            for _ in range(20):
+                crowd.ask(Pair("a0", "b0"))
+            return crowd.elapsed_seconds
+
+        assert elapsed(5) == pytest.approx(elapsed(1) / 5)
+
+    def test_answers_still_flow_through(self):
+        inner = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        crowd = TimedCrowd(inner, LatencyModel(), 0.01,
+                           rng=np.random.default_rng(1))
+        assert crowd.ask(Pair("a0", "b0")).label is True
+
+    def test_bad_parallelism(self):
+        inner = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        with pytest.raises(CrowdError):
+            TimedCrowd(inner, LatencyModel(), 0.01, parallelism=0)
+
+
+class TestParetoSweep:
+    def test_monotone_frontier(self):
+        points = pareto_sweep(1000, [0.01, 0.02, 0.05, 0.10])
+        dollars = [p.total_dollars for p in points]
+        hours = [p.total_hours for p in points]
+        assert dollars == sorted(dollars)
+        assert hours == sorted(hours, reverse=True)
+
+    def test_deadline_picks_cheapest(self):
+        rates = [0.01, 0.02, 0.05, 0.10]
+        generous = cheapest_within_deadline(1000, 10**6, rates)
+        assert generous is not None
+        assert generous.pay_per_question == 0.01
+
+        points = pareto_sweep(1000, rates)
+        # A deadline just above the second point's time forces rate #2.
+        target = points[1]
+        chosen = cheapest_within_deadline(
+            1000, target.total_hours + 1e-9, rates
+        )
+        assert chosen is not None
+        assert chosen.pay_per_question == target.pay_per_question
+
+    def test_impossible_deadline(self):
+        assert cheapest_within_deadline(10**6, 0.0001, [0.01]) is None
+
+    def test_validation(self):
+        with pytest.raises(CrowdError):
+            pareto_sweep(-1, [0.01])
+        with pytest.raises(CrowdError):
+            pareto_sweep(10, [])
+
+    def test_paypoint_fields(self):
+        [point] = pareto_sweep(100, [0.02])
+        assert point == PayPoint(pay_per_question=0.02,
+                                 total_dollars=pytest.approx(2.0),
+                                 total_hours=point.total_hours)

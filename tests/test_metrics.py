@@ -1,0 +1,127 @@
+"""Confusion matrices, P/R/F1 and blocking recall."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    Confusion,
+    blocking_recall,
+    confusion_from_labels,
+    confusion_from_sets,
+    density,
+    prf1,
+    summarize,
+)
+
+
+class TestConfusion:
+    def test_basic_counts(self):
+        c = Confusion(tp=3, fp=1, fn=2, tn=4)
+        assert c.total == 10
+        assert c.predicted_positives == 4
+        assert c.actual_positives == 5
+        assert c.precision == 0.75
+        assert c.recall == 0.6
+        assert c.accuracy == 0.7
+
+    def test_f1_harmonic_mean(self):
+        c = Confusion(tp=3, fp=1, fn=2)
+        p, r = 0.75, 0.6
+        assert c.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_degenerate_zero(self):
+        c = Confusion()
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+        assert c.accuracy == 0.0
+
+    def test_addition(self):
+        total = Confusion(tp=1, fp=2, fn=3, tn=4) + Confusion(tp=5, fp=6,
+                                                              fn=7, tn=8)
+        assert total == Confusion(tp=6, fp=8, fn=10, tn=12)
+
+
+class TestFromLabels:
+    def test_counts_each_quadrant(self):
+        predicted = [True, True, False, False]
+        actual = [True, False, True, False]
+        c = confusion_from_labels(predicted, actual)
+        assert (c.tp, c.fp, c.fn, c.tn) == (1, 1, 1, 1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_from_labels([True], [True, False])
+
+    def test_accepts_generators(self):
+        c = confusion_from_labels((b for b in [True]), iter([True]))
+        assert c.tp == 1
+
+
+class TestFromSets:
+    def test_overlap(self):
+        c = confusion_from_sets({1, 2, 3}, {2, 3, 4})
+        assert (c.tp, c.fp, c.fn) == (2, 1, 1)
+
+    def test_universe_gives_tn(self):
+        c = confusion_from_sets({1}, {2}, universe_size=10)
+        assert c.tn == 8
+
+    def test_universe_too_small_raises(self):
+        with pytest.raises(ValueError):
+            confusion_from_sets({1, 2}, {3, 4}, universe_size=3)
+
+    def test_prf1_wrapper(self):
+        p, r, f1 = prf1({1, 2}, {2, 3})
+        assert p == 0.5 and r == 0.5 and f1 == 0.5
+
+
+class TestBlockingRecall:
+    def test_full_retention(self):
+        assert blocking_recall({1, 2, 3}, {1, 2}) == 1.0
+
+    def test_partial(self):
+        assert blocking_recall({1}, {1, 2}) == 0.5
+
+    def test_empty_gold_is_perfect(self):
+        assert blocking_recall(set(), set()) == 1.0
+
+
+class TestDensityAndSummaries:
+    def test_density(self):
+        assert density(5, 100) == 0.05
+        assert density(0, 0) == 0.0
+
+    def test_summarize_percentages(self):
+        out = summarize({"x": Confusion(tp=1, fp=0, fn=0)})
+        assert out["x"]["precision"] == 100.0
+        assert out["x"]["f1"] == 100.0
+
+
+@given(tp=st.integers(0, 100), fp=st.integers(0, 100),
+       fn=st.integers(0, 100), tn=st.integers(0, 100))
+def test_metrics_always_in_unit_interval(tp, fp, fn, tn):
+    c = Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+    for value in (c.precision, c.recall, c.f1, c.accuracy if c.total else 0):
+        assert 0.0 <= value <= 1.0
+
+
+@given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+def test_set_confusion_partitions_union(predicted, actual):
+    c = confusion_from_sets(predicted, actual)
+    assert c.tp + c.fp == len(predicted)
+    assert c.tp + c.fn == len(actual)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=60))
+def test_label_and_set_views_agree(pairs):
+    predicted = [p for p, _ in pairs]
+    actual = [a for _, a in pairs]
+    by_labels = confusion_from_labels(predicted, actual)
+    predicted_ids = {i for i, p in enumerate(predicted) if p}
+    actual_ids = {i for i, a in enumerate(actual) if a}
+    by_sets = confusion_from_sets(predicted_ids, actual_ids,
+                                  universe_size=len(pairs))
+    assert by_labels == by_sets

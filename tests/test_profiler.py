@@ -1,0 +1,164 @@
+"""Crowd profiling and adaptive voting (the §10 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrowdConfig
+from repro.crowd.aggregation import VoteScheme
+from repro.crowd.profiler import (
+    AdaptivePolicy,
+    ErrorRateEstimator,
+    ProfilingLabelingService,
+)
+from repro.crowd.simulated import PerfectCrowd, SimulatedCrowd
+from repro.data.pairs import Pair
+from repro.exceptions import CrowdError
+
+MATCHES = {Pair(f"a{i}", f"b{i}") for i in range(300)}
+
+
+def pairs(n: int, matched: bool = True) -> list[Pair]:
+    if matched:
+        return [Pair(f"a{i}", f"b{i}") for i in range(n)]
+    return [Pair(f"a{i}", f"b{i + 1}") for i in range(n)]
+
+
+def make_service(error_rate: float, policy=None, min_questions=30,
+                 seed=0) -> ProfilingLabelingService:
+    crowd = SimulatedCrowd(MATCHES, error_rate=error_rate,
+                           rng=np.random.default_rng(seed))
+    return ProfilingLabelingService(crowd, CrowdConfig(), policy=policy,
+                                    min_questions=min_questions)
+
+
+class TestErrorRateEstimator:
+    def test_no_estimate_until_min_questions(self):
+        estimator = ErrorRateEstimator(min_questions=5)
+        for _ in range(4):
+            estimator.record(True, True)
+        assert estimator.error_rate is None
+        estimator.record(True, True)
+        assert estimator.error_rate == 0.0
+
+    def test_inversion_formula(self):
+        # d = 2e(1-e); for e=0.1, d=0.18.
+        estimator = ErrorRateEstimator(min_questions=1)
+        for _ in range(82):
+            estimator.record(True, True)
+        for _ in range(18):
+            estimator.record(True, False)
+        assert estimator.error_rate == pytest.approx(0.1, abs=0.005)
+
+    def test_saturated_disagreement_clipped(self):
+        estimator = ErrorRateEstimator(min_questions=1)
+        for _ in range(10):
+            estimator.record(True, False)
+        assert estimator.error_rate is not None
+        assert estimator.error_rate <= 0.5
+
+    def test_interval_brackets_point_estimate(self):
+        estimator = ErrorRateEstimator(min_questions=1)
+        for _ in range(50):
+            estimator.record(True, True)
+        for _ in range(10):
+            estimator.record(False, True)
+        low, high = estimator.error_rate_interval()
+        assert low <= estimator.error_rate <= high
+
+    def test_bad_min_questions(self):
+        with pytest.raises(CrowdError):
+            ErrorRateEstimator(min_questions=0)
+
+
+class TestProfiling:
+    @pytest.mark.parametrize("true_rate", [0.0, 0.1, 0.25])
+    def test_recovers_true_error_rate(self, true_rate):
+        service = make_service(true_rate, min_questions=50, seed=3)
+        service.label_all(pairs(150) + pairs(150, matched=False))
+        estimate = service.estimator.error_rate
+        assert estimate is not None
+        assert estimate == pytest.approx(true_rate, abs=0.05)
+
+    def test_profile_snapshot(self):
+        service = make_service(0.1, seed=1)
+        service.label_all(pairs(60))
+        profile = service.profile
+        assert profile["questions_observed"] >= 60
+        assert profile["error_rate"] is not None
+        assert profile["error_rate_low"] <= profile["error_rate"]
+        assert profile["error_rate"] <= profile["error_rate_high"]
+
+    def test_exactly_one_observation_per_question(self):
+        """Only the unconditional first two answers count — later answers
+        exist because earlier ones disagreed (stopping-time bias)."""
+        service = make_service(0.3, min_questions=1, seed=2)
+        service.label_all(pairs(40), scheme=VoteScheme.STRONG_MAJORITY)
+        assert service.estimator.n_questions == 40
+
+
+class TestAdaptivePolicy:
+    def test_threshold_validation(self):
+        with pytest.raises(CrowdError):
+            AdaptivePolicy(careful_below=0.2, sloppy_above=0.1)
+
+    def test_adapt_matrix(self):
+        policy = AdaptivePolicy(careful_below=0.05, sloppy_above=0.15)
+        assert policy.adapt(VoteScheme.ASYMMETRIC, None) \
+            is VoteScheme.ASYMMETRIC
+        assert policy.adapt(VoteScheme.ASYMMETRIC, 0.01) \
+            is VoteScheme.MAJORITY_2PLUS1
+        assert policy.adapt(VoteScheme.ASYMMETRIC, 0.30) \
+            is VoteScheme.STRONG_MAJORITY
+        assert policy.adapt(VoteScheme.ASYMMETRIC, 0.10) \
+            is VoteScheme.ASYMMETRIC
+
+    def test_careful_crowd_gets_cheaper(self):
+        """With a near-perfect crowd the adaptive service downgrades to
+        2+1 and spends fewer answers than the fixed asymmetric scheme."""
+        fixed = make_service(0.0, policy=None, seed=5)
+        fixed.label_all(pairs(200))
+        adaptive = make_service(0.0, policy=AdaptivePolicy(),
+                                min_questions=20, seed=5)
+        adaptive.label_all(pairs(200))
+        assert adaptive.tracker.answers < fixed.tracker.answers
+
+    def test_sloppy_crowd_gets_escalated(self):
+        """With a noisy crowd the adaptive service escalates everything
+        to strong majority.  The asymmetric scheme already guards
+        against false positives, so the benefit shows on true matches:
+        under asymmetric voting a unanimous wrong first pair (e^2)
+        mislabels a match, while strong majority keeps asking."""
+        def positive_accuracy(policy, seed):
+            service = make_service(0.25, policy=policy, min_questions=20,
+                                   seed=seed)
+            # Warm-up on non-matches so the estimate forms, then measure
+            # fresh true matches.
+            service.label_all(pairs(60, matched=False))
+            labels = service.label_all(pairs(240))
+            return sum(1 for v in labels.values() if v) / 240
+
+        seeds = range(5)
+        fixed = np.mean([positive_accuracy(None, s) for s in seeds])
+        adaptive = np.mean([
+            positive_accuracy(AdaptivePolicy(), s) for s in seeds
+        ])
+        assert adaptive >= fixed
+
+
+class TestDropInCompatibility:
+    def test_cache_and_costs_still_work(self):
+        service = make_service(0.0, seed=0)
+        service.label_all(pairs(10))
+        answers_before = service.tracker.answers
+        service.label_all(pairs(10))  # cache hit
+        assert service.tracker.answers == answers_before
+        assert service.cache_size == 10
+
+    def test_perfect_crowd_profile_is_zero(self):
+        crowd = PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+        service = ProfilingLabelingService(crowd, CrowdConfig(),
+                                           min_questions=10)
+        service.label_all(pairs(30))
+        assert service.estimator.error_rate == 0.0

@@ -1,0 +1,139 @@
+"""Cross-module property-based tests on core invariants.
+
+These complement the per-module property tests: each one states an
+invariant that ties two subsystems together (forest <-> rules,
+service <-> aggregation, candidate sets <-> subsetting algebra).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import CrowdConfig, ForestConfig
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import SimulatedCrowd
+from repro.data.pairs import CandidateSet, Pair
+from repro.forest.forest import train_forest
+from repro.rules.extraction import extract_rules
+from repro.rules.rule import Rule
+from repro.rules.statistics import fpc_error_margin, required_sample_size
+
+matrix_strategy = st.integers(0, 10_000).map(
+    lambda seed: np.random.default_rng(seed).random((80, 3))
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_forest_rules_partition_predictions(seed):
+    """The rules extracted from a forest's trees, applied per-tree,
+    reproduce every tree's vote: a row covered by a negative rule of a
+    tree is voted negative by that tree, and vice versa."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((120, 3))
+    y = x[:, 0] > 0.5
+    forest = train_forest(x, y, ForestConfig(n_trees=3), rng)
+    names = ["f0", "f1", "f2"]
+    rules = extract_rules(forest, names)
+
+    # Union of all rules covers every example (trees are total functions),
+    # unless a tree failed to split (no rules at all).
+    if rules:
+        covered = np.zeros(len(x), dtype=bool)
+        for rule in rules:
+            covered |= rule.applies(x)
+        assert covered.all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       error_rate=st.sampled_from([0.0, 0.1, 0.3]))
+def test_service_is_deterministic_and_consistent(seed, error_rate):
+    """Same platform seed -> same labels; cache returns what was stored."""
+    matches = {Pair("a0", "b0"), Pair("a1", "b1")}
+    questions = [Pair(f"a{i}", f"b{i}") for i in range(5)]
+
+    def run():
+        crowd = SimulatedCrowd(matches, error_rate,
+                               rng=np.random.default_rng(seed))
+        service = LabelingService(crowd, CrowdConfig())
+        return service.label_all(questions), service
+
+    labels_1, service_1 = run()
+    labels_2, _ = run()
+    assert labels_1 == labels_2
+    for pair, label in labels_1.items():
+        assert service_1.cached_label(pair) == label
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.floats(0.01, 0.99), n=st.integers(2, 300),
+       extra=st.integers(1, 5000), conf=st.sampled_from([0.9, 0.95, 0.99]))
+def test_margin_consistent_with_required_size(p, n, extra, conf):
+    """required_sample_size and fpc_error_margin are mutual inverses:
+    sampling the required amount always achieves the target margin."""
+    population = n + extra
+    eps = fpc_error_margin(p, n, population, conf)
+    if eps == 0.0:
+        return
+    needed = required_sample_size(p, eps, population, conf)
+    assert needed <= n  # n already achieved margin eps
+    assert fpc_error_margin(p, needed, population, conf) <= eps + 1e-9
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large])
+@given(matrix=matrix_strategy,
+       indices=st.lists(st.integers(0, 79), min_size=1, max_size=30,
+                        unique=True))
+def test_candidate_subset_algebra(matrix, indices):
+    """subset/without partition the candidate set, preserving vectors."""
+    pairs = [Pair(f"a{i}", f"b{i}") for i in range(80)]
+    candidates = CandidateSet(pairs, matrix, ["x", "y", "z"])
+    chosen = candidates.subset(indices)
+    dropped = candidates.without(chosen.pairs)
+    assert len(chosen) + len(dropped) == len(candidates)
+    assert set(chosen.pairs) | set(dropped.pairs) == set(pairs)
+    for pair in chosen.pairs:
+        np.testing.assert_array_equal(
+            chosen.vector(pair), candidates.vector(pair)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_rule_application_is_stable_under_row_permutation(seed):
+    """Applying a rule commutes with permuting the feature matrix rows."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((60, 3))
+    x[rng.random(60) < 0.1] = np.nan
+    forest = train_forest(
+        np.nan_to_num(x), x[:, 0] > 0.5, ForestConfig(n_trees=2), rng
+    )
+    rules = extract_rules(forest, ["f0", "f1", "f2"])
+    if not rules:
+        return
+    rule = rules[0]
+    perm = rng.permutation(60)
+    direct = rule.applies(x)[perm]
+    permuted = rule.applies(x[perm])
+    np.testing.assert_array_equal(direct, permuted)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_trees=st.integers(1, 8))
+def test_forest_confidence_bounds(seed, n_trees):
+    """Entropy in [0, ln 2], confidence in [1 - ln 2, 1], and unanimous
+    forests are fully confident."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((50, 2))
+    y = x[:, 0] > 0.5
+    forest = train_forest(x, y, ForestConfig(n_trees=n_trees), rng)
+    entropy = forest.entropy(x)
+    assert (entropy >= -1e-12).all()
+    assert (entropy <= np.log(2) + 1e-12).all()
+    confidence = forest.confidence(x)
+    assert (confidence >= 1 - np.log(2) - 1e-12).all()
+    assert (confidence <= 1 + 1e-12).all()

@@ -1,0 +1,114 @@
+"""Question/HIT rendering (Section 8, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CrowdConfig
+from repro.crowd.questions import (
+    hit_to_html,
+    pack_hits,
+    question_to_html,
+    question_to_text,
+    render_question,
+)
+from repro.data.pairs import Pair
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def question(book_tables):
+    table_a, table_b = book_tables
+    return render_question(table_a, table_b, Pair("a0", "b0"),
+                           prompt="Do these books match?")
+
+
+class TestRenderQuestion:
+    def test_rows_follow_schema(self, question, book_tables):
+        table_a, _ = book_tables
+        assert [row[0] for row in question.rows] == list(
+            table_a.schema.names
+        )
+
+    def test_values_pulled_from_records(self, question):
+        by_name = {row[0]: row[1:] for row in question.rows}
+        assert by_name["title"] == ("data mining", "data mining")
+        assert by_name["author"] == ("joe smith", "joseph smith")
+
+    def test_numeric_formatting(self, question):
+        by_name = {row[0]: row[1:] for row in question.rows}
+        assert by_name["pages"] == ("234", "234")
+
+    def test_missing_value_placeholder(self, book_tables):
+        table_a, table_b = book_tables
+        table_a.add(Record("a9", {"title": None, "author": "x",
+                                  "pages": None}))
+        question = render_question(table_a, table_b, Pair("a9", "b0"))
+        by_name = {row[0]: row[1] for row in question.rows}
+        assert by_name["title"] == "(missing)"
+
+    def test_schema_mismatch_rejected(self, book_tables):
+        table_a, _ = book_tables
+        other = Table("o", Schema.from_pairs([("z", AttrType.STRING)]),
+                      [Record("b0", {"z": "v"})])
+        with pytest.raises(DataError):
+            render_question(table_a, other, Pair("a0", "b0"))
+
+
+class TestTextRendering:
+    def test_contains_prompt_and_buttons(self, question):
+        text = question_to_text(question)
+        assert text.startswith("Do these books match?")
+        assert "[ Yes ]" in text and "[ No ]" in text
+        assert "Not sure" in text
+
+    def test_aligned_columns(self, question):
+        text = question_to_text(question)
+        lines = text.splitlines()
+        header = next(line for line in lines if "Record 1" in line)
+        title_line = next(line for line in lines
+                          if line.startswith("title"))
+        assert header.index("Record 2") == title_line.index("data mining",
+                                                            10)
+
+
+class TestHtmlRendering:
+    def test_escapes_content(self, book_tables):
+        table_a, table_b = book_tables
+        table_a.add(Record("evil", {
+            "title": "<script>alert(1)</script>", "author": "x",
+            "pages": 1.0,
+        }))
+        question = render_question(table_a, table_b, Pair("evil", "b0"))
+        html_out = question_to_html(question)
+        assert "<script>alert" not in html_out
+        assert "&lt;script&gt;" in html_out
+
+    def test_radio_buttons_per_question(self, question):
+        html_out = question_to_html(question)
+        assert html_out.count('type="radio"') == 3
+        assert 'value="unsure"' in html_out
+
+
+class TestHitPacking:
+    def test_pack_sizes(self, book_tables):
+        table_a, table_b = book_tables
+        pairs = [
+            Pair(a.record_id, b.record_id)
+            for a in table_a for b in table_b
+        ]  # 9 pairs
+        hits = pack_hits(table_a, table_b, pairs, "match the books",
+                         CrowdConfig(questions_per_hit=4))
+        assert [len(hit) for hit in hits] == [4, 4, 1]
+        assert hits[0].hit_id == "hit0"
+        assert hits[2].hit_id == "hit2"
+
+    def test_hit_html_document(self, book_tables):
+        table_a, table_b = book_tables
+        hits = pack_hits(table_a, table_b, [Pair("a0", "b0")],
+                         "the instruction text", CrowdConfig())
+        document = hit_to_html(hits[0])
+        assert document.startswith("<!DOCTYPE html>")
+        assert "the instruction text" in document
+        assert "Record 1" in document

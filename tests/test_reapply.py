@@ -1,0 +1,143 @@
+"""Crowd-free re-application of trained artifacts (Example 3.1's path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BlockerConfig,
+    CorleoneConfig,
+    EstimatorConfig,
+    ForestConfig,
+    LocatorConfig,
+    MatcherConfig,
+)
+from repro.core.reapply import drift_report, reapply_matcher
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.evaluation.experiment import run_corleone
+from repro.exceptions import DataError
+from repro.features.library import build_feature_library
+from repro.persistence import (
+    forest_from_dict,
+    forest_to_dict,
+    load_rules,
+    save_rules,
+)
+from repro.synth.restaurants import generate_restaurants
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A trained run on one restaurants batch plus a fresh second batch."""
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=2500, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=25),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=1,
+    )
+    train_data = generate_restaurants(n_a=80, n_b=60, n_matches=20,
+                                      seed=31)
+    summary = run_corleone(train_data, config, seed=5,
+                           mode="one_iteration")
+    fresh_data = generate_restaurants(n_a=80, n_b=60, n_matches=20,
+                                      seed=32)
+    return train_data, summary, fresh_data
+
+
+class TestReapply:
+    def test_matches_fresh_batch_without_crowd(self, trained):
+        train_data, summary, fresh_data = trained
+        library = build_feature_library(fresh_data.table_a,
+                                        fresh_data.table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        result = reapply_matcher(
+            fresh_data.table_a, fresh_data.table_b, library,
+            summary.result.blocker.applied_rules, forest,
+        )
+        found = result.predicted_matches & fresh_data.matches
+        assert len(found) >= 0.7 * len(fresh_data.matches)
+        if result.predicted_matches:
+            precision = len(found) / len(result.predicted_matches)
+            assert precision >= 0.7
+
+    def test_round_trips_through_persistence(self, trained, tmp_path):
+        """The artifacts survive save/load and give identical output."""
+        train_data, summary, fresh_data = trained
+        library = build_feature_library(fresh_data.table_a,
+                                        fresh_data.table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        rules = summary.result.blocker.applied_rules
+
+        save_rules(rules, tmp_path / "rules.json")
+        loaded_rules = load_rules(tmp_path / "rules.json")
+        loaded_forest = forest_from_dict(forest_to_dict(forest))
+
+        direct = reapply_matcher(fresh_data.table_a, fresh_data.table_b,
+                                 library, rules, forest)
+        loaded = reapply_matcher(fresh_data.table_a, fresh_data.table_b,
+                                 library, loaded_rules, loaded_forest)
+        assert direct.predicted_matches == loaded.predicted_matches
+
+    def test_feature_count_mismatch_rejected(self, trained):
+        _, summary, fresh_data = trained
+        wrong_schema = Schema.from_pairs([("name", AttrType.STRING)])
+        table_a = Table("a", wrong_schema, [Record("a0", {"name": "x"})])
+        table_b = Table("b", wrong_schema, [Record("b0", {"name": "x"})])
+        small_library = build_feature_library(table_a, table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        with pytest.raises(DataError):
+            reapply_matcher(table_a, table_b, small_library, [], forest)
+
+
+class TestDriftReport:
+    def test_stable_data_no_refresh(self, trained):
+        train_data, summary, fresh_data = trained
+        library = build_feature_library(fresh_data.table_a,
+                                        fresh_data.table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        result = reapply_matcher(
+            fresh_data.table_a, fresh_data.table_b, library,
+            summary.result.blocker.applied_rules, forest,
+        )
+        # The thresholds are knobs: calibrate the low-confidence trigger
+        # to the matcher's own training-time profile.
+        training_low = float(
+            (result.confidence < 0.7).mean()
+        )
+        report = drift_report(
+            result,
+            training_mean_confidence=result.mean_confidence,
+            max_low_fraction=training_low + 0.05,
+        )
+        assert not report.refresh_recommended
+        assert report.confidence_drop == pytest.approx(0.0)
+
+    def test_big_drop_triggers_refresh(self, trained):
+        _, summary, fresh_data = trained
+        library = build_feature_library(fresh_data.table_a,
+                                        fresh_data.table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        result = reapply_matcher(
+            fresh_data.table_a, fresh_data.table_b, library,
+            summary.result.blocker.applied_rules, forest,
+        )
+        report = drift_report(result, training_mean_confidence=1.0,
+                              max_drop=0.001)
+        assert report.refresh_recommended
+
+    def test_bad_training_confidence(self, trained):
+        _, summary, fresh_data = trained
+        library = build_feature_library(fresh_data.table_a,
+                                        fresh_data.table_b)
+        forest = summary.result.iterations[0].matcher.forest
+        result = reapply_matcher(
+            fresh_data.table_a, fresh_data.table_b, library, [], forest,
+        )
+        with pytest.raises(DataError):
+            drift_report(result, training_mean_confidence=2.0)

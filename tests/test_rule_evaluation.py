@@ -1,0 +1,135 @@
+"""Crowd-based joint rule evaluation (§4.2 step 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrowdConfig
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import PerfectCrowd, SimulatedCrowd
+from repro.data.pairs import CandidateSet, Pair
+from repro.rules.evaluation import evaluate_rules
+from repro.rules.predicates import Predicate
+from repro.rules.rule import Rule
+
+
+def build_sample(n: int = 200, positive_below: float = 0.2):
+    """Sample with feature f0 uniform on [0,1); matches are f0 >= 1-d."""
+    values = np.linspace(0.0, 1.0, n, endpoint=False)
+    pairs = [Pair(f"a{i}", f"b{i}") for i in range(n)]
+    matches = {
+        pairs[i] for i in range(n) if values[i] >= 1.0 - positive_below
+    }
+    sample = CandidateSet(pairs, values.reshape(-1, 1), ["f0"])
+    return sample, matches
+
+
+def neg_rule(threshold: float) -> Rule:
+    """Covers rows with f0 <= threshold, predicting 'no match'."""
+    return Rule([Predicate(0, "f0", True, threshold)], predicts_match=False)
+
+
+def make_service(matches, error_rate: float = 0.0) -> LabelingService:
+    crowd = (PerfectCrowd(matches, rng=np.random.default_rng(3))
+             if error_rate == 0.0
+             else SimulatedCrowd(matches, error_rate,
+                                 rng=np.random.default_rng(3)))
+    return LabelingService(crowd, CrowdConfig())
+
+
+class TestPerfectRules:
+    def test_precise_rule_accepted(self, rng):
+        sample, matches = build_sample(n=300, positive_below=0.2)
+        service = make_service(matches)
+        # f0 <= 0.5 covers only true negatives (positives are >= 0.8).
+        [result] = evaluate_rules([neg_rule(0.5)], sample, service, rng)
+        assert result.accepted
+        assert result.precision == 1.0
+        assert result.reason == "accepted"
+
+    def test_imprecise_rule_rejected(self, rng):
+        sample, matches = build_sample(n=300, positive_below=0.5)
+        service = make_service(matches)
+        # f0 <= 0.9 covers rows up to 0.9; positives start at 0.5, so
+        # ~44% of its coverage is positive.
+        [result] = evaluate_rules([neg_rule(0.9)], sample, service, rng)
+        assert not result.accepted
+        assert result.precision < 0.95
+
+    def test_empty_coverage_rejected_for_free(self, rng):
+        sample, matches = build_sample()
+        service = make_service(matches)
+        [result] = evaluate_rules([neg_rule(-5.0)], sample, service, rng)
+        assert not result.accepted
+        assert result.reason == "empty_coverage"
+        assert service.tracker.answers == 0
+
+    def test_results_align_with_input_order(self, rng):
+        sample, matches = build_sample(n=300, positive_below=0.2)
+        service = make_service(matches)
+        rules = [neg_rule(-5.0), neg_rule(0.5), neg_rule(0.95)]
+        results = evaluate_rules(rules, sample, service, rng)
+        assert [r.rule for r in results] == rules
+        assert [r.accepted for r in results] == [False, True, False]
+
+
+class TestJointEvaluation:
+    def test_shared_labels_reduce_cost(self, rng):
+        """Two overlapping rules evaluated jointly reuse labels."""
+        sample, matches = build_sample(n=400, positive_below=0.1)
+        service_joint = make_service(matches)
+        evaluate_rules([neg_rule(0.5), neg_rule(0.6)], sample,
+                       service_joint, rng)
+        joint_cost = service_joint.tracker.pairs_labeled
+
+        service_isolated = make_service(matches)
+        rng2 = np.random.default_rng(1)
+        evaluate_rules([neg_rule(0.5)], sample, service_isolated, rng2)
+        evaluate_rules([neg_rule(0.6)], sample, service_isolated, rng2)
+        isolated_cost = service_isolated.tracker.pairs_labeled
+        # Joint evaluation should not cost more (cache helps the isolated
+        # case too, but the union sampling shares examples by design).
+        assert joint_cost <= isolated_cost
+
+    def test_cached_labels_seed_statistics(self, rng):
+        sample, matches = build_sample(n=300, positive_below=0.2)
+        service = make_service(matches)
+        # Pre-label half the coverage through the same service.
+        service.label_all(sample.pairs[:100])
+        before = service.tracker.pairs_labeled
+        [result] = evaluate_rules([neg_rule(0.5)], sample, service, rng)
+        assert result.accepted
+        # Evaluation re-used the 100 cached labels: few new ones needed.
+        assert service.tracker.pairs_labeled - before <= 60
+
+
+class TestStoppingConditions:
+    def test_label_cap_respected(self, rng):
+        sample, matches = build_sample(n=500, positive_below=0.05)
+        service = make_service(matches, error_rate=0.3)
+        [result] = evaluate_rules(
+            [neg_rule(0.9)], sample, service, rng,
+            max_labels_per_rule=40,
+        )
+        assert result.n_labeled <= 40 + 20  # cap plus one final batch
+
+    def test_whole_coverage_exhausted(self, rng):
+        sample, matches = build_sample(n=30, positive_below=0.2)
+        service = make_service(matches)
+        [result] = evaluate_rules(
+            [neg_rule(0.5)], sample, service, rng, batch_size=50,
+            max_error_margin=1e-9,  # unreachable by sampling
+        )
+        # Margin is exactly 0 once every covered row is labelled.
+        assert result.error_margin == 0.0
+        assert result.n_labeled == result.coverage
+
+
+class TestNoisyCrowd:
+    def test_moderate_noise_still_accepts_good_rule(self, rng):
+        sample, matches = build_sample(n=400, positive_below=0.2)
+        service = make_service(matches, error_rate=0.1)
+        [result] = evaluate_rules([neg_rule(0.4)], sample, service, rng)
+        # Strong-majority voting should hold the precision estimate high.
+        assert result.precision >= 0.9

@@ -1,0 +1,99 @@
+"""Extracting rules from forests (Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ForestConfig
+from repro.exceptions import RuleError
+from repro.forest.forest import train_forest
+from repro.rules.extraction import (
+    extract_negative_rules,
+    extract_positive_rules,
+    extract_rules,
+)
+
+
+@pytest.fixture
+def forest_and_data(rng):
+    x = rng.random((400, 4))
+    y = (x[:, 0] > 0.5) & (x[:, 1] > 0.5)
+    forest = train_forest(x, y, ForestConfig(n_trees=5), rng)
+    return forest, x, y
+
+
+NAMES = ["f0", "f1", "f2", "f3"]
+COSTS = [1.0, 2.0, 4.0, 8.0]
+
+
+class TestExtraction:
+    def test_polarity_filter(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        negative = extract_negative_rules(forest, NAMES)
+        positive = extract_positive_rules(forest, NAMES)
+        both = extract_rules(forest, NAMES)
+        assert all(r.is_negative for r in negative)
+        assert all(not r.is_negative for r in positive)
+        assert len(both) <= len(negative) + len(positive)
+        assert negative and positive
+
+    def test_rules_cover_their_leaf_examples(self, forest_and_data):
+        """Every training example is covered by at least one extracted
+        rule of the label its forest trees assign."""
+        forest, x, _ = forest_and_data
+        rules = extract_rules(forest, NAMES)
+        covered = np.zeros(len(x), dtype=bool)
+        for rule in rules:
+            covered |= rule.applies(x)
+        assert covered.all()
+
+    def test_negative_rules_identify_negatives(self, forest_and_data):
+        """A negative rule from a tree grown on clean separable data
+        should cover mostly true negatives."""
+        forest, x, y = forest_and_data
+        rules = extract_negative_rules(forest, NAMES)
+        for rule in rules[:10]:
+            mask = rule.applies(x)
+            if mask.sum() >= 20:
+                assert (~y[mask]).mean() >= 0.9
+
+    def test_deduplication(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        rules = extract_rules(forest, NAMES)
+        assert len(set(rules)) == len(rules)
+
+    def test_cost_from_distinct_features(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        rules = extract_rules(forest, NAMES, COSTS)
+        for rule in rules:
+            expected = sum(COSTS[i] for i in rule.feature_indices)
+            assert rule.cost == expected
+
+    def test_default_cost_counts_features(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        rules = extract_rules(forest, NAMES)
+        for rule in rules:
+            assert rule.cost == len(rule.feature_indices)
+
+    def test_name_count_mismatch(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        with pytest.raises(RuleError):
+            extract_rules(forest, ["only_one"])
+
+    def test_cost_count_mismatch(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        with pytest.raises(RuleError):
+            extract_rules(forest, NAMES, [1.0])
+
+    def test_unsplit_tree_yields_no_rules(self, rng):
+        # Single-class training -> single-leaf trees -> no conditions.
+        x = rng.random((20, 4))
+        forest = train_forest(x, np.ones(20, dtype=bool),
+                              ForestConfig(n_trees=3), rng)
+        assert extract_rules(forest, NAMES) == []
+
+    def test_source_records_tree(self, forest_and_data):
+        forest, _, _ = forest_and_data
+        rules = extract_rules(forest, NAMES)
+        assert all(rule.source.startswith("tree") for rule in rules)

@@ -1,0 +1,250 @@
+"""The labelling service: cache, HIT packing, budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrowdConfig
+from repro.crowd.aggregation import VoteScheme
+from repro.crowd.cost import CostTracker
+from repro.crowd.service import CachedLabel, LabelingService, _satisfies
+from repro.crowd.simulated import PerfectCrowd, SimulatedCrowd
+from repro.data.pairs import Pair
+from repro.exceptions import BudgetExhaustedError
+
+MATCHES = {Pair(f"a{i}", f"b{i}") for i in range(40)}
+
+
+def make_service(error_rate: float = 0.0, budget: float | None = None,
+                 **crowd_kwargs) -> LabelingService:
+    config = CrowdConfig(**crowd_kwargs)
+    crowd = SimulatedCrowd(MATCHES, error_rate=error_rate,
+                           rng=np.random.default_rng(0))
+    tracker = CostTracker(price_per_question=config.price_per_question,
+                          budget=budget)
+    return LabelingService(crowd, config, tracker)
+
+
+def pairs(n: int, matched: bool = True) -> list[Pair]:
+    if matched:
+        return [Pair(f"a{i}", f"b{i}") for i in range(n)]
+    return [Pair(f"a{i}", f"b{i + 1}") for i in range(n)]
+
+
+class TestLabelAll:
+    def test_labels_everything(self):
+        service = make_service()
+        result = service.label_all(pairs(7))
+        assert len(result) == 7
+        assert all(result.values())
+
+    def test_non_matches_labelled_false(self):
+        service = make_service()
+        result = service.label_all(pairs(5, matched=False))
+        assert not any(result.values())
+
+    def test_cache_reuse_costs_nothing(self):
+        service = make_service()
+        service.label_all(pairs(5))
+        answers_before = service.tracker.answers
+        service.label_all(pairs(5))
+        assert service.tracker.answers == answers_before
+
+    def test_pairs_counted_once(self):
+        service = make_service()
+        service.label_all(pairs(5))
+        service.label_all(pairs(5), scheme=VoteScheme.STRONG_MAJORITY)
+        assert service.tracker.pairs_labeled == 5
+
+
+class TestHitPacking:
+    def test_full_batch_posts_two_hits(self):
+        service = make_service()
+        result = service.label_batch(pairs(20))
+        assert len(result) == 20
+        assert service.tracker.hits == 2
+
+    def test_partial_hit_dropped_when_cache_serves(self):
+        service = make_service()
+        cached = pairs(15)
+        service.label_all(cached)
+        hits_before = service.tracker.hits
+        # 15 cached + 5 fresh: no full HIT of fresh questions -> only the
+        # cached labels return.
+        fresh = pairs(5, matched=False)
+        result = service.label_batch(cached + fresh)
+        assert len(result) == 15
+        assert all(pair in result for pair in cached)
+        assert service.tracker.hits == hits_before
+
+    def test_paper_example_k_3(self):
+        """k=3 cached of 20 -> one HIT of 10 posted, 13 labels back."""
+        service = make_service()
+        cached = pairs(3)
+        service.label_all(cached)
+        result = service.label_batch(cached + pairs(17, matched=False))
+        assert len(result) == 13
+
+    def test_empty_batch_posts_padded_hit(self):
+        """A batch with nothing cached and no full HIT still labels."""
+        service = make_service()
+        result = service.label_batch(pairs(4))
+        assert len(result) == 4
+
+    def test_duplicates_in_request_deduped(self):
+        service = make_service()
+        result = service.label_batch(pairs(10) + pairs(10))
+        assert len(result) == 10
+
+
+class TestCacheSchemes:
+    def test_weak_positive_not_reused_for_strong(self):
+        service = make_service()
+        target = [Pair("a0", "b0")]
+        service.label_all(target, scheme=VoteScheme.MAJORITY_2PLUS1)
+        answers_before = service.tracker.answers
+        service.label_all(target, scheme=VoteScheme.STRONG_MAJORITY)
+        assert service.tracker.answers > answers_before
+
+    def test_asymmetric_negative_reusable(self):
+        service = make_service()
+        target = [Pair("a0", "b5")]  # a non-match
+        service.label_all(target, scheme=VoteScheme.MAJORITY_2PLUS1)
+        answers_before = service.tracker.answers
+        service.label_all(target, scheme=VoteScheme.ASYMMETRIC)
+        assert service.tracker.answers == answers_before
+
+    def test_asymmetric_positive_is_strong(self):
+        service = make_service()
+        target = [Pair("a0", "b0")]
+        service.label_all(target, scheme=VoteScheme.ASYMMETRIC)
+        answers_before = service.tracker.answers
+        service.label_all(target, scheme=VoteScheme.STRONG_MAJORITY)
+        assert service.tracker.answers == answers_before
+
+    def test_satisfies_matrix(self):
+        weak_pos = CachedLabel(True, strong=False)
+        weak_neg = CachedLabel(False, strong=False)
+        strong_pos = CachedLabel(True, strong=True)
+        assert _satisfies(weak_pos, VoteScheme.MAJORITY_2PLUS1)
+        assert not _satisfies(weak_pos, VoteScheme.STRONG_MAJORITY)
+        assert not _satisfies(weak_pos, VoteScheme.ASYMMETRIC)
+        assert _satisfies(weak_neg, VoteScheme.ASYMMETRIC)
+        assert not _satisfies(weak_neg, VoteScheme.STRONG_MAJORITY)
+        assert _satisfies(strong_pos, VoteScheme.STRONG_MAJORITY)
+
+
+class TestSeedsAndViews:
+    def test_seeded_labels_served_free(self):
+        service = make_service()
+        service.seed({Pair("a0", "b0"): True, Pair("a0", "b1"): False})
+        result = service.label_all([Pair("a0", "b0"), Pair("a0", "b1")])
+        assert result == {Pair("a0", "b0"): True, Pair("a0", "b1"): False}
+        assert service.tracker.answers == 0
+
+    def test_positive_pairs_view(self):
+        service = make_service()
+        service.label_all(pairs(3) + pairs(2, matched=False))
+        assert service.positive_pairs() == set(pairs(3))
+
+    def test_cached_label_lookup(self):
+        service = make_service()
+        assert service.cached_label(Pair("a0", "b0")) is None
+        service.label_all([Pair("a0", "b0")])
+        assert service.cached_label(Pair("a0", "b0")) is True
+
+    def test_labeled_pairs_is_copy(self):
+        service = make_service()
+        service.label_all(pairs(1))
+        view = service.labeled_pairs()
+        view.clear()
+        assert service.cache_size == 1
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        service = make_service(budget=0.10)  # ten answers at 1 cent
+        with pytest.raises(BudgetExhaustedError):
+            service.label_all(pairs(30))
+
+    def test_cost_accounting(self):
+        service = make_service()
+        service.label_all(pairs(10))  # perfect crowd, 2+... asymmetric
+        # Every positive needs at least 3 answers under asymmetric.
+        assert service.tracker.answers >= 30
+        assert service.tracker.dollars == pytest.approx(
+            service.tracker.answers * 0.01
+        )
+
+
+class TestNoisyLabels:
+    def test_majority_recovers_truth_mostly(self):
+        service = make_service(error_rate=0.15)
+        result = service.label_all(pairs(30))
+        correct = sum(1 for v in result.values() if v)
+        assert correct >= 27  # strong majority suppresses 15% noise
+
+
+class FlakyCrowd(SimulatedCrowd):
+    """Raises CrowdError on a configurable schedule of ask() calls."""
+
+    def __init__(self, matches, fail_on: set[int], **kwargs):
+        super().__init__(matches, **kwargs)
+        self._fail_on = fail_on
+        self._calls = 0
+
+    def ask(self, pair):
+        self._calls += 1
+        if self._calls in self._fail_on:
+            from repro.exceptions import CrowdError
+            raise CrowdError(f"transient failure on call {self._calls}")
+        return super().ask(pair)
+
+
+class TestPlatformRetries:
+    def _service(self, fail_on, retries=2):
+        config = CrowdConfig(max_platform_retries=retries)
+        crowd = FlakyCrowd(MATCHES, fail_on,
+                           rng=np.random.default_rng(0))
+        tracker = CostTracker(price_per_question=0.01)
+        return LabelingService(crowd, config, tracker), crowd
+
+    def test_transient_failure_is_retried(self):
+        service, _ = self._service(fail_on={2})
+        labels = service.label_all(pairs(3))
+        assert len(labels) == 3
+        assert all(labels.values())
+
+    def test_partial_answers_still_paid(self):
+        # Call 2 fails after call 1 consumed an answer: that answer is
+        # metered even though the aggregation was retried.
+        service, _ = self._service(fail_on={2})
+        service.label_all(pairs(1))
+        # Successful attempt needs >= 3 answers (asymmetric positive),
+        # plus the 1 pre-failure answer.
+        assert service.tracker.answers >= 4
+
+    def test_persistent_failure_propagates(self):
+        from repro.exceptions import CrowdError
+        service, _ = self._service(fail_on=set(range(1, 100)),
+                                   retries=2)
+        with pytest.raises(CrowdError):
+            service.label_all(pairs(1))
+
+    def test_zero_retries_fails_fast(self):
+        from repro.exceptions import CrowdError
+        service, _ = self._service(fail_on={1}, retries=0)
+        with pytest.raises(CrowdError):
+            service.label_all(pairs(1))
+
+    def test_budget_exhaustion_not_retried(self):
+        from repro.exceptions import BudgetExhaustedError
+        config = CrowdConfig(max_platform_retries=5)
+        crowd = SimulatedCrowd(MATCHES, 0.0,
+                               rng=np.random.default_rng(0))
+        tracker = CostTracker(price_per_question=1.0, budget=0.5)
+        service = LabelingService(crowd, config, tracker)
+        tracker.record_answers(1)  # blow the budget
+        with pytest.raises(BudgetExhaustedError):
+            service.label_all(pairs(1))

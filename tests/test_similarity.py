@@ -1,0 +1,206 @@
+"""Similarity measures: known values and property-based invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.features.similarity import (
+    abs_diff,
+    build_idf,
+    cosine_tfidf,
+    exact_match,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    overlap_coefficient,
+    rel_diff,
+)
+
+words = st.text(alphabet="abcdef ", min_size=0, max_size=20)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("s, t, expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("abc", "", 3),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("book", "back", 2),
+    ])
+    def test_known_distances(self, s, t, expected):
+        assert levenshtein_distance(s, t) == expected
+
+    @given(words, words)
+    def test_symmetry(self, s, t):
+        assert levenshtein_distance(s, t) == levenshtein_distance(t, s)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert (levenshtein_distance(a, c)
+                <= levenshtein_distance(a, b) + levenshtein_distance(b, c))
+
+    @given(words)
+    def test_identity(self, s):
+        assert levenshtein_distance(s, s) == 0
+
+    @given(words, words)
+    def test_similarity_in_unit_interval(self, s, t):
+        assert 0.0 <= levenshtein_similarity(s, t) <= 1.0
+
+    def test_similarity_of_empties(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_similarity_normalizes_whitespace(self):
+        assert levenshtein_similarity("a  b", "A B") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic textbook example.
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    @given(words, words)
+    def test_range_and_symmetry(self, s, t):
+        value = jaro(s, t)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(t, s))
+
+    def test_winkler_boosts_common_prefix(self):
+        base = jaro("prefixes", "prefixed")
+        boosted = jaro_winkler("prefixes", "prefixed")
+        assert boosted >= base
+
+    @given(words, words)
+    def test_winkler_at_least_jaro(self, s, t):
+        assert jaro_winkler(s, t) >= jaro(s, t) - 1e-12
+
+    @given(words, words)
+    def test_winkler_in_unit_interval(self, s, t):
+        assert 0.0 <= jaro_winkler(s, t) <= 1.0
+
+
+class TestTokenMeasures:
+    def test_jaccard_known(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_both(self):
+        assert jaccard([], []) == 1.0
+
+    def test_jaccard_one_empty(self):
+        assert jaccard(["a"], []) == 0.0
+
+    def test_overlap_subset_is_one(self):
+        assert overlap_coefficient(["a"], ["a", "b", "c"]) == 1.0
+
+    def test_overlap_one_empty(self):
+        assert overlap_coefficient([], ["a"]) == 0.0
+
+    token_lists = st.lists(st.sampled_from("abcde"), max_size=8)
+
+    @given(token_lists, token_lists)
+    def test_jaccard_leq_overlap(self, ta, tb):
+        assert jaccard(ta, tb) <= overlap_coefficient(ta, tb) + 1e-12
+
+    @given(token_lists, token_lists)
+    def test_jaccard_symmetry(self, ta, tb):
+        assert jaccard(ta, tb) == pytest.approx(jaccard(tb, ta))
+
+
+class TestMongeElkan:
+    def test_reordered_words_stay_similar(self):
+        assert monge_elkan("john smith", "smith john") > 0.9
+
+    def test_identical(self):
+        assert monge_elkan("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_empty_cases(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("word", "") == 0.0
+
+    @given(words, words)
+    def test_range_and_symmetry(self, s, t):
+        value = monge_elkan(s, t)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(monge_elkan(t, s))
+
+
+class TestCosineTfidf:
+    def test_identical_docs(self):
+        idf = build_idf([["a", "b"], ["a"], ["c"]])
+        assert cosine_tfidf(["a", "b"], ["a", "b"], idf) == pytest.approx(1.0)
+
+    def test_disjoint_docs(self):
+        idf = build_idf([["a"], ["b"]])
+        assert cosine_tfidf(["a"], ["b"], idf) == 0.0
+
+    def test_rare_token_dominates(self):
+        # 'rare' appears once in the corpus, 'common' everywhere.
+        corpus = [["common", "rare"]] + [["common"]] * 20
+        idf = build_idf(corpus)
+        with_rare = cosine_tfidf(["common", "rare"], ["rare"], idf)
+        with_common = cosine_tfidf(["common", "rare"], ["common"], idf)
+        assert with_rare > with_common
+
+    def test_unknown_token_gets_max_weight(self):
+        idf = build_idf([["a"]])
+        # Unknown tokens are maximally discriminative, not errors.
+        assert cosine_tfidf(["zz"], ["zz"], idf) == pytest.approx(1.0)
+
+    def test_empty_corpus_ok(self):
+        assert cosine_tfidf(["a"], ["a"], {}) == pytest.approx(1.0)
+
+    def test_both_empty(self):
+        assert cosine_tfidf([], [], {}) == 1.0
+
+
+class TestBuildIdf:
+    def test_rarer_means_heavier(self):
+        idf = build_idf([["a", "b"], ["a"], ["a", "c"]])
+        assert idf["b"] > idf["a"]
+        assert idf["c"] == idf["b"]
+
+    def test_all_weights_positive(self):
+        idf = build_idf([["a"]] * 100)
+        assert all(w > 0 for w in idf.values())
+
+
+class TestScalarMeasures:
+    def test_exact_match_strings_normalized(self):
+        assert exact_match("Hello  World", "hello world") == 1.0
+        assert exact_match("a", "b") == 0.0
+
+    def test_exact_match_numbers(self):
+        assert exact_match(3.0, 3.0) == 1.0
+        assert exact_match(3.0, 4.0) == 0.0
+
+    def test_abs_diff(self):
+        assert abs_diff(10.0, 4.0) == 6.0
+
+    def test_rel_diff(self):
+        assert rel_diff(10.0, 5.0) == 0.5
+        assert rel_diff(0.0, 0.0) == 0.0
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_rel_diff_bounded_for_same_sign(self, a, b):
+        value = rel_diff(a, b)
+        assert value >= 0.0
+        if a * b >= 0:
+            assert value <= 1.0 + 1e-9 or math.isclose(value, 1.0)

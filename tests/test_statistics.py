@@ -1,0 +1,127 @@
+"""Sampling statistics: z-values, FPC margins, sample sizes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.exceptions import EstimationError
+from repro.rules.statistics import (
+    fpc_error_margin,
+    proportion_interval,
+    required_sample_size,
+    z_value,
+)
+
+
+class TestZValue:
+    @pytest.mark.parametrize("confidence", [0.5, 0.8, 0.9, 0.95, 0.99, 0.999])
+    def test_matches_scipy(self, confidence):
+        expected = scipy_stats.norm.ppf(1 - (1 - confidence) / 2)
+        assert z_value(confidence) == pytest.approx(expected, abs=1e-9)
+
+    def test_95_is_1_96(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_out_of_range(self, bad):
+        with pytest.raises(EstimationError):
+            z_value(bad)
+
+    @given(st.floats(0.01, 0.999))
+    def test_monotone(self, confidence):
+        assert z_value(confidence + 0.0005) >= z_value(confidence)
+
+
+class TestErrorMargin:
+    def test_paper_example(self):
+        """Section 6.1: R*=0.8, margin 0.025 needs n_ap >= 984."""
+        # At n = 984 the infinite-population margin dips below 0.025.
+        margin = fpc_error_margin(0.8, 984, population=10**9)
+        assert margin <= 0.025
+        margin_983 = fpc_error_margin(0.8, 983, population=10**9)
+        assert margin_983 > 0.0249
+
+    def test_full_sample_zero_margin(self):
+        assert fpc_error_margin(0.5, 10, population=10) == 0.0
+
+    def test_single_member_population(self):
+        assert fpc_error_margin(1.0, 1, population=1) == 0.0
+
+    def test_fpc_shrinks_margin(self):
+        infinite = fpc_error_margin(0.5, 50, population=10**9)
+        finite = fpc_error_margin(0.5, 50, population=100)
+        assert finite < infinite
+
+    def test_degenerate_proportion(self):
+        assert fpc_error_margin(0.0, 10, population=100) == 0.0
+        assert fpc_error_margin(1.0, 10, population=100) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(p=0.5, n=0, population=10),
+        dict(p=0.5, n=11, population=10),
+        dict(p=1.5, n=5, population=10),
+    ])
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(EstimationError):
+            fpc_error_margin(**kwargs)
+
+    @given(p=st.floats(0, 1), n=st.integers(1, 500),
+           extra=st.integers(0, 10_000))
+    def test_margin_nonnegative_and_decreasing_in_n(self, p, n, extra):
+        population = n + extra
+        margin = fpc_error_margin(p, n, population)
+        assert margin >= 0.0
+        if n + 1 <= population:
+            assert fpc_error_margin(p, n + 1, population) <= margin + 1e-12
+
+
+class TestInterval:
+    def test_clipping(self):
+        low, high = proportion_interval(0.99, 5, population=10**6)
+        assert 0.0 <= low <= 0.99 <= high <= 1.0
+
+    def test_width_is_twice_margin_when_interior(self):
+        margin = fpc_error_margin(0.5, 100, 10**6)
+        low, high = proportion_interval(0.5, 100, 10**6)
+        assert high - low == pytest.approx(2 * margin)
+
+
+class TestRequiredSampleSize:
+    def test_inverts_margin(self):
+        population = 50_000
+        n = required_sample_size(0.5, 0.05, population)
+        assert fpc_error_margin(0.5, n, population) <= 0.05
+        if n > 1:
+            assert fpc_error_margin(0.5, n - 1, population) > 0.05
+
+    def test_capped_at_population(self):
+        assert required_sample_size(0.5, 0.001, population=30) == 30
+
+    def test_zero_variance(self):
+        assert required_sample_size(0.0, 0.05, population=100) == 1
+        assert required_sample_size(1.0, 0.05, population=100) == 1
+
+    def test_worst_case_at_half(self):
+        n_half = required_sample_size(0.5, 0.05, 10**6)
+        n_point9 = required_sample_size(0.9, 0.05, 10**6)
+        assert n_half >= n_point9
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(p=0.5, epsilon=0.0, population=10),
+        dict(p=0.5, epsilon=0.05, population=0),
+        dict(p=-0.1, epsilon=0.05, population=10),
+    ])
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(EstimationError):
+            required_sample_size(**kwargs)
+
+    @given(p=st.floats(0.05, 0.95), eps=st.floats(0.01, 0.2),
+           population=st.integers(10, 10**6))
+    def test_returned_size_always_sufficient(self, p, eps, population):
+        n = required_sample_size(p, eps, population)
+        assert 1 <= n <= population
+        assert fpc_error_margin(p, n, population) <= eps + 1e-9

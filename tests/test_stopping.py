@@ -1,0 +1,151 @@
+"""The matcher's stopping rules (Section 5.3, Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MatcherConfig
+from repro.core.stopping import ConfidenceMonitor, smooth
+from repro.exceptions import ConfigurationError
+
+CFG = MatcherConfig(smoothing_window=5, epsilon=0.01,
+                    n_converged=10, n_high=3, n_degrade=5)
+
+
+def feed(monitor: ConfidenceMonitor, values) -> list:
+    decisions = []
+    for value in values:
+        decisions.append(monitor.add(value))
+    return decisions
+
+
+class TestSmooth:
+    def test_window_one_identity(self):
+        values = [0.1, 0.9, 0.5]
+        assert smooth(values, 1) == values
+
+    def test_centered_average(self):
+        out = smooth([0.0, 3.0, 6.0], 3)
+        assert out[1] == pytest.approx(3.0)
+
+    def test_boundaries_use_available_neighbours(self):
+        out = smooth([0.0, 3.0, 6.0], 3)
+        assert out[0] == pytest.approx(1.5)
+        assert out[2] == pytest.approx(4.5)
+
+    def test_constant_series_unchanged(self):
+        assert smooth([0.7] * 10, 5) == pytest.approx([0.7] * 10)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smooth([1.0], 2)
+
+    def test_same_length(self):
+        assert len(smooth(list(np.linspace(0, 1, 37)), 5)) == 37
+
+
+class TestNearAbsolute:
+    def test_fires_after_n_high(self):
+        monitor = ConfidenceMonitor(CFG)
+        decisions = feed(monitor, [0.999] * 3)
+        assert decisions[-1] is not None
+        assert decisions[-1].reason == "near_absolute"
+        assert decisions[-1].rollback_index == 2
+
+    def test_not_before_n_high(self):
+        monitor = ConfidenceMonitor(CFG)
+        decisions = feed(monitor, [0.999] * 2)
+        assert all(d is None for d in decisions)
+
+    def test_requires_all_high(self):
+        monitor = ConfidenceMonitor(CFG)
+        decisions = feed(monitor, [0.999, 0.5, 0.999])
+        assert decisions[-1] is None
+
+
+class TestConverged:
+    def test_flat_series_converges(self):
+        monitor = ConfidenceMonitor(CFG)
+        decisions = feed(monitor, [0.7] * 10)
+        assert decisions[-1] is not None
+        assert decisions[-1].reason == "converged"
+        assert decisions[-1].rollback_index == 9
+
+    def test_band_of_two_epsilon_allowed(self):
+        monitor = ConfidenceMonitor(CFG)
+        wobble = [0.7 + 0.009 * (-1) ** i for i in range(10)]
+        decisions = feed(monitor, wobble)
+        assert decisions[-1] is not None
+
+    def test_trending_series_does_not_converge(self):
+        monitor = ConfidenceMonitor(CFG)
+        rising = list(np.linspace(0.3, 0.8, 10))
+        decisions = feed(monitor, rising)
+        assert all(d is None for d in decisions)
+
+
+class TestDegrading:
+    def test_peak_then_decline_detected(self):
+        monitor = ConfidenceMonitor(CFG)
+        series = [0.5, 0.6, 0.7, 0.8, 0.9, 0.6, 0.5, 0.45, 0.43, 0.41]
+        decisions = feed(monitor, series)
+        final = decisions[-1]
+        assert final is not None
+        assert final.reason == "degrading"
+        # Rollback points inside the earlier window, at its smoothed peak.
+        assert 0 <= final.rollback_index < len(series) - CFG.n_degrade
+
+    def test_needs_two_full_windows(self):
+        monitor = ConfidenceMonitor(CFG)
+        decisions = feed(monitor, [0.9, 0.8, 0.7, 0.6, 0.5])
+        assert all(d is None for d in decisions)
+
+    def test_small_dip_within_epsilon_ignored(self):
+        config = MatcherConfig(smoothing_window=1, epsilon=0.05,
+                               n_converged=100, n_high=3, n_degrade=3)
+        monitor = ConfidenceMonitor(config)
+        series = [0.70, 0.71, 0.72, 0.70, 0.69, 0.70]
+        decisions = feed(monitor, series)
+        assert all(d is None for d in decisions)
+
+
+class TestSmoothingSuppressesNoise:
+    def test_noisy_peak_does_not_trigger_degrade(self):
+        """A single-spike series must not fire the degrading pattern once
+        smoothed (the paper's motivation for the smoothing window)."""
+        # A 0.25 spike smooths to 0.05 over a width-5 window, so an
+        # epsilon between those two amplitudes separates the monitors.
+        config = MatcherConfig(smoothing_window=5, epsilon=0.06,
+                               n_converged=100, n_high=2, n_degrade=4)
+        raw = [0.70] * 4 + [0.95] + [0.70] * 7  # one spike
+        unsmoothed_config = MatcherConfig(
+            smoothing_window=1, epsilon=0.06,
+            n_converged=100, n_high=2, n_degrade=4,
+        )
+        spiky = ConfidenceMonitor(unsmoothed_config)
+        smooth_monitor = ConfidenceMonitor(config)
+        spiky_decisions = feed(spiky, raw)
+        smooth_decisions = feed(smooth_monitor, raw)
+        assert any(
+            d is not None and d.reason == "degrading"
+            for d in spiky_decisions
+        )
+        assert not any(
+            d is not None and d.reason == "degrading"
+            for d in smooth_decisions
+        )
+
+
+class TestMonitorViews:
+    def test_raw_is_copy(self):
+        monitor = ConfidenceMonitor(CFG)
+        monitor.add(0.5)
+        raw = monitor.raw
+        raw.append(99.0)
+        assert monitor.raw == [0.5]
+
+    def test_smoothed_length_matches(self):
+        monitor = ConfidenceMonitor(CFG)
+        feed(monitor, [0.1, 0.2, 0.3])
+        assert len(monitor.smoothed()) == 3

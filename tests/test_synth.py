@@ -1,0 +1,237 @@
+"""Synthetic dataset generators: sizes, ground truth, difficulty ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import Pair
+from repro.exceptions import DataError
+from repro.features.library import build_feature_library
+from repro.features.vectorize import vectorize_pairs
+from repro.synth import (
+    generate_citations,
+    generate_products,
+    generate_restaurants,
+    load_dataset,
+)
+from repro.synth.registry import BENCH_SCALE, DATASET_NAMES, PAPER_SCALE
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestRegistry:
+    def test_bench_scale_sizes(self, name):
+        dataset = load_dataset(name, scale="bench", seed=3)
+        n_a, n_b, n_matches = BENCH_SCALE[name]
+        stats = dataset.stats()
+        assert stats.size_a == n_a
+        assert stats.size_b == n_b
+        assert stats.n_matches == n_matches
+
+    def test_deterministic_per_seed(self, name):
+        d1 = load_dataset(name, seed=5)
+        d2 = load_dataset(name, seed=5)
+        assert d1.matches == d2.matches
+        assert d1.table_a.record_ids == d2.table_a.record_ids
+        r1 = d1.table_a.at(0)
+        r2 = d2.table_a.at(0)
+        assert r1.values == r2.values
+
+    def test_different_seeds_differ(self, name):
+        d1 = load_dataset(name, seed=1)
+        d2 = load_dataset(name, seed=2)
+        assert d1.matches != d2.matches or (
+            d1.table_a.at(0).values != d2.table_a.at(0).values
+        )
+
+    def test_seed_examples_valid(self, name):
+        dataset = load_dataset(name, seed=3)
+        assert len(dataset.seed_pairs) == 4
+        labels = dataset.seed_labels
+        assert sum(labels.values()) == 2  # two positives, two negatives
+        for pair in dataset.seed_pairs:
+            assert pair.a_id in dataset.table_a
+            assert pair.b_id in dataset.table_b
+
+    def test_matches_reference_existing_records(self, name):
+        dataset = load_dataset(name, seed=3)
+        for pair in dataset.matches:
+            assert pair.a_id in dataset.table_a
+            assert pair.b_id in dataset.table_b
+
+    def test_instruction_nonempty(self, name):
+        assert load_dataset(name).instruction
+
+
+class TestRegistryErrors:
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            load_dataset("nonsense")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DataError):
+            load_dataset("restaurants", scale="giant")
+
+    def test_paper_scale_constants_match_table1(self):
+        assert PAPER_SCALE["restaurants"] == (533, 331, 112)
+        assert PAPER_SCALE["citations"] == (2616, 64263, 5347)
+        assert PAPER_SCALE["products"] == (2554, 22074, 1154)
+
+
+class TestGeneratorConstraints:
+    def test_too_many_matches_rejected(self):
+        with pytest.raises(DataError):
+            generate_restaurants(n_a=10, n_b=10, n_matches=11)
+
+    def test_too_few_matches_rejected(self):
+        with pytest.raises(DataError):
+            generate_products(n_a=10, n_b=10, n_matches=2)
+
+    def test_citations_many_to_one(self):
+        dataset = generate_citations(n_a=50, n_b=300, n_matches=90, seed=2)
+        a_sides = [pair.a_id for pair in dataset.matches]
+        assert len(set(a_sides)) < len(a_sides)  # duplicates exist
+
+    def test_citations_copy_cap(self):
+        with pytest.raises(DataError):
+            # 4 copies per paper needed -> impossible with cap of 3.
+            generate_citations(n_a=5, n_b=100, n_matches=20)
+
+
+class TestRecordShapes:
+    def test_restaurant_b_side_formatting_differs(self):
+        dataset = generate_restaurants(n_a=50, n_b=40, n_matches=20, seed=1)
+        pair = sorted(dataset.matches)[0]
+        phone_a = dataset.table_a[pair.a_id].get("phone")
+        phone_b = dataset.table_b[pair.b_id].get("phone")
+        if phone_a is not None and phone_b is not None:
+            assert "-" in phone_a
+            assert "/" in phone_b
+
+    def test_products_prices_positive(self):
+        dataset = generate_products(n_a=40, n_b=60, n_matches=10, seed=1)
+        for table in (dataset.table_a, dataset.table_b):
+            for record in table:
+                price = record.get("price")
+                assert price is None or price > 0
+
+    def test_citations_years_plausible(self):
+        dataset = generate_citations(n_a=40, n_b=100, n_matches=30, seed=1)
+        for record in dataset.table_b:
+            year = record.get("year")
+            assert year is None or 1980 <= year <= 2015
+
+
+def _mean_match_separation(dataset) -> float:
+    """Mean feature-similarity gap between matches and hard non-matches.
+
+    A crude proxy for dataset difficulty: the average (over a sample) of
+    match similarity minus non-match similarity on the first text-ish
+    feature column.
+    """
+    library = build_feature_library(dataset.table_a, dataset.table_b)
+    matches = sorted(dataset.matches)[:40]
+    rng = np.random.default_rng(0)
+    non_matches = []
+    a_ids = dataset.table_a.record_ids
+    b_ids = dataset.table_b.record_ids
+    while len(non_matches) < 40:
+        pair = Pair(a_ids[rng.integers(len(a_ids))],
+                    b_ids[rng.integers(len(b_ids))])
+        if pair not in dataset.matches:
+            non_matches.append(pair)
+    cs = vectorize_pairs(dataset.table_a, dataset.table_b,
+                         matches + non_matches, library)
+    values = np.nan_to_num(cs.features, nan=0.0)
+    # Use the mean over all similarity columns (exclude *_abs_diff).
+    keep = [i for i, name in enumerate(cs.feature_names)
+            if "abs_diff" not in name]
+    scores = values[:, keep].mean(axis=1)
+    return float(scores[:len(matches)].mean()
+                 - scores[len(matches):].mean())
+
+
+def test_difficulty_ordering_restaurants_easiest():
+    """Restaurants matches should be more separable than products ones."""
+    easy = _mean_match_separation(
+        generate_restaurants(n_a=80, n_b=60, n_matches=25, seed=4)
+    )
+    hard = _mean_match_separation(
+        generate_products(n_a=80, n_b=120, n_matches=25, seed=4)
+    )
+    assert easy > hard
+
+
+class TestPaperScale:
+    """Paper-scale generation stays correct and tractable (Table 1)."""
+
+    def test_restaurants_paper_scale(self):
+        dataset = load_dataset("restaurants", scale="paper", seed=1)
+        stats = dataset.stats()
+        assert (stats.size_a, stats.size_b, stats.n_matches) == \
+            (533, 331, 112)
+        # The paper's positive density: 112/176K ~ 0.06%.
+        assert stats.positive_density == pytest.approx(0.000635, abs=1e-4)
+
+    def test_products_paper_scale(self):
+        dataset = load_dataset("products", scale="paper", seed=1)
+        stats = dataset.stats()
+        assert (stats.size_a, stats.size_b, stats.n_matches) == \
+            (2554, 22074, 1154)
+
+    def test_citations_paper_scale_many_to_one(self):
+        dataset = load_dataset("citations", scale="paper", seed=1)
+        stats = dataset.stats()
+        assert (stats.size_a, stats.size_b, stats.n_matches) == \
+            (2616, 64263, 5347)
+        # 5347 matches over <= 2616 DBLP papers forces multi-copy papers.
+        a_sides = {}
+        for pair in dataset.matches:
+            a_sides[pair.a_id] = a_sides.get(pair.a_id, 0) + 1
+        assert max(a_sides.values()) >= 2
+        assert max(a_sides.values()) <= 3
+
+
+class TestSongs:
+    """The extra (non-paper) songs dataset."""
+
+    def test_live_versions_are_hard_negatives(self):
+        from repro.synth.songs import generate_songs
+        dataset = generate_songs(n_a=100, n_b=600, n_matches=60, seed=2)
+        live_ids = {
+            record.record_id for record in dataset.table_b
+            if "(live)" in str(record.get("title")).lower()
+        }
+        assert live_ids, "songs must plant live-version hard negatives"
+        matched_b = {pair.b_id for pair in dataset.matches}
+        assert not live_ids & matched_b
+
+    def test_durations_positive(self):
+        from repro.synth.songs import generate_songs
+        dataset = generate_songs(n_a=50, n_b=200, n_matches=20, seed=1)
+        for table in (dataset.table_a, dataset.table_b):
+            for record in table:
+                assert record.get("duration") > 0
+
+    def test_artists_reused_across_tracks(self):
+        """Artist name alone must not identify a track."""
+        from repro.synth.songs import generate_songs
+        dataset = generate_songs(n_a=100, n_b=400, n_matches=30, seed=3)
+        artists = [r.get("artist") for r in dataset.table_a]
+        assert len(set(artists)) < len(artists)
+
+    def test_pipeline_can_match_songs(self, fast_config):
+        """End-to-end sanity on the fourth schema."""
+        import numpy as np
+        from repro.core.pipeline import Corleone
+        from repro.crowd.simulated import PerfectCrowd
+        from repro.synth.songs import generate_songs
+        dataset = generate_songs(n_a=60, n_b=150, n_matches=20, seed=5)
+        crowd = PerfectCrowd(dataset.matches,
+                             rng=np.random.default_rng(1))
+        pipeline = Corleone(fast_config, crowd,
+                            rng=np.random.default_rng(2))
+        result = pipeline.run(dataset.table_a, dataset.table_b,
+                              dataset.seed_labels, mode="one_iteration")
+        found = result.predicted_matches & dataset.matches
+        assert len(found) >= 0.6 * len(dataset.matches)

@@ -1,0 +1,65 @@
+"""Normalization, word tokens and q-grams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.features.tokenize import normalize, qgrams, word_tokens
+
+
+class TestNormalize:
+    def test_lowercases_and_collapses(self):
+        assert normalize("  Hello   WORLD ") == "hello world"
+
+    def test_keeps_punctuation(self):
+        assert normalize("KHX-1800/4G") == "khx-1800/4g"
+
+    @given(st.text(max_size=40))
+    def test_idempotent(self, text):
+        assert normalize(normalize(text)) == normalize(text)
+
+
+class TestWordTokens:
+    def test_strips_punctuation(self):
+        assert word_tokens("Hello, world!") == ["hello", "world"]
+
+    def test_keeps_digits(self):
+        assert word_tokens("4GB kit") == ["4gb", "kit"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+        assert word_tokens("...") == []
+
+    @given(st.text(max_size=40))
+    def test_all_tokens_alphanumeric(self, text):
+        for token in word_tokens(text):
+            assert token.isalnum()
+            assert token == token.lower()
+
+
+class TestQgrams:
+    def test_padding(self):
+        assert qgrams("ab", q=2) == ["#a", "ab", "b#"]
+
+    def test_q3_known(self):
+        grams = qgrams("abc", q=3)
+        assert grams == ["##a", "#ab", "abc", "bc#", "c##"]
+
+    def test_empty_text(self):
+        assert qgrams("", q=3) == []
+
+    def test_q1_is_characters(self):
+        assert qgrams("abc", q=1) == ["a", "b", "c"]
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=20),
+           st.integers(1, 5))
+    def test_count_formula(self, text, q):
+        # Padded length is len + 2(q-1); gram count is that minus q-1... i.e.
+        # len(text) + q - 1 grams for normalized non-empty text.
+        expected = len(normalize(text)) + q - 1
+        assert len(qgrams(text, q)) == expected

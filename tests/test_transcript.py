@@ -1,0 +1,109 @@
+"""Crowd transcripts and worker-agreement auditing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrowdConfig
+from repro.crowd.base import WorkerAnswer
+from repro.crowd.service import LabelingService
+from repro.crowd.simulated import HeterogeneousCrowd, PerfectCrowd
+from repro.crowd.transcript import (
+    TranscriptingPlatform,
+    group_by_question,
+    transcript_from_jsonl,
+    transcript_to_jsonl,
+    worker_agreement_report,
+)
+from repro.data.pairs import Pair
+from repro.exceptions import DataError
+
+MATCHES = {Pair(f"a{i}", f"b{i}") for i in range(30)}
+
+
+def make_recording_service(crowd=None):
+    crowd = crowd or PerfectCrowd(MATCHES, rng=np.random.default_rng(0))
+    recorder = TranscriptingPlatform(crowd)
+    return LabelingService(recorder, CrowdConfig()), recorder
+
+
+class TestRecording:
+    def test_every_answer_recorded(self):
+        service, recorder = make_recording_service()
+        service.label_all([Pair("a0", "b0"), Pair("a1", "b2")])
+        assert recorder.n_answers == service.tracker.answers
+
+    def test_grouping_preserves_order(self):
+        service, recorder = make_recording_service()
+        service.label_all([Pair("a0", "b0"), Pair("a1", "b2")])
+        transcripts = group_by_question(recorder.log)
+        assert transcripts[0].pair == Pair("a0", "b0")
+        assert transcripts[1].pair == Pair("a1", "b2")
+        # Asymmetric positive needs >= 3 answers; unanimous negative 2.
+        assert transcripts[0].n_answers >= 3
+        assert transcripts[1].n_answers == 2
+
+    def test_majority_and_unanimity(self):
+        answers = [
+            WorkerAnswer(Pair("x", "y"), True, 1),
+            WorkerAnswer(Pair("x", "y"), False, 2),
+            WorkerAnswer(Pair("x", "y"), True, 3),
+        ]
+        [item] = group_by_question(answers)
+        assert item.majority is True
+        assert not item.unanimous
+        assert item.positives == 2
+
+    def test_clear(self):
+        service, recorder = make_recording_service()
+        service.label_all([Pair("a0", "b0")])
+        recorder.clear()
+        assert recorder.n_answers == 0
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        service, recorder = make_recording_service()
+        service.label_all([Pair("a0", "b0"), Pair("a1", "b9")])
+        transcripts = group_by_question(recorder.log)
+        path = tmp_path / "audit.jsonl"
+        transcript_to_jsonl(transcripts, path)
+        loaded = transcript_from_jsonl(path)
+        assert loaded == transcripts
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            transcript_from_jsonl(tmp_path / "nope.jsonl")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a_id": "x"}\n')
+        with pytest.raises(DataError):
+            transcript_from_jsonl(path)
+
+
+class TestWorkerAgreement:
+    def test_spammer_stands_out(self):
+        """A worker pool with one adversary: the report flags them."""
+        # Worker error rates: four careful workers, one coin-flipper.
+        crowd = HeterogeneousCrowd(MATCHES, [0.02, 0.02, 0.02, 0.02, 0.5],
+                                   rng=np.random.default_rng(3))
+        service, recorder = make_recording_service(crowd)
+        questions = [Pair(f"a{i}", f"b{i}") for i in range(30)]
+        from repro.crowd.aggregation import VoteScheme
+        service.label_all(questions, scheme=VoteScheme.STRONG_MAJORITY)
+        report = worker_agreement_report(group_by_question(recorder.log))
+        if 4 in report and report[4]["questions"] >= 5:
+            careful = [report[w]["agreement"] for w in (0, 1, 2, 3)
+                       if w in report and report[w]["questions"] >= 5]
+            if careful:
+                assert report[4]["agreement"] < min(careful) + 0.25
+
+    def test_short_questions_excluded(self):
+        answers = [
+            WorkerAnswer(Pair("x", "y"), True, 1),
+            WorkerAnswer(Pair("x", "y"), True, 2),
+        ]
+        report = worker_agreement_report(group_by_question(answers))
+        assert report == {}

@@ -1,0 +1,54 @@
+"""Pair vectorization into candidate sets."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import Pair
+from repro.data.table import Record
+from repro.exceptions import DataError
+from repro.features.vectorize import vectorize_pairs
+
+
+class TestVectorize:
+    def test_shape_and_alignment(self, book_tables, book_candidates):
+        candidates, library = book_candidates
+        assert candidates.features.shape == (9, len(library))
+        assert candidates.feature_names == library.names
+
+    def test_matching_pair_scores_high(self, book_candidates):
+        candidates, _ = book_candidates
+        title_col = candidates.feature_index("title_levenshtein")
+        match = candidates.vector(Pair("a0", "b0"))[title_col]
+        non_match = candidates.vector(Pair("a0", "b2"))[title_col]
+        assert match > non_match
+
+    def test_unknown_record_raises(self, book_tables, book_candidates):
+        table_a, table_b = book_tables
+        _, library = book_candidates
+        with pytest.raises(DataError):
+            vectorize_pairs(table_a, table_b, [Pair("ghost", "b0")], library)
+
+    def test_empty_pairs(self, book_tables, book_candidates):
+        table_a, table_b = book_tables
+        _, library = book_candidates
+        empty = vectorize_pairs(table_a, table_b, [], library)
+        assert len(empty) == 0
+        assert empty.features.shape == (0, len(library))
+
+    def test_missing_values_become_nan(self, book_tables, book_candidates):
+        table_a, table_b = book_tables
+        _, library = book_candidates
+        table_a.add(Record("a9", {"title": None, "author": None,
+                                  "pages": None}))
+        out = vectorize_pairs(table_a, table_b, [Pair("a9", "b0")], library)
+        assert all(math.isnan(v) for v in out.features[0])
+
+    def test_deterministic(self, book_tables, book_candidates):
+        table_a, table_b = book_tables
+        first, library = book_candidates
+        again = vectorize_pairs(table_a, table_b, list(first.pairs), library)
+        np.testing.assert_array_equal(first.features, again.features)

@@ -1,0 +1,117 @@
+"""The weighted blocking sampler (the §10 "better sampling" extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import Pair
+from repro.data.sampling import blocker_sample, weighted_blocker_sample
+from repro.data.table import AttrType, Record, Schema, Table
+from repro.exceptions import DataError
+
+SCHEMA = Schema.from_pairs([
+    ("name", AttrType.STRING), ("value", AttrType.NUMERIC),
+])
+
+
+def clustered_tables(n_a=20, n_b=400, n_matched_rows=30, seed=0):
+    """Matches concentrated in one corner of B (non-uniform placement).
+
+    Matched B rows share a rare token ('zyzzyx<k>') with an A row; the
+    rest of B uses common vocabulary.
+    """
+    rng = np.random.default_rng(seed)
+    table_a = Table("a", SCHEMA)
+    for i in range(n_a):
+        table_a.add(Record(f"a{i}", {
+            "name": f"zyzzyx{i} common words here", "value": float(i),
+        }))
+    table_b = Table("b", SCHEMA)
+    matches = set()
+    # Matched rows live at the very end of B (worst case for uniform
+    # sampling assumptions about placement... placement doesn't matter
+    # for uniform draws, but scarcity does).
+    for j in range(n_b - n_matched_rows):
+        table_b.add(Record(f"b{j}", {
+            "name": "common words here again", "value": float(j),
+        }))
+    for k in range(n_matched_rows):
+        j = n_b - n_matched_rows + k
+        a_index = k % n_a
+        table_b.add(Record(f"b{j}", {
+            "name": f"zyzzyx{a_index} common words", "value": float(j),
+        }))
+        matches.add(Pair(f"a{a_index}", f"b{j}"))
+    return table_a, table_b, matches
+
+
+class TestWeightedSampler:
+    def test_boosts_positive_density(self):
+        table_a, table_b, matches = clustered_tables()
+        t_b = 20 * 40  # 40 B rows of 400
+
+        def density(sampler, seed):
+            rng = np.random.default_rng(seed)
+            sample = sampler(table_a, table_b, t_b, rng)
+            positives = sum(1 for pair in sample if pair in matches)
+            return positives / len(sample)
+
+        uniform = np.mean([density(blocker_sample, s) for s in range(5)])
+        weighted = np.mean([
+            density(weighted_blocker_sample, s) for s in range(5)
+        ])
+        assert weighted > uniform * 1.5
+
+    def test_sample_size_matches_uniform_sampler(self):
+        table_a, table_b, _ = clustered_tables()
+        rng = np.random.default_rng(1)
+        sample = weighted_blocker_sample(table_a, table_b, 200, rng)
+        # ceil(200 / 20) = 10 B rows x 20 A rows.
+        assert len(sample) == 200
+
+    def test_includes_seed_pairs(self):
+        table_a, table_b, matches = clustered_tables()
+        seeds = sorted(matches)[:2]
+        rng = np.random.default_rng(1)
+        sample = weighted_blocker_sample(table_a, table_b, 100, rng,
+                                         seed_pairs=seeds)
+        for seed in seeds:
+            assert seed in sample
+
+    def test_no_duplicates(self):
+        table_a, table_b, _ = clustered_tables()
+        rng = np.random.default_rng(2)
+        sample = weighted_blocker_sample(table_a, table_b, 300, rng)
+        assert len(sample) == len(set(sample))
+
+    def test_explicit_attribute(self):
+        table_a, table_b, _ = clustered_tables()
+        rng = np.random.default_rng(3)
+        sample = weighted_blocker_sample(table_a, table_b, 100, rng,
+                                         attribute="name")
+        assert sample
+
+    def test_numeric_only_schema_rejected(self):
+        schema = Schema.from_pairs([("x", AttrType.NUMERIC)])
+        table_a = Table("a", schema, [Record("a0", {"x": 1.0})])
+        table_b = Table("b", schema, [Record("b0", {"x": 2.0})])
+        with pytest.raises(DataError):
+            weighted_blocker_sample(table_a, table_b, 10,
+                                    np.random.default_rng(0))
+
+    def test_empty_table_rejected(self):
+        table_a, table_b, _ = clustered_tables()
+        empty = Table("e", SCHEMA)
+        with pytest.raises(DataError):
+            weighted_blocker_sample(empty, table_b, 10,
+                                    np.random.default_rng(0))
+
+    def test_orientation_preserved_when_swapped(self):
+        table_a, table_b, _ = clustered_tables()
+        # Pass the big table as A: pairs must still be (a_id from A, ...).
+        rng = np.random.default_rng(4)
+        sample = weighted_blocker_sample(table_b, table_a, 100, rng)
+        for pair in sample[:20]:
+            assert pair.a_id.startswith("b")
+            assert pair.b_id.startswith("a")
