@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results examples clean
+.PHONY: install test bench bench-smoke results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick substrate microbenches; refreshes the BENCH_substrates.json
+# baseline (scalar vs batched feature-evaluation throughput).
+bench-smoke:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_micro_substrates.py --benchmark-only \
+		--benchmark-json=benchmarks/results/substrates_benchmark.json
+	$(PYTHON) benchmarks/collect_results.py \
+		--substrates benchmarks/results/substrates_benchmark.json
 
 results: bench
 	$(PYTHON) benchmarks/collect_results.py

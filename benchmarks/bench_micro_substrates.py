@@ -68,6 +68,59 @@ class TestVectorizationMicro:
         assert len(result) == 1000
 
 
+class TestEngineThroughput:
+    """Scalar vs batched vectorization on products at 10k pairs.
+
+    The pair of timings (same pairs, same library, engine switched)
+    is the headline number for the batched feature-evaluation engine;
+    ``collect_results.py --substrates`` distills their ratio into the
+    ``BENCH_substrates.json`` baseline.
+    """
+
+    N_PAIRS = 10_000
+
+    @pytest.fixture(scope="class")
+    def products_world(self):
+        from repro.data.pairs import Pair
+        from repro.features.library import build_feature_library
+        from repro.synth.products import generate_products
+        dataset = generate_products(n_a=250, n_b=2200, n_matches=115,
+                                    seed=9)
+        library = build_feature_library(dataset.table_a, dataset.table_b)
+        a_ids = [r.record_id for r in dataset.table_a]
+        b_ids = [r.record_id for r in dataset.table_b]
+        rng = np.random.default_rng(2)
+        flat = rng.choice(len(a_ids) * len(b_ids), size=self.N_PAIRS,
+                          replace=False)
+        pairs = [
+            Pair(a_ids[index // len(b_ids)], b_ids[index % len(b_ids)])
+            for index in flat
+        ]
+        return dataset, library, pairs
+
+    def _run(self, benchmark, products_world, engine, rounds):
+        from repro.features.vectorize import vectorize_pairs
+        dataset, library, pairs = products_world
+        result = benchmark.pedantic(
+            lambda: vectorize_pairs(
+                dataset.table_a, dataset.table_b, pairs, library,
+                engine=engine,
+            ),
+            rounds=rounds, iterations=1, warmup_rounds=1,
+        )
+        benchmark.extra_info["engine"] = engine
+        benchmark.extra_info["pairs"] = self.N_PAIRS
+        assert len(result) == self.N_PAIRS
+
+    def test_vectorize_products_10k_scalar(self, benchmark,
+                                           products_world):
+        self._run(benchmark, products_world, "scalar", rounds=2)
+
+    def test_vectorize_products_10k_batched(self, benchmark,
+                                            products_world):
+        self._run(benchmark, products_world, "batched", rounds=5)
+
+
 class TestForestMicro:
     @pytest.fixture(scope="class")
     def training_data(self):

@@ -26,6 +26,7 @@ from ..data.sampling import (
     weighted_blocker_sample,
 )
 from ..data.table import Table
+from ..features.batch import table_cache
 from ..features.library import FeatureLibrary
 from ..features.vectorize import vectorize_pairs
 from ..rules.evaluation import RuleEvaluation, evaluate_rules
@@ -229,8 +230,12 @@ def apply_rules_parallel(table_a: Table, table_b: Table,
     the library from the tables (cheap relative to pair scoring).  That
     makes corpus-dependent features unsafe to shard — a worker's TF/IDF
     weights would differ from the full corpus — so rules touching a
-    ``cosine_tfidf`` feature force the sequential path.  Also falls back
-    when ``n_workers <= 1`` or A is tiny.
+    ``cosine_tfidf`` feature force the sequential path.  Each worker
+    verifies its rebuilt library against the parent's feature names
+    (shipped in the job payload) — any mismatch aborts the pool and
+    falls back to sequential application with a warning, since rule
+    indices into a misaligned library would score the wrong features.
+    Also falls back when ``n_workers <= 1`` or A is tiny.
     """
     corpus_dependent = any(
         library.features[index].measure == "cosine_tfidf"
@@ -250,16 +255,40 @@ def apply_rules_parallel(table_a: Table, table_b: Table,
     rule_payload = [_rule_payload(rule) for rule in rules]
     jobs = [
         (table_a.subset(shard, name=f"shard{i}"), table_b,
-         rule_payload, chunk_size)
+         rule_payload, library.names, chunk_size)
         for i, shard in enumerate(shards)
     ]
     context = multiprocessing.get_context("fork")
-    with context.Pool(processes=min(n_workers, len(jobs))) as pool:
-        results = pool.map(_apply_shard, jobs)
+    try:
+        with context.Pool(processes=min(n_workers, len(jobs))) as pool:
+            results = pool.map(_apply_shard, jobs)
+    except LibraryMismatchError as error:
+        # A worker's rebuilt library did not reproduce the parent's
+        # feature order, so the rules' feature indices would have read
+        # the wrong columns.  Fall back to the (correct) sequential path.
+        import warnings
+
+        warnings.warn(
+            f"parallel blocking disabled: {error}; "
+            "falling back to sequential rule application",
+            RuntimeWarning, stacklevel=2,
+        )
+        return apply_rules_streaming(table_a, table_b, rules, library,
+                                     chunk_size)
     survivors: list[Pair] = []
     for part in results:
         survivors.extend(Pair(a, b) for a, b in part)
     return survivors
+
+
+class LibraryMismatchError(Exception):
+    """A worker's rebuilt feature library disagrees with the parent's.
+
+    Raised (module-level, so it pickles across the process boundary) when
+    a shard's :func:`build_feature_library` output has different feature
+    names/order than the parent library the rules were extracted from —
+    rule predicate indices would silently score the wrong features.
+    """
 
 
 def _rule_payload(rule: Rule) -> dict:
@@ -289,10 +318,15 @@ def _rule_from_payload(payload: dict) -> Rule:
 
 def _apply_shard(job: tuple) -> list[tuple[str, str]]:
     """Worker body: rebuild the library, stream one shard of A x B."""
-    shard_a, table_b, rule_payload, chunk_size = job
+    shard_a, table_b, rule_payload, expected_names, chunk_size = job
     from ..features.library import build_feature_library
 
     library = build_feature_library(shard_a, table_b)
+    if library.names != tuple(expected_names):
+        raise LibraryMismatchError(
+            f"worker library for shard {shard_a.name!r} has features "
+            f"{library.names!r}, parent expected {tuple(expected_names)!r}"
+        )
     rules = [_rule_from_payload(payload) for payload in rule_payload]
     survivors = apply_rules_streaming(shard_a, table_b, rules, library,
                                       chunk_size)
@@ -305,15 +339,18 @@ def apply_rules_streaming(table_a: Table, table_b: Table,
     """Apply blocking rules over A x B in chunks; return the survivors.
 
     Only the features the rules actually reference are computed — the
-    per-pair cost the greedy selector optimized for.  This is the
-    laptop-scale stand-in for the paper's Hadoop job.
+    per-pair cost the greedy selector optimized for — and each one
+    evaluates a whole chunk at once through ``Feature.batch_value`` on
+    the shared per-table caches.  This is the laptop-scale stand-in for
+    the paper's Hadoop job.
     """
     needed = sorted({
         index for rule in rules for index in rule.feature_indices
     })
     needed_features = [library.features[i] for i in needed]
-    column_of = {index: col for col, index in enumerate(needed)}
     width = len(library)
+    cache_a = table_cache(table_a)
+    cache_b = table_cache(table_b)
 
     survivors: list[Pair] = []
     chunk: list[Pair] = []
@@ -321,16 +358,15 @@ def apply_rules_streaming(table_a: Table, table_b: Table,
     def flush() -> None:
         if not chunk:
             return
-        partial = np.full((len(chunk), len(needed)), np.nan)
-        for row, pair in enumerate(chunk):
-            record_a = table_a[pair.a_id]
-            record_b = table_b[pair.b_id]
-            for col, feature in enumerate(needed_features):
-                partial[row, col] = feature.value(record_a, record_b)
-        # Expand to full library width so predicate indices line up.
+        records_a = [table_a[pair.a_id] for pair in chunk]
+        records_b = [table_b[pair.b_id] for pair in chunk]
+        # Fill only the needed columns of a full-width matrix so predicate
+        # indices line up; the rest stays NaN and is never read.
         matrix = np.full((len(chunk), width), np.nan)
-        for index, col in column_of.items():
-            matrix[:, index] = partial[:, col]
+        for index, feature in zip(needed, needed_features):
+            matrix[:, index] = feature.batch_value(
+                records_a, records_b, cache_a, cache_b
+            )
         blocked = np.zeros(len(chunk), dtype=bool)
         for rule in rules:
             blocked |= rule.applies(matrix)

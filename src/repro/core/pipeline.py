@@ -69,6 +69,24 @@ class CorleoneResult:
         return self.cost.dollars
 
 
+@dataclass
+class _RunProgress:
+    """State ``_run`` has accumulated so far, readable if it aborts.
+
+    ``run`` hands an instance to ``_run``, which writes each milestone
+    into it as soon as it exists — so a :class:`BudgetExhaustedError`
+    escaping mid-run still leaves the real blocker result, candidate set
+    and completed iterations available to report, instead of fabricated
+    empties.
+    """
+
+    blocker: BlockerResult | None = None
+    candidates: CandidateSet | None = None
+    iterations: list[IterationRecord] = field(default_factory=list)
+    best_predictions: frozenset[Pair] = frozenset()
+    best_estimate: AccuracyEstimate | None = None
+
+
 class Corleone:
     """The hands-off crowdsourced EM pipeline.
 
@@ -112,18 +130,32 @@ class Corleone:
         self._check_seeds(seed_labels)
         library = build_feature_library(table_a, table_b)
 
+        progress = _RunProgress()
         try:
             return self._run(table_a, table_b, seed_labels, library, mode,
-                             budget_plan)
+                             budget_plan, progress)
         except BudgetExhaustedError:
-            # Return whatever state the partial run produced.
-            empty = CandidateSet.empty(library.names)
+            # Return the state the partial run actually accumulated — the
+            # real blocker result, candidate set and completed iterations
+            # — so callers can still inspect how far the run got.
+            if progress.best_predictions:
+                predicted = progress.best_predictions
+            elif progress.iterations:
+                predicted = progress.iterations[-1].predicted_pairs
+            else:
+                predicted = frozenset(self.service.positive_pairs())
             return CorleoneResult(
-                predicted_matches=frozenset(self.service.positive_pairs()),
-                candidates=empty,
-                blocker=BlockerResult(
-                    triggered=False, candidate_pairs=[], cartesian=0
-                ),
+                predicted_matches=predicted,
+                candidates=(progress.candidates
+                            if progress.candidates is not None
+                            else CandidateSet.empty(library.names)),
+                blocker=(progress.blocker
+                         if progress.blocker is not None
+                         else BlockerResult(triggered=False,
+                                            candidate_pairs=[],
+                                            cartesian=0)),
+                iterations=progress.iterations,
+                estimate=progress.best_estimate,
                 cost=self.tracker.snapshot(),
                 stop_reason="budget_exhausted",
             )
@@ -132,7 +164,8 @@ class Corleone:
 
     def _run(self, table_a: Table, table_b: Table,
              seed_labels: dict[Pair, bool], library: FeatureLibrary,
-             mode: str, budget_plan: BudgetPlan | None) -> CorleoneResult:
+             mode: str, budget_plan: BudgetPlan | None,
+             progress: _RunProgress) -> CorleoneResult:
         manager = (PhaseBudgetManager(budget_plan, self.tracker)
                    if budget_plan is not None else None)
 
@@ -145,9 +178,11 @@ class Corleone:
         with phase("blocking"):
             blocker_result = blocker.run(table_a, table_b, library,
                                          seed_labels)
+        progress.blocker = blocker_result
         candidates = vectorize_pairs(
             table_a, table_b, blocker_result.candidate_pairs, library
         )
+        progress.candidates = candidates
         if len(candidates) == 0:
             return CorleoneResult(
                 predicted_matches=frozenset(),
@@ -170,7 +205,7 @@ class Corleone:
         locator = DifficultPairsLocator(self.config, self.service, self.rng)
 
         predictions_by_pair: dict[Pair, bool] = {}
-        iterations: list[IterationRecord] = []
+        iterations = progress.iterations
         certified_reductions: list = []
         working = candidates
         best_f1 = -1.0
@@ -213,6 +248,7 @@ class Corleone:
 
             if mode == "blocker_matcher":
                 best_predictions = record.predicted_pairs
+                progress.best_predictions = best_predictions
                 stop_reason = "blocker_matcher_mode"
                 break
 
@@ -236,6 +272,8 @@ class Corleone:
             best_f1 = estimate.f1
             best_predictions = record.predicted_pairs
             best_estimate = estimate
+            progress.best_predictions = best_predictions
+            progress.best_estimate = best_estimate
 
             if mode == "one_iteration":
                 stop_reason = "one_iteration_mode"

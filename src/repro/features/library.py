@@ -16,8 +16,11 @@ from dataclasses import dataclass, field
 
 from functools import lru_cache
 
+import numpy as np
+
 from ..data.table import AttrType, Record, Table
 from ..exceptions import FeatureError
+from . import batch as batch_engine
 from . import similarity as sim
 from .tokenize import qgrams, word_tokens
 
@@ -41,7 +44,9 @@ class Feature:
     ``compute`` maps the two attribute values to a float; missing values
     on either side yield NaN so the forest can route them explicitly.
     ``cost`` is a relative compute-cost estimate in arbitrary units used
-    to rank blocking rules by cheapness.
+    to rank blocking rules by cheapness.  ``batch_compute`` is the
+    optional column-wise kernel behind :meth:`batch_value`; features
+    without one fall back to the scalar loop.
     """
 
     name: str
@@ -49,6 +54,9 @@ class Feature:
     measure: str
     cost: float
     compute: Callable[[object, object], float] = field(compare=False)
+    batch_compute: batch_engine.BatchKernel | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def value(self, record_a: Record, record_b: Record) -> float:
         """Evaluate this feature on a pair of records."""
@@ -57,6 +65,43 @@ class Feature:
         if a is None or b is None:
             return math.nan
         return float(self.compute(a, b))
+
+    def batch_value(self, records_a: Sequence[Record],
+                    records_b: Sequence[Record],
+                    cache_a: batch_engine.TableFeatureCache | None = None,
+                    cache_b: batch_engine.TableFeatureCache | None = None,
+                    ) -> np.ndarray:
+        """Evaluate this feature over aligned record columns at once.
+
+        Returns exactly ``[self.value(a, b) for a, b in zip(records_a,
+        records_b)]`` as a float64 array — the scalar path is the parity
+        oracle — with NaN wherever either side's attribute is missing.
+        ``cache_a``/``cache_b`` are the per-table prepared-value caches
+        (see :func:`repro.features.batch.table_cache`); each record list
+        must come from a single table per side.  When omitted, private
+        caches still deduplicate work within this call.
+        """
+        if len(records_a) != len(records_b):
+            raise FeatureError(
+                f"batch_value got {len(records_a)} A records but "
+                f"{len(records_b)} B records"
+            )
+        if self.batch_compute is None:
+            return np.fromiter(
+                (self.value(a, b) for a, b in zip(records_a, records_b)),
+                dtype=np.float64, count=len(records_a),
+            )
+        if cache_a is None:
+            cache_a = batch_engine.TableFeatureCache()
+        if cache_b is None:
+            cache_b = batch_engine.TableFeatureCache()
+        column_a = cache_a.column(self.attribute)
+        column_b = cache_b.column(self.attribute)
+        values = self.batch_compute(column_a, records_a, column_b, records_b)
+        missing = column_a.missing_mask(records_a, records_b, column_b)
+        if missing.any():
+            values[missing] = math.nan
+        return values
 
 
 class FeatureLibrary:
@@ -171,6 +216,7 @@ def build_feature_library(table_a: Table, table_b: Table,
 
     features: list[Feature] = []
     for attr in table_a.schema:
+        idf: dict[str, float] | None = None
         if attr.attr_type is AttrType.NUMERIC:
             measures = _numeric_measures()
         else:
@@ -212,5 +258,8 @@ def build_feature_library(table_a: Table, table_b: Table,
                 measure=measure,
                 cost=_MEASURE_COSTS[measure],
                 compute=fn,
+                batch_compute=batch_engine.kernel_for(
+                    measure, attr.attr_type, idf=idf
+                ),
             ))
     return FeatureLibrary(features)

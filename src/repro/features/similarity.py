@@ -14,6 +14,8 @@ from collections import Counter
 from collections.abc import Mapping, Sequence
 from functools import lru_cache
 
+import numpy as np
+
 from .tokenize import normalize, word_tokens
 
 
@@ -212,6 +214,217 @@ def rel_diff(a: float, b: float) -> float:
     if denominator == 0.0:
         return 0.0
     return abs(a - b) / denominator
+
+
+# ----------------------------------------------------------------------
+# Batched variants (the §4.3 hot-path substrate)
+#
+# Each batch function evaluates one measure over whole columns of pairs at
+# once and returns exactly the values the scalar function above would —
+# the scalar path is the parity oracle, and tests assert bit-identical
+# matrices.  Inputs are *pre-normalized* strings (normalize() is
+# idempotent, so the scalar functions agree on them); tokenization and
+# normalization are hoisted out by repro.features.batch so they happen
+# once per record instead of once per pair.
+# ----------------------------------------------------------------------
+
+# Pad codes for character matrices.  Distinct negative values on the two
+# sides guarantee a padded cell never compares equal to anything.
+_PAD_A = -2
+_PAD_B = -1
+
+
+def _char_matrix(strings: Sequence[str], width: int, pad: int) -> np.ndarray:
+    """Stack strings into an (n, width) int32 code-point matrix."""
+    out = np.full((len(strings), max(width, 1)), pad, dtype=np.int32)
+    for row, text in enumerate(strings):
+        if text:
+            out[row, :len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int32)
+    return out
+
+
+def _dedup_pairs(strings_a: Sequence[str], strings_b: Sequence[str],
+                 ) -> tuple[list[tuple[str, str]], np.ndarray]:
+    """Unique (a, b) string pairs plus the pair index of every row.
+
+    Cartesian chunks repeat values heavily (every record of A meets every
+    record of B, and low-cardinality columns such as brands repeat across
+    records), so computing each distinct pair once is a large win.
+    """
+    first: dict[tuple[str, str], int] = {}
+    unique: list[tuple[str, str]] = []
+    index = np.empty(len(strings_a), dtype=np.intp)
+    for row, key in enumerate(zip(strings_a, strings_b)):
+        slot = first.get(key)
+        if slot is None:
+            slot = len(unique)
+            first[key] = slot
+            unique.append(key)
+        index[row] = slot
+    return unique, index
+
+
+def batch_levenshtein_similarity(norms_a: Sequence[str],
+                                 norms_b: Sequence[str]) -> np.ndarray:
+    """``levenshtein_similarity`` over pre-normalized string pairs.
+
+    The classic DP runs across the whole (deduplicated) batch at once:
+    one numpy row per unique pair, iterating over character positions of
+    the longer side.  The sequential-insertion dependency inside a DP row
+    is resolved with the prefix-minimum identity
+    ``c[j] = min_k<=j (base[k] + (j - k))``, so every step is a handful of
+    vector operations.  Integer arithmetic throughout — results are
+    bit-identical to the scalar function.
+    """
+    unique, index = _dedup_pairs(norms_a, norms_b)
+    values = np.empty(len(unique), dtype=np.float64)
+
+    hard: list[int] = []
+    for slot, (s, t) in enumerate(unique):
+        longest = max(len(s), len(t))
+        if longest == 0:
+            values[slot] = 1.0
+        elif s == t:
+            values[slot] = 1.0
+        elif not s or not t:
+            values[slot] = 0.0  # distance == longest exactly
+        else:
+            hard.append(slot)
+
+    if hard:
+        strs_a = [unique[slot][0] for slot in hard]
+        strs_b = [unique[slot][1] for slot in hard]
+        len_a = np.array([len(s) for s in strs_a], dtype=np.int32)
+        len_b = np.array([len(t) for t in strs_b], dtype=np.int32)
+        width_a = int(len_a.max())
+        width_b = int(len_b.max())
+        chars_a = _char_matrix(strs_a, width_a, _PAD_A)
+        chars_b = _char_matrix(strs_b, width_b, _PAD_B)
+
+        offsets = np.arange(width_b + 1, dtype=np.int32)
+        previous = np.tile(offsets, (len(hard), 1))
+        distance = np.empty(len(hard), dtype=np.int32)
+        base = np.empty_like(previous)
+        for i in range(1, width_a + 1):
+            cost = (chars_a[:, i - 1:i] != chars_b).astype(np.int32)
+            base[:, 0] = i
+            np.minimum(previous[:, 1:] + 1, previous[:, :-1] + cost,
+                       out=base[:, 1:])
+            current = np.minimum.accumulate(base - offsets, axis=1) + offsets
+            finished = len_a == i
+            if finished.any():
+                rows = np.flatnonzero(finished)
+                distance[rows] = current[rows, len_b[rows]]
+            previous = current
+        longest = np.maximum(len_a, len_b).astype(np.float64)
+        values[hard] = 1.0 - distance / longest
+
+    return values[index]
+
+
+def batch_jaro_winkler(norms_a: Sequence[str],
+                       norms_b: Sequence[str]) -> np.ndarray:
+    """``jaro_winkler`` over pre-normalized string pairs, vectorized.
+
+    The greedy matching pass iterates over character positions (a few
+    dozen at most for STRING attributes) with all pairs advanced in lock
+    step; flags, match counts and transpositions live in numpy arrays.
+    Matching order, transposition counting and the Winkler prefix boost
+    replicate the scalar implementation exactly.
+    """
+    unique, index = _dedup_pairs(norms_a, norms_b)
+    values = np.empty(len(unique), dtype=np.float64)
+
+    hard: list[int] = []
+    for slot, (s, t) in enumerate(unique):
+        if s == t:
+            # jaro() == 1.0, and the prefix boost adds 0.
+            values[slot] = 1.0
+        elif not s or not t:
+            values[slot] = 0.0
+        else:
+            hard.append(slot)
+
+    if hard:
+        strs_a = [unique[slot][0] for slot in hard]
+        strs_b = [unique[slot][1] for slot in hard]
+        values[hard] = _jaro_winkler_block(strs_a, strs_b)
+
+    return values[index]
+
+
+def _jaro_winkler_block(strs_a: Sequence[str],
+                        strs_b: Sequence[str]) -> np.ndarray:
+    """Vectorized Jaro-Winkler for non-trivial, non-empty string pairs."""
+    n = len(strs_a)
+    len_a = np.array([len(s) for s in strs_a], dtype=np.int32)
+    len_b = np.array([len(t) for t in strs_b], dtype=np.int32)
+    width_a = int(len_a.max())
+    width_b = int(len_b.max())
+    chars_a = _char_matrix(strs_a, width_a, _PAD_A)
+    chars_b = _char_matrix(strs_b, width_b, _PAD_B)
+    window = np.maximum(np.maximum(len_a, len_b) // 2 - 1, 0)
+    max_window = int(window.max())
+
+    flags_a = np.zeros((n, width_a), dtype=bool)
+    flags_b = np.zeros((n, width_b), dtype=bool)
+    matches = np.zeros(n, dtype=np.int32)
+    for i in range(width_a):
+        # Greedy first-fit inside each row's window, scanning j ascending
+        # exactly like the scalar loop; `open_rows` drops a row once its
+        # position i has found a partner (or has no character there).
+        open_rows = i < len_a
+        low = max(0, i - max_window)
+        high = min(width_b, i + max_window + 1)
+        for j in range(low, high):
+            if not open_rows.any():
+                break
+            candidates = (
+                open_rows
+                & (j >= i - window) & (j <= i + window) & (j < len_b)
+                & ~flags_b[:, j]
+                & (chars_b[:, j] == chars_a[:, i])
+            )
+            if candidates.any():
+                flags_b[candidates, j] = True
+                flags_a[candidates, i] = True
+                matches += candidates
+                open_rows = open_rows & ~candidates
+
+    # Transpositions: align the k-th matched character of each side.
+    jaro_values = np.zeros(n, dtype=np.float64)
+    matched_rows = matches > 0
+    if matched_rows.any():
+        max_matches = int(matches.max())
+        ranks_a = np.cumsum(flags_a, axis=1) - 1
+        ranks_b = np.cumsum(flags_b, axis=1) - 1
+        seq_a = np.full((n, max_matches), _PAD_A, dtype=np.int32)
+        seq_b = np.full((n, max_matches), _PAD_B, dtype=np.int32)
+        rows_a, cols_a = np.nonzero(flags_a)
+        rows_b, cols_b = np.nonzero(flags_b)
+        seq_a[rows_a, ranks_a[rows_a, cols_a]] = chars_a[rows_a, cols_a]
+        seq_b[rows_b, ranks_b[rows_b, cols_b]] = chars_b[rows_b, cols_b]
+        transpositions = (
+            ((seq_a != seq_b) & (seq_a != _PAD_A)).sum(axis=1) // 2
+        ).astype(np.int32)
+
+        m = matches.astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            jaro_all = (
+                m / len_a + m / len_b + (m - transpositions) / m
+            ) / 3.0
+        jaro_values[matched_rows] = jaro_all[matched_rows]
+
+    # Winkler prefix boost over the first (up to) four characters.
+    prefix_width = min(4, width_a, width_b)
+    if prefix_width > 0:
+        agree = chars_a[:, :prefix_width] == chars_b[:, :prefix_width]
+        prefix = np.cumprod(agree, axis=1).sum(axis=1)
+    else:
+        prefix = np.zeros(n, dtype=np.int64)
+    return jaro_values + prefix * 0.1 * (1.0 - jaro_values)
 
 
 def build_idf(documents: Sequence[Sequence[str]]) -> dict[str, float]:

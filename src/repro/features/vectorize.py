@@ -2,6 +2,12 @@
 
 Every surviving pair after blocking is converted immediately into a
 feature vector; all downstream modules then work on the numeric matrix.
+The matrix is filled column-wise through the batched feature engine
+(:mod:`repro.features.batch`): records are materialized once per side,
+per-record tokenization comes from the shared per-table caches, and each
+feature evaluates the whole pair column in one call.  ``engine="scalar"``
+keeps the original per-pair loop — the parity oracle the batched path is
+tested against.
 """
 
 from __future__ import annotations
@@ -12,21 +18,43 @@ import numpy as np
 
 from ..data.pairs import CandidateSet, Pair
 from ..data.table import Table
+from ..exceptions import DataError
+from .batch import table_cache
 from .library import FeatureLibrary
 
 
 def vectorize_pairs(table_a: Table, table_b: Table, pairs: Sequence[Pair],
-                    library: FeatureLibrary) -> CandidateSet:
+                    library: FeatureLibrary,
+                    engine: str = "batched") -> CandidateSet:
     """Build a :class:`CandidateSet` for ``pairs`` using ``library``.
 
     Records are looked up by id in their respective tables; unknown ids
     raise :class:`repro.exceptions.DataError` via the table lookup.
-    Missing attribute values produce NaN feature entries.
+    Missing attribute values produce NaN feature entries.  ``engine``
+    selects the evaluation path: ``"batched"`` (default) evaluates each
+    feature column-wise over all pairs at once, ``"scalar"`` keeps the
+    per-pair loop; both produce identical matrices.
     """
+    if engine not in ("batched", "scalar"):
+        raise DataError(f"unknown vectorization engine {engine!r}")
     matrix = np.empty((len(pairs), len(library)), dtype=np.float64)
-    for row, pair in enumerate(pairs):
-        record_a = table_a[pair.a_id]
-        record_b = table_b[pair.b_id]
-        for col, feature in enumerate(library):
-            matrix[row, col] = feature.value(record_a, record_b)
+    if not pairs:
+        return CandidateSet(list(pairs), matrix, library.names)
+
+    if engine == "scalar":
+        for row, pair in enumerate(pairs):
+            record_a = table_a[pair.a_id]
+            record_b = table_b[pair.b_id]
+            for col, feature in enumerate(library):
+                matrix[row, col] = feature.value(record_a, record_b)
+        return CandidateSet(list(pairs), matrix, library.names)
+
+    records_a = [table_a[pair.a_id] for pair in pairs]
+    records_b = [table_b[pair.b_id] for pair in pairs]
+    cache_a = table_cache(table_a)
+    cache_b = table_cache(table_b)
+    for col, feature in enumerate(library):
+        matrix[:, col] = feature.batch_value(
+            records_a, records_b, cache_a, cache_b
+        )
     return CandidateSet(list(pairs), matrix, library.names)

@@ -150,11 +150,17 @@ def train_forest(x: np.ndarray, y: np.ndarray, config: ForestConfig,
     for _ in range(config.n_trees):
         rows = rng.choice(n, size=portion, replace=False)
         # Guarantee class coverage: a single-class portion would yield a
-        # stump that never splits, wasting the tree.
+        # stump that never splits, wasting the tree.  The negative
+        # injection must not reuse the slot a positive was just placed
+        # in, or it would undo that injection (the portion==1 case).
+        injected: int | None = None
         if positives.size and not y[rows].any():
-            rows[rng.integers(rows.size)] = rng.choice(positives)
+            injected = int(rng.integers(rows.size))
+            rows[injected] = rng.choice(positives)
         if negatives.size and y[rows].all():
-            rows[rng.integers(rows.size)] = rng.choice(negatives)
+            slots = [i for i in range(rows.size) if i != injected]
+            if slots:
+                rows[slots[rng.integers(len(slots))]] = rng.choice(negatives)
         tree = DecisionTree(
             max_depth=config.max_depth,
             min_samples_split=config.min_samples_split,

@@ -168,6 +168,32 @@ class TestParallelApplication:
                                         library, n_workers=4)
         assert parallel == sequential
 
+    def test_mismatched_worker_library_falls_back(self, blocking_setup):
+        """Regression: rules extracted against one feature order used to
+        be applied against a worker's differently-ordered rebuilt
+        library, silently scoring the wrong features.  The mismatch is
+        now detected and the call warns and falls back to the (correct)
+        sequential path."""
+        from repro.core.blocker import apply_rules_parallel
+        from repro.features.library import FeatureLibrary
+        dataset, _, _, library, _ = blocking_setup
+        shuffled = FeatureLibrary(list(library.features)[::-1])
+        name_col = shuffled.names.index("name_jaro_winkler")
+        rules = [
+            Rule([Predicate(name_col, "name_jaro_winkler", True, 0.5)],
+                 predicts_match=False),
+        ]
+        sequential = apply_rules_streaming(
+            dataset.table_a, dataset.table_b, rules, shuffled
+        )
+        with pytest.warns(RuntimeWarning,
+                          match="parallel blocking disabled"):
+            survivors = apply_rules_parallel(
+                dataset.table_a, dataset.table_b, rules, shuffled,
+                n_workers=3,
+            )
+        assert survivors == sequential
+
     def test_single_worker_is_sequential(self, blocking_setup):
         from repro.core.blocker import apply_rules_parallel
         dataset, _, _, library, _ = blocking_setup

@@ -55,6 +55,54 @@ def test_missing_results_dir_fails_clearly(collector):
         module.main()
 
 
+def test_distill_substrates_baseline(collector):
+    import json
+    module, tmp_path = collector
+    dump = {
+        "benchmarks": [
+            {
+                "name": "test_vectorize_products_10k_scalar",
+                "stats": {"mean": 4.0, "stddev": 0.1, "rounds": 2},
+                "extra_info": {"engine": "scalar", "pairs": 10_000},
+            },
+            {
+                "name": "test_vectorize_products_10k_batched",
+                "stats": {"mean": 0.5, "stddev": 0.01, "rounds": 5},
+                "extra_info": {"engine": "batched", "pairs": 10_000},
+            },
+            {
+                "name": "test_levenshtein",
+                "stats": {"mean": 0.001, "stddev": 0.0, "rounds": 100},
+            },
+        ],
+    }
+    source = tmp_path / "bench.json"
+    source.write_text(json.dumps(dump))
+    output = tmp_path / "BENCH_substrates.json"
+    baseline = module.distill_substrates(source, output=output)
+    assert baseline["vectorize_products_10k"]["speedup"] == 8.0
+    assert baseline["vectorize_products_10k"][
+        "batched_pairs_per_second"] == 20_000.0
+    assert "test_levenshtein" in baseline["benchmarks"]
+    assert json.loads(output.read_text()) == baseline
+
+
+def test_distill_substrates_without_engine_pair(collector):
+    """A dump missing the engine comparison still produces a baseline."""
+    import json
+    module, tmp_path = collector
+    dump = {"benchmarks": [
+        {"name": "test_levenshtein",
+         "stats": {"mean": 0.001, "stddev": 0.0, "rounds": 100}},
+    ]}
+    source = tmp_path / "bench.json"
+    source.write_text(json.dumps(dump))
+    output = tmp_path / "BENCH_substrates.json"
+    baseline = module.distill_substrates(source, output=output)
+    assert "vectorize_products_10k" not in baseline
+    assert output.is_file()
+
+
 def test_order_constant_covers_known_artifacts():
     spec = importlib.util.spec_from_file_location("collect_results",
                                                   SCRIPT)

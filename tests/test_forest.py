@@ -83,6 +83,18 @@ class TestTraining:
             assert tree.nodes[0].n_positive >= 1 or True  # smoke: no crash
         assert len(forest) == 10
 
+    def test_single_row_bag_keeps_injected_positive(self, rng):
+        """Regression: with a 1-row bagged portion, the negative-coverage
+        guard used to overwrite the slot the positive-coverage guard had
+        just filled, so every tree trained all-negative and the forest
+        could never vote yes."""
+        x = np.array([[1.0], [0.0]])
+        y = np.array([True, False])
+        config = ForestConfig(n_trees=25, bagging_fraction=0.5,
+                              min_samples_leaf=1)
+        forest = train_forest(x, y, config, rng)
+        assert forest.vote_fractions(x).max() > 0.0
+
     def test_forest_requires_trees(self):
         with pytest.raises(DataError):
             RandomForest([])

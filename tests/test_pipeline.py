@@ -138,6 +138,30 @@ class TestBudget:
         # one iteration record must still exist.
         assert result.iterations
 
+    def test_budget_exhaustion_reports_partial_state(self, tiny_dataset,
+                                                     fast_config,
+                                                     monkeypatch):
+        """Regression: a BudgetExhaustedError escaping mid-run used to be
+        reported with a fabricated empty blocker result and candidate
+        set; the result must carry the state actually accumulated."""
+        from repro.core.pipeline import ActiveLearningMatcher
+        from repro.exceptions import BudgetExhaustedError
+
+        def exhausted(self, *args, **kwargs):
+            raise BudgetExhaustedError(spent=1.0, budget=1.0)
+
+        monkeypatch.setattr(ActiveLearningMatcher, "train", exhausted)
+        crowd = SimulatedCrowd(tiny_dataset.matches, error_rate=0.0,
+                               rng=np.random.default_rng(1))
+        pipeline = Corleone(fast_config, crowd)
+        result = pipeline.run(tiny_dataset.table_a, tiny_dataset.table_b,
+                              tiny_dataset.seed_labels)
+        assert result.stop_reason == "budget_exhausted"
+        total = len(tiny_dataset.table_a) * len(tiny_dataset.table_b)
+        assert result.blocker.cartesian == total
+        assert len(result.candidates) == total
+        assert result.iterations == []
+
     def test_budget_plan_respects_phase_caps(self, tiny_dataset,
                                              fast_config):
         from repro.core.budgeting import BudgetPlan
