@@ -2,12 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke results examples clean
+.PHONY: install lint test bench bench-smoke results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test:
+# corlint: the repo's own AST-based invariant analyzer (see
+# docs/static_analysis.md).  Exits nonzero on any non-baselined finding.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --format text
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -33,5 +38,5 @@ examples:
 	done
 
 clean:
-	rm -rf benchmarks/results benchmarks/.cache .pytest_cache .hypothesis
+	rm -rf benchmarks/results benchmarks/.cache .pytest_cache .hypothesis .corlint_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,17 +17,27 @@ microbenches into the checked-in ``BENCH_substrates.json`` baseline
         --benchmark-json=benchmarks/results/substrates_benchmark.json
     python benchmarks/collect_results.py \\
         --substrates benchmarks/results/substrates_benchmark.json
+
+A third mode runs corlint (the repo's invariant analyzer, see
+docs/static_analysis.md) over ``src/repro`` and records the per-rule
+finding counts as ``BENCH_lint.json`` plus a ``lint_findings`` result
+table:
+
+    python benchmarks/collect_results.py --lint
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
+ROOT = Path(__file__).parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
 OUTPUT = Path(__file__).parent / "RESULTS.md"
 SUBSTRATES_OUTPUT = Path(__file__).parent / "BENCH_substrates.json"
+LINT_OUTPUT = Path(__file__).parent / "BENCH_lint.json"
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -56,6 +66,7 @@ ORDER = [
     "ext_money_time",
     "ext_sampler_ablation",
     "micro_substrates",
+    "lint_findings",
 ]
 
 
@@ -121,6 +132,68 @@ def distill_substrates(benchmark_json: Path,
     return baseline
 
 
+def collect_lint(output: Path | None = None) -> dict:
+    """Run corlint over src/repro and record per-rule finding counts.
+
+    Writes ``BENCH_lint.json`` (per-rule new/baselined counts against
+    the checked-in baseline) and a ``lint_findings`` table alongside the
+    other result tables, then returns the payload.
+    """
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    from repro.analysis import run_analysis
+
+    baseline_path = ROOT / "corlint-baseline.json"
+    report = run_analysis(
+        [ROOT / "src" / "repro"],
+        baseline_path=baseline_path if baseline_path.is_file() else None,
+    )
+
+    rules = sorted(rule.rule_id for rule in report.rules)
+    new_by_rule = report.counts_by_rule(baselined=False)
+    baselined_by_rule = report.counts_by_rule(baselined=True)
+    payload = {
+        "files_scanned": report.files_scanned,
+        "rules": {
+            rule_id: {
+                "new": new_by_rule.get(rule_id, 0),
+                "baselined": baselined_by_rule.get(rule_id, 0),
+            }
+            for rule_id in rules
+        },
+        "totals": {
+            "new": len(report.new_findings),
+            "baselined": len(report.baselined_findings),
+            "stale_baseline_entries": len(report.stale_entries),
+        },
+    }
+
+    target = output if output is not None else LINT_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} ({report.files_scanned} files scanned)")
+
+    lines = [
+        "corlint findings over src/repro "
+        f"({report.files_scanned} files)",
+        "",
+        "rule    new  baselined",
+        "-----  ----  ---------",
+    ]
+    for rule_id in rules:
+        counts = payload["rules"][rule_id]
+        lines.append(
+            f"{rule_id}  {counts['new']:>4}  {counts['baselined']:>9}"
+        )
+    totals = payload["totals"]
+    lines.append(
+        f"total  {totals['new']:>4}  {totals['baselined']:>9}"
+        f"  ({totals['stale_baseline_entries']} stale baseline entries)"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "lint_findings.txt").write_text("\n".join(lines) + "\n")
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -151,8 +224,15 @@ if __name__ == "__main__":
         help="distill this pytest-benchmark JSON dump into "
              "BENCH_substrates.json instead of collecting RESULTS.md",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run corlint over src/repro and record per-rule finding "
+             "counts in BENCH_lint.json instead of collecting RESULTS.md",
+    )
     args = parser.parse_args()
     if args.substrates is not None:
         distill_substrates(args.substrates)
+    elif args.lint:
+        collect_lint()
     else:
         main()

@@ -1,0 +1,50 @@
+"""corlint: AST-based invariant analysis for the Corleone reproduction.
+
+Generic linters cannot see this repo's contracts; corlint can.  It is a
+small rule-based static-analysis framework on stdlib :mod:`ast` — one
+walk per file with visitor dispatch, per-rule severity, inline
+``# corlint: disable=RULE`` suppressions, a checked-in baseline for
+grandfathered findings, text/JSON reporters and a findings cache —
+shipping the domain rules that gate every PR:
+
+* **CL001 determinism** — no module-level RNG, unseeded generators or
+  wall-clock reads in the algorithmic subsystems (the §9.3 sensitivity
+  analysis assumes bit-reproducible runs);
+* **CL002 accounting** — crowd answers route through
+  ``LabelingService`` so the §8 cost/budget metering and label cache
+  see every question;
+* **CL003 kernel parity** — every measure in ``features/library.py``
+  has a bit-exact batched kernel in ``features/batch.py`` and vice
+  versa (PR 1's contract);
+* **CL004 numeric hygiene** — no accidental float ``==`` or ``x != x``
+  NaN idioms in numeric modules;
+* **CL005 picklability** — pool workers must be module-level functions;
+* **CL006 generic hygiene** — no mutable defaults or shadowed builtins.
+
+Run it as ``python -m repro.analysis src/repro`` (or ``make lint``);
+see ``docs/static_analysis.md`` for the full manual.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry, baseline_from_findings
+from .engine import AnalysisReport, Analyzer, run_analysis
+from .findings import Finding, Severity
+from .reporters import render_json, render_text
+from .rules import DEFAULT_RULE_CLASSES, default_rules, rules_by_id
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_RULE_CLASSES",
+    "Finding",
+    "Severity",
+    "baseline_from_findings",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+    "run_analysis",
+]

@@ -1,0 +1,161 @@
+"""The checked-in baseline of grandfathered findings.
+
+The baseline is the escape hatch for findings that are *intentional*:
+each entry names a finding by its line-number-independent fingerprint
+and carries a mandatory one-line justification.  ``corlint`` exits
+clean only when the scan and the baseline agree exactly — new findings
+fail the run, and so do stale entries (a baselined finding that no
+longer fires), which keeps the file honest as the code improves.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "corlint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: fingerprint + justification."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    line_content: str
+    justification: str
+    count: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stable key order via the reporter)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "line_content": self.line_content,
+            "justification": self.justification,
+            "count": self.count,
+        }
+
+
+@dataclass
+class BaselineMatch:
+    """How a scan's findings divided against the baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    """Findings not covered by any baseline entry — these fail the run."""
+    baselined: list[Finding] = field(default_factory=list)
+    """Findings absorbed by the baseline (grandfathered)."""
+    stale: list[BaselineEntry] = field(default_factory=list)
+    """Entries whose finding no longer fires — remove them."""
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None,
+                 path: Path | None = None) -> None:
+        self.entries = list(entries or [])
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls(path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                fingerprint=item["fingerprint"],
+                rule=item["rule"],
+                path=item["path"],
+                line_content=item.get("line_content", ""),
+                justification=item.get("justification", ""),
+                count=int(item.get("count", 1)),
+            )
+            for item in payload.get("entries", [])
+        ]
+        return cls(entries, path=path)
+
+    def match(self, findings: list[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs baselined, and find stale entries.
+
+        Matching is by fingerprint multiset: an entry with ``count`` N
+        absorbs up to N identical findings; excess findings are new,
+        unused capacity marks the entry stale.
+        """
+        capacity = Counter()
+        for entry in self.entries:
+            capacity[entry.fingerprint] += entry.count
+        used: Counter = Counter()
+        result = BaselineMatch()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if used[fingerprint] < capacity[fingerprint]:
+                used[fingerprint] += 1
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        unused = capacity - used
+        for entry in self.entries:
+            stale_share = min(entry.count, unused[entry.fingerprint])
+            if stale_share > 0:
+                unused[entry.fingerprint] -= stale_share
+                result.stale.append(entry)
+        return result
+
+    def write(self, path: Path | None = None) -> Path:
+        """Serialize the baseline (sorted, stable) to ``path``."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        ordered = sorted(
+            self.entries,
+            key=lambda e: (e.path, e.rule, e.line_content, e.fingerprint),
+        )
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        return target
+
+
+def baseline_from_findings(findings: list[Finding],
+                           previous: Baseline | None = None) -> Baseline:
+    """Build a baseline absorbing ``findings`` (for ``--update-baseline``).
+
+    Justifications of surviving entries are preserved by fingerprint;
+    genuinely new entries get a TODO placeholder that a human must
+    replace — the baseline is a ledger, not a dumping ground.
+    """
+    keep_justification = {
+        entry.fingerprint: entry.justification
+        for entry in (previous.entries if previous else [])
+        if entry.justification
+    }
+    grouped: dict[str, BaselineEntry] = {}
+    counts = Counter(finding.fingerprint for finding in findings)
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in grouped:
+            continue
+        grouped[fingerprint] = BaselineEntry(
+            fingerprint=fingerprint,
+            rule=finding.rule_id,
+            path=finding.path,
+            line_content=finding.line_content,
+            justification=keep_justification.get(
+                fingerprint, "TODO: justify this grandfathered finding"
+            ),
+            count=counts[fingerprint],
+        )
+    return Baseline(list(grouped.values()),
+                    path=previous.path if previous else None)

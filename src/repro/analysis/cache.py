@@ -1,0 +1,72 @@
+"""The per-file findings cache (``.corlint_cache/``).
+
+Per-module rule results depend only on the file's bytes and the rule
+set, so unchanged files are served from a JSON cache keyed by a digest
+of both.  Project rules (CL003) are cross-file and always run fresh.
+``make clean`` removes the cache directory; a corrupt or version-bumped
+cache is silently discarded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+CACHE_DIR_NAME = ".corlint_cache"
+CACHE_VERSION = 1
+"""Bump when rule semantics change so stale caches self-invalidate."""
+
+
+def file_digest(source: str, ruleset_signature: str) -> str:
+    """Digest of one file's source joined with the active rule set."""
+    payload = f"{CACHE_VERSION}\x00{ruleset_signature}\x00{source}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class FindingsCache:
+    """Loads and stores per-file findings keyed by source digest."""
+
+    def __init__(self, root: Path) -> None:
+        self.directory = root / CACHE_DIR_NAME
+        self.path = self.directory / "findings.json"
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.path.is_file():
+            try:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+                if payload.get("version") == CACHE_VERSION:
+                    self._entries = payload.get("entries", {})
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, relpath: str, digest: str) -> list[Finding] | None:
+        """Cached findings for an unchanged file, else None."""
+        entry = self._entries.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return [Finding.from_dict(item) for item in entry["findings"]]
+        except (KeyError, ValueError):
+            return None
+
+    def put(self, relpath: str, digest: str,
+            findings: list[Finding]) -> None:
+        """Record a file's findings under its current digest."""
+        self._entries[relpath] = {
+            "digest": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the cache if anything changed this run."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "entries": self._entries}
+        self.path.write_text(json.dumps(payload, sort_keys=True),
+                             encoding="utf-8")
+        self._dirty = False

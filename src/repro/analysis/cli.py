@@ -1,0 +1,132 @@
+"""The ``python -m repro.analysis`` command line.
+
+Exit codes: 0 — clean (every finding baselined, no stale entries);
+1 — new findings or stale baseline entries; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, DEFAULT_BASELINE_NAME, \
+    baseline_from_findings
+from .engine import Analyzer
+from .reporters import render_json, render_text
+from .rules import default_rules, rules_by_id
+from .source import find_repo_root
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The corlint argument parser (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("corlint: AST-based invariant analyzer for the "
+                     "Corleone reproduction (determinism, crowd "
+                     "accounting, kernel parity, numeric hygiene, "
+                     "picklability)"),
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report to this file "
+                             "instead of stdout")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: "
+                             f"<repo root>/{DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to absorb all "
+                             "current findings (preserves existing "
+                             "justifications)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print baselined findings "
+                             "(text format)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write .corlint_cache")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _pick_rules(select: str | None, ignore: str | None) -> list:
+    """Resolve --select/--ignore into a rule instance list."""
+    catalog = rules_by_id()
+    chosen = dict(catalog)
+    if select:
+        wanted = {item.strip() for item in select.split(",") if item.strip()}
+        unknown = wanted - catalog.keys()
+        if unknown:
+            raise SystemExit(
+                f"corlint: unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        chosen = {rid: rule for rid, rule in catalog.items()
+                  if rid in wanted}
+    if ignore:
+        dropped = {item.strip() for item in ignore.split(",")}
+        chosen = {rid: rule for rid, rule in chosen.items()
+                  if rid not in dropped}
+    return list(chosen.values())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run corlint; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id} [{rule.severity.label}] {rule.summary}")
+        return 0
+
+    targets = args.paths or [Path("src") / "repro"]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        print(f"corlint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    root = find_repo_root(targets[0])
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+
+    try:
+        rules = _pick_rules(args.select, args.ignore)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(rules=rules, use_cache=not args.no_cache,
+                        root=root)
+    report = analyzer.run(targets, baseline=baseline)
+
+    if args.update_baseline:
+        updated = baseline_from_findings(
+            report.all_findings, previous=baseline
+        )
+        target = updated.write(baseline_path)
+        print(f"corlint: wrote {len(updated.entries)} baseline "
+              f"entr{'y' if len(updated.entries) == 1 else 'ies'} "
+              f"to {target}")
+        return 0
+
+    if args.format == "json":
+        rendered = render_json(report)
+    else:
+        rendered = render_text(report,
+                               show_baselined=args.show_baselined)
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report.clean else 1

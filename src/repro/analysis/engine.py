@@ -1,0 +1,209 @@
+"""The corlint engine: one AST walk per file, rules ride along.
+
+:class:`Analyzer` collects files, parses each into a
+:class:`~repro.analysis.source.SourceModule`, and walks its tree
+exactly once while dispatching every node to the ``visit_<NodeType>``
+handlers of every applicable :class:`ModuleRule`.  Project rules then
+see the whole module set for cross-file invariants.  Inline
+suppressions are applied per finding, the baseline splits the survivors
+into new vs grandfathered, and everything is deterministic — same tree
+in, same report out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline, BaselineEntry, BaselineMatch
+from .cache import FindingsCache, file_digest
+from .findings import Finding, Severity
+from .rules import ModuleRule, ProjectRule, Rule, default_rules
+from .rules.base import ModuleContext, ProjectContext
+from .source import SourceModule, collect_files, find_repo_root, load_module
+
+PARSE_ERROR_RULE = "CL000"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one corlint run produced."""
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined_findings: list[Finding] = field(default_factory=list)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: list[Rule] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """New and baselined findings together, in report order."""
+        return sorted(self.new_findings + self.baselined_findings)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing fails the gate (no new, no stale)."""
+        return not self.new_findings and not self.stale_entries
+
+    def counts_by_rule(self, baselined: bool = False) -> dict[str, int]:
+        """Finding counts per rule id (new or baselined population)."""
+        population = (self.baselined_findings if baselined
+                      else self.new_findings)
+        counts: dict[str, int] = {}
+        for finding in population:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class Analyzer:
+    """Runs a rule set over a file set and applies the baseline."""
+
+    def __init__(self, rules: list[Rule] | None = None,
+                 use_cache: bool = False,
+                 root: Path | None = None) -> None:
+        self.rules = rules if rules is not None else default_rules()
+        self.use_cache = use_cache
+        self.root = root
+        self._module_rules = [r for r in self.rules
+                              if isinstance(r, ModuleRule)]
+        self._project_rules = [r for r in self.rules
+                               if isinstance(r, ProjectRule)]
+        self._signature = ",".join(
+            sorted(rule.rule_id for rule in self.rules)
+        )
+
+    def run(self, targets: list[Path],
+            baseline: Baseline | None = None) -> AnalysisReport:
+        """Analyze ``targets`` and split findings against ``baseline``."""
+        files = collect_files(targets)
+        root = self.root or (find_repo_root(targets[0]) if targets
+                             else Path.cwd())
+        cache = FindingsCache(root) if self.use_cache else None
+
+        modules: list[SourceModule] = []
+        findings: list[Finding] = []
+        for path in files:
+            try:
+                module = load_module(path, root)
+            except SyntaxError as error:
+                findings.append(self._parse_error(path, root, error))
+                continue
+            modules.append(module)
+            findings.extend(self._module_findings(module, cache))
+
+        project_ctx = ProjectContext()
+        for rule in self._project_rules:
+            rule.check_project(modules, project_ctx)
+        by_relpath = {module.relpath: module for module in modules}
+        for finding in project_ctx.findings:
+            module = by_relpath.get(finding.path)
+            if module is not None and module.is_suppressed(
+                    finding.line, finding.rule_id):
+                continue
+            findings.append(finding)
+
+        if cache is not None:
+            cache.save()
+
+        findings.sort()
+        if baseline is not None:
+            # Entries for rules not in this run (e.g. under --select)
+            # cannot match anything; drop them so a restricted run does
+            # not report the rest of the baseline as stale.
+            active = {rule.rule_id for rule in self.rules}
+            scoped = Baseline(entries=[
+                entry for entry in baseline.entries
+                if entry.rule in active
+            ])
+            match = scoped.match(findings)
+        else:
+            match = BaselineMatch(new=findings)
+        return AnalysisReport(
+            new_findings=match.new,
+            baselined_findings=match.baselined,
+            stale_entries=match.stale,
+            files_scanned=len(files),
+            rules=list(self.rules),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _module_findings(self, module: SourceModule,
+                         cache: FindingsCache | None) -> list[Finding]:
+        """Per-module rule findings, served from cache when unchanged."""
+        digest = None
+        if cache is not None:
+            digest = file_digest(module.source, self._signature)
+            cached = cache.get(module.relpath, digest)
+            if cached is not None:
+                return cached
+
+        applicable = [rule for rule in self._module_rules
+                      if rule.applies_to(module)]
+        ctx = ModuleContext(module)
+        if applicable:
+            dispatch: dict[str, list] = {}
+            for rule in applicable:
+                rule.begin_module(module, ctx)
+                for node_type, handler in rule.handlers().items():
+                    dispatch.setdefault(node_type, []).append(handler)
+            self._walk(module.tree, ctx, dispatch)
+            for rule in applicable:
+                rule.finish_module(module, ctx)
+
+        kept = [
+            finding for finding in ctx.findings
+            if not module.is_suppressed(finding.line, finding.rule_id)
+        ]
+        kept.sort()
+        if cache is not None and digest is not None:
+            cache.put(module.relpath, digest, kept)
+        return kept
+
+    def _walk(self, node: ast.AST, ctx: ModuleContext,
+              dispatch: dict[str, list]) -> None:
+        """Depth-first dispatch walk maintaining the ancestor stack."""
+        handlers = dispatch.get(type(node).__name__)
+        if handlers:
+            for handler in handlers:
+                handler(node, ctx)
+        ctx.ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, dispatch)
+        ctx.ancestors.pop()
+
+    @staticmethod
+    def _parse_error(path: Path, root: Path,
+                     error: SyntaxError) -> Finding:
+        """A CL000 finding for an unparseable file."""
+        try:
+            relpath = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.name
+        return Finding(
+            path=relpath,
+            line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+            rule_id=PARSE_ERROR_RULE,
+            severity=Severity.ERROR,
+            message=f"file does not parse: {error.msg}",
+            line_content=(error.text or "").strip(),
+        )
+
+
+def run_analysis(targets: list[Path],
+                 baseline_path: Path | None = None,
+                 rules: list[Rule] | None = None,
+                 use_cache: bool = False) -> AnalysisReport:
+    """One-call API: analyze ``targets`` against an optional baseline.
+
+    This is what the test gate and ``collect_results.py --lint`` use;
+    the CLI adds argument parsing and reporting on top of it.
+    """
+    baseline = (Baseline.load(baseline_path)
+                if baseline_path is not None else None)
+    analyzer = Analyzer(rules=rules, use_cache=use_cache)
+    return analyzer.run([Path(t) for t in targets], baseline=baseline)

@@ -1,0 +1,84 @@
+"""Finding and severity model shared by every corlint component.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line *number* —
+only the file, the rule and the normalized source text participate — so
+baselined findings survive unrelated edits that shift code up or down.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Per-rule severity; orders findings and labels reports."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        """The lowercase name used in reports ("warning" / "error")."""
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        """Parse a report label back into a :class:`Severity`."""
+        return cls[label.upper()]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by location then rule, which is the deterministic report
+    order.  ``line_content`` is the stripped source line the finding
+    anchors to; it feeds both the text report and the fingerprint.
+    """
+
+    path: str
+    """Repo-root-relative posix path of the offending file."""
+    line: int
+    column: int
+    rule_id: str
+    severity: Severity
+    message: str
+    line_content: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        normalized = " ".join(self.line_content.split())
+        digest = hashlib.sha256(
+            f"{self.path}\x00{self.rule_id}\x00{normalized}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation (used by the cache and reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "line_content": self.line_content,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            rule_id=payload["rule"],
+            severity=Severity.from_label(payload["severity"]),
+            message=payload["message"],
+            line_content=payload["line_content"],
+        )

@@ -1,0 +1,84 @@
+"""Report rendering: human text and machine-stable JSON.
+
+Both renderers are pure functions of the :class:`AnalysisReport`, emit
+findings in deterministic (path, line, column, rule) order and contain
+no timestamps — running corlint twice on the same tree produces
+byte-identical output, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisReport
+from .findings import Finding
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: AnalysisReport,
+                show_baselined: bool = False) -> str:
+    """The human-facing report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in report.new_findings:
+        lines.append(_text_line(finding))
+        if finding.line_content:
+            lines.append(f"    {finding.line_content}")
+    if show_baselined:
+        for finding in report.baselined_findings:
+            lines.append(_text_line(finding) + "  [baselined]")
+    for entry in report.stale_entries:
+        lines.append(
+            f"{entry.path}: {entry.rule} stale-baseline: entry "
+            f"{entry.fingerprint} no longer matches any finding — "
+            "remove it from the baseline"
+        )
+    errors = sum(1 for f in report.new_findings
+                 if f.severity.label == "error")
+    warnings = len(report.new_findings) - errors
+    lines.append(
+        f"corlint: {report.files_scanned} file(s) scanned, "
+        f"{len(report.new_findings)} new finding(s) "
+        f"({errors} error, {warnings} warning), "
+        f"{len(report.baselined_findings)} baselined, "
+        f"{len(report.stale_entries)} stale baseline entr"
+        f"{'y' if len(report.stale_entries) == 1 else 'ies'}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _text_line(finding: Finding) -> str:
+    """One ``path:line:col: RULE severity: message`` report line."""
+    return (f"{finding.path}:{finding.line}:{finding.column}: "
+            f"{finding.rule_id} {finding.severity.label}: "
+            f"{finding.message}")
+
+
+def render_json(report: AnalysisReport,
+                show_baselined: bool = True) -> str:
+    """The machine-facing report: stable keys, sorted, no timestamps."""
+    findings = []
+    for finding in report.new_findings:
+        findings.append({**finding.to_dict(), "baselined": False})
+    if show_baselined:
+        for finding in report.baselined_findings:
+            findings.append({**finding.to_dict(), "baselined": True})
+    findings.sort(key=lambda f: (f["path"], f["line"], f["column"],
+                                 f["rule"], f["baselined"]))
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "tool": "corlint",
+        "files_scanned": report.files_scanned,
+        "findings": findings,
+        "stale_baseline_entries": [
+            entry.to_dict() for entry in report.stale_entries
+        ],
+        "summary": {
+            "new": len(report.new_findings),
+            "baselined": len(report.baselined_findings),
+            "stale": len(report.stale_entries),
+            "new_by_rule": report.counts_by_rule(),
+            "baselined_by_rule": report.counts_by_rule(baselined=True),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,58 @@
+"""The corlint rule registry.
+
+Each rule lives in its own module; :func:`default_rules` instantiates
+the full shipped set, and :func:`rules_by_id` gives the CLI's
+``--select``/``--ignore`` a name index.  To add a rule, subclass
+:class:`~repro.analysis.rules.base.ModuleRule` (per-file, AST-visitor
+handlers) or :class:`~repro.analysis.rules.base.ProjectRule`
+(cross-file) and append it to :data:`DEFAULT_RULE_CLASSES`.
+"""
+
+from __future__ import annotations
+
+from .accounting import AccountingRule
+from .base import ModuleContext, ModuleRule, ProjectContext, ProjectRule, \
+    Rule
+from .determinism import DeterminismRule
+from .hygiene import GenericHygieneRule
+from .kernel_parity import KernelParityRule
+from .numeric import NumericHygieneRule
+from .picklability import PicklabilityRule
+
+DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    AccountingRule,
+    KernelParityRule,
+    NumericHygieneRule,
+    PicklabilityRule,
+    GenericHygieneRule,
+)
+"""Every shipped rule class, in rule-id order."""
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule_class() for rule_class in DEFAULT_RULE_CLASSES]
+
+
+def rules_by_id(rules: list[Rule] | None = None) -> dict[str, Rule]:
+    """Index rules by their ``rule_id`` (for --select/--ignore)."""
+    return {rule.rule_id: rule for rule in (rules or default_rules())}
+
+
+__all__ = [
+    "AccountingRule",
+    "DEFAULT_RULE_CLASSES",
+    "DeterminismRule",
+    "GenericHygieneRule",
+    "KernelParityRule",
+    "ModuleContext",
+    "ModuleRule",
+    "NumericHygieneRule",
+    "PicklabilityRule",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "default_rules",
+    "rules_by_id",
+]

@@ -1,0 +1,168 @@
+"""Rule plumbing: base classes, the walk context and dotted-name helpers.
+
+A :class:`ModuleRule` declares ``visit_<NodeType>`` handlers; the engine
+walks each file's AST exactly once and dispatches every node to the
+handlers of every applicable rule.  A :class:`ProjectRule` instead sees
+all parsed modules at once, for cross-file invariants (CL003).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+
+from ..findings import Finding, Severity
+from ..source import SourceModule
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...] | None:
+    """The dotted parts of a Name/Attribute chain, or None.
+
+    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``.
+    Chains rooted in anything but a plain name (calls, subscripts)
+    return None — they cannot be resolved statically.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def relpath_matches(module: SourceModule, segments: str) -> bool:
+    """Does the module path contain one of the ``|``-joined segments?
+
+    Matches whole path components (``core`` matches ``src/repro/core/``
+    but not ``score/``), which is how rules scope themselves to
+    subsystems without caring where the package root sits.
+    """
+    return re.search(rf"(^|/)(?:{segments})/", module.relpath) is not None
+
+
+def is_test_module(module: SourceModule) -> bool:
+    """Test files are exempt from the domain rules (CL001/CL002)."""
+    name = module.path.name
+    return (name.startswith("test_") or name == "conftest.py"
+            or relpath_matches(module, "tests"))
+
+
+class ModuleContext:
+    """Per-module walk state handed to every rule handler.
+
+    Tracks the ancestor chain (outermost first, not including the node
+    being visited) so handlers can ask about their enclosing class or
+    function, and collects the findings the rules report.
+    """
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.ancestors: list[ast.AST] = []
+        self.findings: list[Finding] = []
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        """Record a finding for ``rule`` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(
+            path=self.module.relpath,
+            line=line,
+            column=column,
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+            line_content=self.module.line_content(line),
+        ))
+
+    def enclosing_class(self) -> ast.ClassDef | None:
+        """The nearest enclosing class definition, if any."""
+        for node in reversed(self.ancestors):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def enclosing_function(self) -> ast.AST | None:
+        """The nearest enclosing (async) function or lambda, if any."""
+        for node in reversed(self.ancestors):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                return node
+        return None
+
+
+class ProjectContext:
+    """Finding collector for cross-module (project) rules."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def report(self, rule: "Rule", module: SourceModule, node: ast.AST,
+               message: str) -> None:
+        """Record a finding for ``rule`` in ``module`` at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(
+            path=module.relpath,
+            line=line,
+            column=column,
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+            line_content=module.line_content(line),
+        ))
+
+
+class Rule:
+    """Common surface of every corlint rule.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity` and
+    :attr:`summary`, and override :meth:`applies_to` to scope
+    themselves to a path subset.
+    """
+
+    rule_id: str = "CL000"
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Whether this rule runs on ``module`` (default: every file)."""
+        return True
+
+
+class ModuleRule(Rule):
+    """A rule driven by per-node ``visit_<NodeType>`` handlers."""
+
+    def begin_module(self, module: SourceModule,
+                     ctx: ModuleContext) -> None:
+        """Hook before the walk — e.g. prescan imports for aliases."""
+
+    def finish_module(self, module: SourceModule,
+                      ctx: ModuleContext) -> None:
+        """Hook after the walk — e.g. flush accumulated state."""
+
+    def handlers(self) -> dict[str, object]:
+        """Map of AST node-type name -> bound handler method."""
+        out: dict[str, object] = {}
+        for name in dir(self):
+            if name.startswith("visit_"):
+                out[name[len("visit_"):]] = getattr(self, name)
+        return out
+
+
+class ProjectRule(Rule):
+    """A rule over the whole scanned file set (cross-module checks)."""
+
+    def check_project(self, modules: Sequence[SourceModule],
+                      ctx: ProjectContext) -> None:
+        """Inspect all modules at once, reporting into ``ctx``."""
+        raise NotImplementedError
+
+
+def iter_string_keys(node: ast.Dict) -> Iterable[tuple[str, ast.AST]]:
+    """(value, key-node) for every plain-string key of a dict literal."""
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            yield key.value, key

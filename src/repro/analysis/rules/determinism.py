@@ -1,0 +1,150 @@
+"""CL001 — determinism: no ambient entropy or wall-clock in core code.
+
+The paper's §9.3 sensitivity analysis (and this repo's bit-for-bit
+regression suite) assume a fully seeded simulated crowd: the same seed
+must replay the same run.  Inside the algorithmic subsystems (``core/``,
+``forest/``, ``crowd/``, ``rules/``) randomness must therefore be
+threaded as an ``np.random.Generator`` parameter — the convention of
+``crowd/simulated.py`` and ``data/sampling.py`` — never pulled from
+module-level RNGs, unseeded constructors or the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ModuleContext, ModuleRule, dotted_name, is_test_module, \
+    relpath_matches
+
+_SCOPE = "core|forest|crowd|rules"
+
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+})
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+_BIT_GENERATORS = frozenset({
+    "Generator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    "SeedSequence", "BitGenerator",
+})
+
+
+class DeterminismRule(ModuleRule):
+    """Flags unseeded/global RNG use and wall-clock reads in core code."""
+
+    rule_id = "CL001"
+    severity = Severity.ERROR
+    summary = ("no module-level random.*, unseeded np.random RNG, or "
+               "wall-clock reads in core/, forest/, crowd/, rules/ — "
+               "thread a seeded np.random.Generator instead")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Only the algorithmic subsystems; tests are exempt."""
+        return relpath_matches(module, _SCOPE) and not is_test_module(module)
+
+    def begin_module(self, module: SourceModule,
+                     ctx: ModuleContext) -> None:
+        """Prescan imports to resolve numpy / random / time aliases."""
+        self._numpy = set()
+        self._numpy_random = set()
+        self._default_rng = set()
+        self._stdlib_random = set()
+        self._random_funcs = set()
+        self._time_mods = set()
+        self._clock_funcs = set()
+        self._datetime_mods = set()
+        self._datetime_classes = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name in ("numpy", "numpy.random"):
+                        target = (self._numpy if alias.name == "numpy"
+                                  else self._numpy_random)
+                        target.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        self._stdlib_random.add(bound)
+                    elif alias.name == "time":
+                        self._time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        self._datetime_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "numpy" and alias.name == "random":
+                        self._numpy_random.add(bound)
+                    elif node.module == "numpy.random":
+                        if alias.name == "default_rng":
+                            self._default_rng.add(bound)
+                    elif node.module == "random":
+                        self._random_funcs.add(bound)
+                    elif node.module == "time":
+                        if alias.name in _CLOCK_FUNCS:
+                            self._clock_funcs.add(bound)
+                    elif node.module == "datetime":
+                        if alias.name in ("datetime", "date"):
+                            self._datetime_classes.add(bound)
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        """Classify one call against the determinism contract."""
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        head, tail = chain[0], chain[1:]
+        seeded = bool(node.args or node.keywords)
+
+        if head in self._stdlib_random or (
+                len(chain) == 1 and head in self._random_funcs):
+            ctx.report(self, node,
+                       "stdlib `random` uses hidden module-level state; "
+                       "thread a seeded np.random.Generator parameter "
+                       "instead")
+            return
+
+        np_random_func = None
+        if head in self._numpy and len(chain) == 3 and tail[0] == "random":
+            np_random_func = tail[1]
+        elif head in self._numpy_random and len(chain) == 2:
+            np_random_func = tail[0]
+        elif len(chain) == 1 and head in self._default_rng:
+            np_random_func = "default_rng"
+        if np_random_func is not None:
+            self._check_numpy(node, np_random_func, seeded, ctx)
+            return
+
+        if ((head in self._time_mods and len(chain) == 2
+                and tail[0] in _CLOCK_FUNCS)
+                or (len(chain) == 1 and head in self._clock_funcs)):
+            ctx.report(self, node,
+                       "wall-clock read makes the run irreproducible; "
+                       "pass timings/timestamps in from the caller")
+            return
+
+        is_datetime = (
+            (head in self._datetime_mods and len(chain) == 3
+             and tail[0] in ("datetime", "date")
+             and tail[1] in _DATETIME_METHODS)
+            or (head in self._datetime_classes and len(chain) == 2
+                and tail[0] in _DATETIME_METHODS)
+        )
+        if is_datetime:
+            ctx.report(self, node,
+                       "datetime.now()/today() reads the wall clock; "
+                       "pass timestamps in from the caller")
+
+    def _check_numpy(self, node: ast.Call, func: str, seeded: bool,
+                     ctx: ModuleContext) -> None:
+        """Vet one ``np.random.<func>(...)`` call."""
+        if func == "default_rng" or func in _BIT_GENERATORS:
+            if not seeded:
+                ctx.report(self, node,
+                           f"unseeded np.random.{func}() is "
+                           "irreproducible; pass an explicit seed or "
+                           "thread the caller's Generator")
+        else:
+            ctx.report(self, node,
+                       f"legacy np.random.{func}() uses the global "
+                       "numpy RNG; thread a seeded np.random.Generator "
+                       "instead")

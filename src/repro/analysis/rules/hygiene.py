@@ -1,0 +1,129 @@
+"""CL006 — generic hygiene: mutable defaults and shadowed builtins.
+
+Two classic Python traps with outsized blast radius in a long-lived
+pipeline: a mutable default argument is shared across *every* call
+(state leaks between supposedly independent Corleone runs), and
+rebinding a builtin name (``list``, ``filter``, ``id``...) makes later
+code in the same scope silently call the wrong thing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from .base import ModuleContext, ModuleRule
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+_SHADOWABLE_BUILTINS = frozenset({
+    "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+    "bytes", "type", "id", "input", "filter", "map", "sum", "min", "max",
+    "all", "any", "len", "next", "hash", "vars", "object", "print",
+    "sorted", "range", "zip", "open", "format", "dir", "iter", "repr",
+    "abs", "round", "bin", "hex", "oct",
+})
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    """Is a default-argument expression a freshly built mutable object?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+class GenericHygieneRule(ModuleRule):
+    """Flags mutable default arguments and shadowed builtin names."""
+
+    rule_id = "CL006"
+    severity = Severity.WARNING
+    summary = ("no mutable default arguments (shared across calls) and "
+               "no rebinding of builtin names")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: ModuleContext) -> None:
+        """Check a function's name, parameters and defaults."""
+        self._check_function(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: ModuleContext) -> None:
+        """Async variant of :meth:`visit_FunctionDef`."""
+        self._check_function(node, ctx)
+
+    def visit_Lambda(self, node: ast.Lambda, ctx: ModuleContext) -> None:
+        """Check a lambda's defaults and parameter names."""
+        self._check_defaults(node, ctx)
+        self._check_params(node, ctx)
+
+    def visit_ClassDef(self, node: ast.ClassDef,
+                       ctx: ModuleContext) -> None:
+        """Flag class names that shadow builtins."""
+        self._check_binding(node.name, node, ctx)
+
+    def visit_Assign(self, node: ast.Assign, ctx: ModuleContext) -> None:
+        """Flag assignment targets that shadow builtins."""
+        for target in node.targets:
+            self._check_target(target, ctx)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign,
+                        ctx: ModuleContext) -> None:
+        """Flag annotated-assignment targets that shadow builtins."""
+        self._check_target(node.target, ctx)
+
+    def visit_For(self, node: ast.For, ctx: ModuleContext) -> None:
+        """Flag loop variables that shadow builtins."""
+        self._check_target(node.target, ctx)
+
+    def visit_withitem(self, node: ast.withitem,
+                       ctx: ModuleContext) -> None:
+        """Flag ``with ... as name`` bindings that shadow builtins."""
+        if node.optional_vars is not None:
+            self._check_target(node.optional_vars, ctx)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_function(self, node, ctx: ModuleContext) -> None:
+        self._check_binding(node.name, node, ctx)
+        self._check_defaults(node, ctx)
+        self._check_params(node, ctx)
+
+    def _check_defaults(self, node, ctx: ModuleContext) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                ctx.report(self, default,
+                           "mutable default argument is evaluated once "
+                           "and shared across every call; default to "
+                           "None and create the object in the body")
+
+    def _check_params(self, node, ctx: ModuleContext) -> None:
+        args = node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for param in params:
+            self._check_binding(param.arg, param, ctx)
+
+    def _check_target(self, target: ast.expr, ctx: ModuleContext) -> None:
+        if isinstance(target, ast.Name):
+            self._check_binding(target.id, target, ctx)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, ctx)
+
+    def _check_binding(self, name: str, node: ast.AST,
+                       ctx: ModuleContext) -> None:
+        if name in _SHADOWABLE_BUILTINS:
+            ctx.report(self, node,
+                       f"name {name!r} shadows the builtin; later code "
+                       "in this scope silently loses the builtin — "
+                       "rename it")

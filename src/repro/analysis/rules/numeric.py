@@ -1,0 +1,87 @@
+"""CL004 — numeric hygiene: no accidental float equality.
+
+Feature values, precisions and confidence bounds are floats; ``==`` on
+them silently depends on bit-exact arithmetic.  The batch engine's
+parity contract makes *some* exact comparisons legitimate (exact-zero
+division guards), but those must be declared: either suppressed inline
+with a ``# corlint: disable=CL004`` intent comment or grandfathered in
+the baseline.  The ``x != x`` NaN idiom is always flagged — spell it
+``math.isnan(x)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ModuleContext, ModuleRule, dotted_name, is_test_module, \
+    relpath_matches
+
+_SCOPE = "features|forest|rules|core"
+
+_NAN_INF_CHAINS = frozenset({
+    ("math", "nan"), ("math", "inf"),
+    ("np", "nan"), ("np", "inf"), ("numpy", "nan"), ("numpy", "inf"),
+    ("np", "NaN"), ("numpy", "NaN"),
+})
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Can we statically tell this expression is float-typed?
+
+    Conservative: float literals, ``float(...)`` conversions and
+    NaN/inf constants only, so untyped ``a == b`` never false-positives.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "float"):
+        return True
+    chain = dotted_name(node)
+    return chain in _NAN_INF_CHAINS
+
+
+class NumericHygieneRule(ModuleRule):
+    """Flags ``==``/``!=`` on float-typed operands and NaN idioms."""
+
+    rule_id = "CL004"
+    severity = Severity.WARNING
+    summary = ("no ==/!= against float-typed expressions in numeric "
+               "modules (use math.isclose or an intent comment) and no "
+               "`x != x` NaN tests (use math.isnan)")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """The numeric subsystems plus metrics.py; tests are exempt."""
+        if is_test_module(module):
+            return False
+        return (relpath_matches(module, _SCOPE)
+                or module.relpath.endswith("metrics.py"))
+
+    def visit_Compare(self, node: ast.Compare, ctx: ModuleContext) -> None:
+        """Check every adjacent operand pair of a comparison chain."""
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_pair(node, op, left, right, ctx)
+            left = right
+
+    def _check_pair(self, node: ast.Compare, op: ast.cmpop,
+                    left: ast.expr, right: ast.expr,
+                    ctx: ModuleContext) -> None:
+        """Vet one ``left <op> right`` pair."""
+        if ast.dump(left) == ast.dump(right):
+            idiom = "x != x" if isinstance(op, ast.NotEq) else "x == x"
+            ctx.report(self, node,
+                       f"`{idiom}` NaN idiom; spell the intent with "
+                       "math.isnan(x) (or np.isnan for arrays)")
+            return
+        if _is_floatish(left) or _is_floatish(right):
+            symbol = "!=" if isinstance(op, ast.NotEq) else "=="
+            ctx.report(self, node,
+                       f"float `{symbol}` comparison; use math.isclose/"
+                       "np.isclose with an explicit tolerance, or mark "
+                       "an intentional exact comparison with a "
+                       "`# corlint: disable=CL004` intent comment")

@@ -1,0 +1,142 @@
+"""Source loading: file discovery, parsing and suppression pragmas.
+
+A :class:`SourceModule` bundles everything a rule needs about one file:
+its AST, raw lines and the ``# corlint: disable=...`` pragma map.
+Pragmas are read from real COMMENT tokens (via :mod:`tokenize`), so a
+pragma-shaped string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_PRAGMA = re.compile(
+    r"#\s*corlint:\s*(disable|disable-next-line)\s*=\s*"
+    r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+)
+
+_EXCLUDED_DIRS = {
+    "__pycache__", ".git", ".corlint_cache", ".pytest_cache", ".hypothesis",
+}
+
+SUPPRESS_ALL = "*"
+"""Wildcard accepted in pragmas (``disable=*`` or ``disable=all``)."""
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the metadata rules consume."""
+
+    path: Path
+    """Absolute filesystem path."""
+    relpath: str
+    """Repo-root-relative posix path (stable across machines)."""
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(repr=False)
+    suppressions: dict[int, frozenset[str]] = field(repr=False)
+    """Line number -> rule ids disabled there (``*`` disables all)."""
+
+    def line_content(self, line: int) -> str:
+        """The stripped source text of a 1-based line ("" if absent)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Is ``rule_id`` disabled on ``line`` by an inline pragma?"""
+        disabled = self.suppressions.get(line)
+        return disabled is not None and (
+            rule_id in disabled or SUPPRESS_ALL in disabled
+        )
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Extract the per-line suppression map from pragma comments.
+
+    ``# corlint: disable=CL001[,CL004]`` disables the named rules on the
+    comment's own line; ``disable-next-line=`` targets the line below.
+    ``all`` and ``*`` disable every rule.
+    """
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}
+    for token in comments:
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        mode, rule_list = match.groups()
+        line = token.start[0] + (1 if mode == "disable-next-line" else 0)
+        rules = {
+            SUPPRESS_ALL if item.lower() in ("all", SUPPRESS_ALL) else item
+            for item in re.split(r"\s*,\s*", rule_list.strip())
+        }
+        suppressed.setdefault(line, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in suppressed.items()}
+
+
+def find_repo_root(start: Path) -> Path:
+    """The enclosing repo root (pyproject.toml/.git), else ``start``.
+
+    Findings and baselines store paths relative to this root so that the
+    same baseline matches no matter which subtree was scanned.
+    """
+    start = start.resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if ((candidate / "pyproject.toml").is_file()
+                or (candidate / ".git").exists()):
+            return candidate
+    return probe
+
+
+def collect_files(targets: list[Path]) -> list[Path]:
+    """All ``.py`` files under ``targets`` (deterministic order)."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for target in targets:
+        target = target.resolve()
+        if target.is_file():
+            candidates = [target]
+        else:
+            candidates = sorted(
+                path for path in target.rglob("*.py")
+                if not _EXCLUDED_DIRS.intersection(path.parts)
+            )
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    """Parse one file into a :class:`SourceModule`.
+
+    Raises :class:`SyntaxError` if the file does not parse; the engine
+    converts that into a ``CL000`` finding rather than aborting the run.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        relpath = path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.name
+    tree = ast.parse(source, filename=str(path))
+    return SourceModule(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )

@@ -80,7 +80,9 @@ class TimedCrowd(CrowdPlatform):
 
     Answers within one HIT are answered by parallel workers in reality;
     we model ``parallelism`` simultaneous workers, so elapsed time grows
-    with ceil(answers / parallelism).
+    with ceil(answers / parallelism).  Without an explicit ``rng`` the
+    latency draws come from a fixed-seed generator, keeping simulated
+    wall-clock accounting reproducible (corlint CL001).
     """
 
     def __init__(self, inner: CrowdPlatform, model: LatencyModel,
@@ -92,7 +94,7 @@ class TimedCrowd(CrowdPlatform):
         self._inner = inner
         self.model = model
         self.pay_per_question = pay_per_question
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self.parallelism = parallelism
         self._lane_clocks = [0.0] * parallelism
 

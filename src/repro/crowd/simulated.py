@@ -6,6 +6,12 @@ al. / Guo et al. that the paper uses for its own sensitivity analysis
 ``error_rate``.  :class:`PerfectCrowd` is the 0%-error special case and
 :class:`HeterogeneousCrowd` draws a per-worker error rate, modelling a mix
 of careful workers and spammers.
+
+Every platform here defaults to a *fixed-seed* generator
+(``np.random.default_rng(0)``) when no ``rng`` is passed — the
+determinism contract (corlint CL001) forbids ambient entropy in crowd
+code, so even a casually constructed crowd replays bit-identically.
+Pass your own seeded Generator for independent answer streams.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ class SimulatedCrowd(CrowdPlatform):
             raise CrowdError("error_rate must be in [0, 1]")
         self._oracle: Oracle = oracle
         self.error_rate = error_rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._answers_given = 0
 
     @property
@@ -90,7 +96,7 @@ class BiasedCrowd(CrowdPlatform):
         self._oracle: Oracle = oracle
         self.false_negative_rate = false_negative_rate
         self.false_positive_rate = false_positive_rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._answers_given = 0
 
     @property
@@ -133,7 +139,7 @@ class HeterogeneousCrowd(CrowdPlatform):
             raise CrowdError("every worker error rate must be in [0, 1]")
         self._oracle: Oracle = oracle
         self._rates = rates
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._answers_given = 0
 
     @property

@@ -351,6 +351,7 @@ def _rel_diff(col_a, records_a, col_b, records_b):
     b = col_b.numbers(records_b)
     denominator = np.maximum(np.abs(a), np.abs(b))
     with np.errstate(invalid="ignore", divide="ignore"):
+        # corlint: disable-next-line=CL004 — exact-zero division guard
         return np.where(denominator == 0.0, 0.0,
                         np.abs(a - b) / denominator)
 
@@ -460,6 +461,7 @@ def _make_cosine_tfidf(idf: Mapping[str, float]) -> BatchKernel:
                 out[i] = 1.0
             elif not wa or not wb:
                 out[i] = 0.0
+            # corlint: disable-next-line=CL004 — exact-zero guard
             elif norm_a == 0.0 or norm_b == 0.0:
                 out[i] = 0.0
             else:

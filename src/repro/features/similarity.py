@@ -187,6 +187,7 @@ def cosine_tfidf(tokens_a: Sequence[str], tokens_b: Sequence[str],
     dot = sum(wa[token] * wb[token] for token in wa.keys() & wb.keys())
     norm_a = math.sqrt(sum(v * v for v in wa.values()))
     norm_b = math.sqrt(sum(v * v for v in wb.values()))
+    # corlint: disable-next-line=CL004 — exact-zero division guard
     if norm_a == 0.0 or norm_b == 0.0:
         return 0.0
     return dot / (norm_a * norm_b)
@@ -211,6 +212,7 @@ def abs_diff(a: float, b: float) -> float:
 def rel_diff(a: float, b: float) -> float:
     """Relative difference |a-b| / max(|a|, |b|); 0.0 when both are 0."""
     denominator = max(abs(a), abs(b))
+    # corlint: disable-next-line=CL004 — exact-zero division guard
     if denominator == 0.0:
         return 0.0
     return abs(a - b) / denominator

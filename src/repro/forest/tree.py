@@ -100,7 +100,10 @@ class DecisionTree:
         if x.shape[0] == 0:
             raise DataError("cannot fit a tree on zero examples")
         if rng is None:
-            rng = np.random.default_rng()
+            # Deterministic default (CL001): an unseeded fallback would
+            # make refits irreproducible; callers wanting variation
+            # thread their own Generator (RandomForest always does).
+            rng = np.random.default_rng(0)
         self.n_features_ = x.shape[1]
         self.nodes = []
         self._grow(x, y, np.arange(x.shape[0]), depth=0, rng=rng)

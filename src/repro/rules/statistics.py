@@ -35,6 +35,7 @@ def _erfinv(y: float) -> float:
     """Inverse error function on (-1, 1)."""
     if not -1.0 < y < 1.0:
         raise EstimationError("erfinv argument must be in (-1, 1)")
+    # corlint: disable-next-line=CL004 — exact-zero division guard
     if y == 0.0:
         return 0.0
     # Initial guess: Winitzki's approximation.
@@ -50,6 +51,7 @@ def _erfinv(y: float) -> float:
     for _ in range(4):
         error = math.erf(x) - y
         derivative = two_over_sqrt_pi * math.exp(-x * x)
+        # corlint: disable-next-line=CL004 — exact-zero Newton-step guard
         if derivative == 0.0:
             break
         x -= error / derivative
@@ -99,6 +101,7 @@ def required_sample_size(p: float, epsilon: float, population: int,
     if population <= 0:
         raise EstimationError("population must be positive")
     variance = p * (1.0 - p)
+    # corlint: disable-next-line=CL004 — exact-zero variance guard
     if variance == 0.0:
         return 1
     z = z_value(confidence)

@@ -53,6 +53,31 @@ def _assert_parity(table_a: Table, table_b: Table, pairs, library) -> None:
     assert np.array_equal(scalar, batched, equal_nan=True)
 
 
+def test_parity_suite_covers_every_library_measure():
+    """The datasets above exercise the full measure registry.
+
+    The parity tests are only as strong as the measures the four
+    synthetic schemas generate: if a library measure never appears in
+    any extended feature library, batched/scalar parity for it is
+    untested.  Assert the union of generated measures equals the
+    registry backing ``build_feature_library`` (the same registry the
+    CL003 kernel-parity lint rule diffs against the batched kernels).
+    """
+    from repro.features.library import _MEASURE_COSTS
+
+    generated: set[str] = set()
+    for generate in _GENERATORS.values():
+        dataset = generate(n_a=12, n_b=10, n_matches=4, seed=3)
+        library = build_feature_library(dataset.table_a, dataset.table_b,
+                                        extended=True)
+        generated.update(feature.measure for feature in library)
+    missing = set(_MEASURE_COSTS) - generated
+    assert not missing, (
+        f"library measures never exercised by the parity suite: "
+        f"{sorted(missing)}"
+    )
+
+
 class TestDatasetParity:
     """Exact parity across every synthetic dataset family and measure."""
 

@@ -103,6 +103,24 @@ def test_distill_substrates_without_engine_pair(collector):
     assert output.is_file()
 
 
+def test_collect_lint_records_per_rule_counts(collector):
+    import json
+    module, tmp_path = collector
+    output = tmp_path / "BENCH_lint.json"
+    payload = module.collect_lint(output=output)
+    assert payload["files_scanned"] > 0
+    # Every shipped rule is reported, and src/repro is corlint-clean:
+    # nothing new, only justified baseline entries.
+    for rule_id in ("CL001", "CL002", "CL003", "CL004", "CL005", "CL006"):
+        assert rule_id in payload["rules"]
+        assert payload["rules"][rule_id]["new"] == 0
+    assert payload["totals"]["new"] == 0
+    assert payload["totals"]["stale_baseline_entries"] == 0
+    assert json.loads(output.read_text()) == payload
+    table = (tmp_path / "results" / "lint_findings.txt").read_text()
+    assert "CL001" in table and "baselined" in table
+
+
 def test_order_constant_covers_known_artifacts():
     spec = importlib.util.spec_from_file_location("collect_results",
                                                   SCRIPT)
