@@ -19,7 +19,8 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick substrate microbenches; refreshes the BENCH_substrates.json
-# baseline (scalar vs batched feature-evaluation throughput).
+# baseline (scalar vs batched feature-evaluation throughput) and the
+# BENCH_engine.json baseline (checkpoint overhead, event throughput).
 bench-smoke:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest \
@@ -27,6 +28,7 @@ bench-smoke:
 		--benchmark-json=benchmarks/results/substrates_benchmark.json
 	$(PYTHON) benchmarks/collect_results.py \
 		--substrates benchmarks/results/substrates_benchmark.json
+	$(PYTHON) benchmarks/collect_results.py --engine
 
 results: bench
 	$(PYTHON) benchmarks/collect_results.py

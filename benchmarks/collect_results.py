@@ -24,6 +24,14 @@ finding counts as ``BENCH_lint.json`` plus a ``lint_findings`` result
 table:
 
     python benchmarks/collect_results.py --lint
+
+A fourth mode measures the staged engine's checkpoint/resume costs
+(docs/architecture.md): wall-clock overhead of checkpointing a full
+hands-off run, per-checkpoint write cost, checkpoint read cost and
+event-bus throughput, recorded as ``BENCH_engine.json`` plus an
+``engine_overhead`` result table:
+
+    python benchmarks/collect_results.py --engine
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 OUTPUT = Path(__file__).parent / "RESULTS.md"
 SUBSTRATES_OUTPUT = Path(__file__).parent / "BENCH_substrates.json"
 LINT_OUTPUT = Path(__file__).parent / "BENCH_lint.json"
+ENGINE_OUTPUT = Path(__file__).parent / "BENCH_engine.json"
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -67,6 +76,7 @@ ORDER = [
     "ext_sampler_ablation",
     "micro_substrates",
     "lint_findings",
+    "engine_overhead",
 ]
 
 
@@ -194,6 +204,126 @@ def collect_lint(output: Path | None = None) -> dict:
     return payload
 
 
+def collect_engine(output: Path | None = None, repeats: int = 3) -> dict:
+    """Measure the staged engine's checkpoint and event-bus costs.
+
+    Runs the same seeded hands-off run ``repeats`` times plain and
+    ``repeats`` times with a run directory, then derives the checkpoint
+    wall-clock overhead (the engine's acceptance bar is < 10%), the
+    per-checkpoint write cost, the checkpoint read cost and the event
+    throughput.  Writes ``BENCH_engine.json`` and an
+    ``engine_overhead`` result table, and returns the payload.
+    """
+    import tempfile
+    import time
+
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    import numpy as np
+
+    from repro.config import (
+        BlockerConfig,
+        CorleoneConfig,
+        EstimatorConfig,
+        ForestConfig,
+        LocatorConfig,
+        MatcherConfig,
+    )
+    from repro.core.pipeline import Corleone
+    from repro.crowd.simulated import SimulatedCrowd
+    from repro.engine import load_checkpoint
+    from repro.synth.restaurants import generate_restaurants
+
+    dataset = generate_restaurants(n_a=120, n_b=90, n_matches=35, seed=7)
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=6000, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=15),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+    def run_once(run_dir: Path | None):
+        crowd = SimulatedCrowd(dataset.matches, error_rate=0.05,
+                               rng=np.random.default_rng(11))
+        pipeline = Corleone(config, crowd, seed=123, run_dir=run_dir)
+        started = time.perf_counter()
+        pipeline.run(dataset.table_a, dataset.table_b,
+                     dataset.seed_labels)
+        return time.perf_counter() - started, pipeline.bus.events_emitted
+
+    plain_times = [run_once(None)[0] for _ in range(repeats)]
+
+    checkpointed_times: list[float] = []
+    read_times: list[float] = []
+    events = checkpoints = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            run_dir = Path(tmp) / "run"
+            elapsed, events = run_once(run_dir)
+            checkpointed_times.append(elapsed)
+            started = time.perf_counter()
+            checkpoint = load_checkpoint(run_dir)
+            read_times.append(time.perf_counter() - started)
+            checkpoints = checkpoint["index"] + 1
+
+    plain = min(plain_times)
+    checkpointed = min(checkpointed_times)
+    overhead = max(0.0, checkpointed - plain)
+    payload = {
+        "run": {
+            "dataset": "restaurants 120x90",
+            "repeats": repeats,
+            "plain_seconds": round(plain, 4),
+            "checkpointed_seconds": round(checkpointed, 4),
+            "checkpoint_overhead_fraction": round(overhead / plain, 4),
+            "checkpoints_written": checkpoints,
+            "events_emitted": events,
+        },
+        "checkpoint": {
+            "mean_write_overhead_seconds": round(
+                overhead / max(checkpoints, 1), 6
+            ),
+            "read_seconds": round(min(read_times), 6),
+        },
+        "events_per_second": round(events / checkpointed, 1),
+    }
+
+    target = output if output is not None else ENGINE_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} (overhead "
+          f"{payload['run']['checkpoint_overhead_fraction']:.1%})")
+
+    run = payload["run"]
+    table = (
+        "Staged engine: checkpoint/resume overhead "
+        f"({run['dataset']}, best of {repeats})\n"
+        "\n"
+        "metric                      value\n"
+        "--------------------------  ---------\n"
+        f"plain run                   {run['plain_seconds']:.3f} s\n"
+        f"checkpointed run            {run['checkpointed_seconds']:.3f} s\n"
+        f"overhead                    "
+        f"{run['checkpoint_overhead_fraction']:.1%}\n"
+        f"checkpoints written         {run['checkpoints_written']}\n"
+        f"mean write overhead         "
+        f"{payload['checkpoint']['mean_write_overhead_seconds'] * 1e3:.2f}"
+        " ms\n"
+        f"checkpoint read             "
+        f"{payload['checkpoint']['read_seconds'] * 1e3:.2f} ms\n"
+        f"events emitted              {run['events_emitted']}\n"
+        f"events per second           {payload['events_per_second']:.0f}\n"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_overhead.txt").write_text(table)
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -229,10 +359,18 @@ if __name__ == "__main__":
         help="run corlint over src/repro and record per-rule finding "
              "counts in BENCH_lint.json instead of collecting RESULTS.md",
     )
+    parser.add_argument(
+        "--engine", action="store_true",
+        help="measure staged-engine checkpoint overhead and event "
+             "throughput, recording BENCH_engine.json instead of "
+             "collecting RESULTS.md",
+    )
     args = parser.parse_args()
     if args.substrates is not None:
         distill_substrates(args.substrates)
     elif args.lint:
         collect_lint()
+    elif args.engine:
+        collect_engine()
     else:
         main()

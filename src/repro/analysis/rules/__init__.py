@@ -18,6 +18,7 @@ from .hygiene import GenericHygieneRule
 from .kernel_parity import KernelParityRule
 from .numeric import NumericHygieneRule
 from .picklability import PicklabilityRule
+from .rng_sharing import RngSharingRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     DeterminismRule,
@@ -26,6 +27,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     NumericHygieneRule,
     PicklabilityRule,
     GenericHygieneRule,
+    RngSharingRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -52,6 +54,7 @@ __all__ = [
     "PicklabilityRule",
     "ProjectContext",
     "ProjectRule",
+    "RngSharingRule",
     "Rule",
     "default_rules",
     "rules_by_id",

@@ -1,0 +1,95 @@
+"""CL007 — RNG stream sharing: one generator must not feed two stages.
+
+A ``numpy`` ``Generator`` is a single stream of draws: when two pipeline
+stages are constructed around the *same* ``self.rng``, every draw one
+stage makes shifts the numbers the other sees, so an extra draw in the
+blocker silently changes the matcher's training samples (the coupling
+the staged engine's per-stage ``SeedSequence`` streams exist to remove —
+see ``repro.engine.context.RunContext.rng``).  This rule flags any
+function that hands ``self.rng`` (or ``self._rng``) to two or more
+constructor-like calls; each stage should instead derive its own named
+stream from the run's root seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ModuleContext, ModuleRule, dotted_name, is_test_module, \
+    relpath_matches
+
+_RNG_ATTRS = frozenset({"rng", "_rng"})
+
+
+def _rng_attribute(node: ast.expr) -> bool:
+    """Is ``node`` a ``self.rng`` / ``self._rng`` attribute access?"""
+    chain = dotted_name(node)
+    return (chain is not None and len(chain) == 2
+            and chain[0] == "self" and chain[1] in _RNG_ATTRS)
+
+
+def _constructor_name(node: ast.Call) -> str | None:
+    """The callee's name if it looks like a class constructor, else None.
+
+    "Looks like" means the last dotted segment is Capitalized — the
+    repo's stage classes (``Blocker``, ``ActiveLearningMatcher``, …) all
+    are, and lower-case helpers that *consume* a generator without
+    retaining it are exactly what the rule must not flag.
+    """
+    chain = dotted_name(node.func)
+    if chain is None:
+        return None
+    leaf = chain[-1]
+    return leaf if leaf[:1].isupper() else None
+
+
+class RngSharingRule(ModuleRule):
+    """Flags one ``self.rng`` shared across several stage constructors."""
+
+    rule_id = "CL007"
+    severity = Severity.WARNING
+    summary = ("a single self.rng handed to two or more stage "
+               "constructors couples their draw sequences; derive one "
+               "named SeedSequence stream per stage instead")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Orchestration code only: core/ and engine/, never tests."""
+        return (relpath_matches(module, "core|engine")
+                and not is_test_module(module))
+
+    def begin_module(self, module: SourceModule,
+                     ctx: ModuleContext) -> None:
+        """Reset the per-function constructor-call accumulator."""
+        self._shared: dict[int, list[tuple[str, ast.Call]]] = {}
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        """Record constructor calls that receive ``self.rng``."""
+        name = _constructor_name(node)
+        if name is None:
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        if not any(_rng_attribute(value) for value in values):
+            return
+        function = ctx.enclosing_function()
+        if function is None:
+            return
+        self._shared.setdefault(id(function), []).append((name, node))
+
+    def finish_module(self, module: SourceModule,
+                      ctx: ModuleContext) -> None:
+        """Report every function that shared one stream across stages."""
+        for calls in self._shared.values():
+            if len(calls) < 2:
+                continue
+            names = ", ".join(name for name, _ in calls)
+            for name, node in calls[1:]:
+                ctx.report(
+                    self, node,
+                    f"self.rng feeds {len(calls)} constructors here "
+                    f"({names}); a shared generator couples their draw "
+                    "sequences — give each stage its own stream (e.g. "
+                    "RunContext.rng(name))",
+                )
+        self._shared = {}

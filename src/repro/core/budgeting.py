@@ -107,12 +107,37 @@ class PhaseBudgetManager:
         self._spent: dict[str, float] = dict.fromkeys(PHASES, 0.0)
         self._baseline = tracker.dollars
         """Dollars already on the tracker before the plan took effect."""
+        self._active: tuple[str, float] | None = None
+        """(phase, entry dollars) while a phase context is open."""
 
     def spent(self, phase: str) -> float:
         """Dollars consumed by ``phase`` so far."""
         if phase not in PHASES:
             raise ConfigurationError(f"unknown phase {phase!r}")
         return self._spent[phase]
+
+    def state_dict(self) -> dict:
+        """Per-phase spend as a JSON-compatible dict (checkpointing).
+
+        Spend of a currently *open* phase context is folded into that
+        phase's total, so a run resumed from a mid-phase checkpoint
+        re-enters the phase with exactly the remaining allocation the
+        uninterrupted run had at that point — the invariant behind
+        bit-identical resume under a budget plan.
+        """
+        spent = dict(self._spent)
+        if self._active is not None:
+            phase, entry_dollars = self._active
+            spent[phase] += self.tracker.dollars - entry_dollars
+        return {"spent": spent, "baseline": self._baseline}
+
+    def load_state(self, state: dict) -> None:
+        """Restore spend captured by :meth:`state_dict`."""
+        self._spent = {
+            phase: float(state["spent"].get(phase, 0.0)) for phase in PHASES
+        }
+        self._baseline = float(state.get("baseline", 0.0))
+        self._active = None
 
     def remaining(self, phase: str) -> float:
         """Allocation left for ``phase`` (rollover not included)."""
@@ -158,6 +183,7 @@ class _PhaseContext:
         self._entry_dollars = tracker.dollars
         self._saved_budget = tracker.budget
         tracker.budget = tracker.dollars + manager.cap(self._phase)
+        manager._active = (self._phase, self._entry_dollars)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -165,3 +191,4 @@ class _PhaseContext:
         tracker = manager.tracker
         manager._spent[self._phase] += tracker.dollars - self._entry_dollars
         tracker.budget = self._saved_budget
+        manager._active = None

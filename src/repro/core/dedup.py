@@ -54,13 +54,23 @@ def canonical_pair(id_a: str, id_b: str) -> Pair:
 
 
 class Deduplicator:
-    """Runs hands-off dedup on a single table."""
+    """Runs hands-off dedup on a single table.
+
+    Executes through the same staged engine as :class:`Corleone`:
+    ``seed`` fixes the underlying run's root seed sequence and
+    ``run_dir`` enables the engine's checkpoint/resume machinery for
+    the dedup run (``rng`` is the back-compat way to fix the seed).
+    """
 
     def __init__(self, config: CorleoneConfig, platform: CrowdPlatform,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 seed: int | None = None,
+                 run_dir: str | None = None) -> None:
         self.config = config
         self.platform = platform
         self.rng = rng
+        self.seed = seed
+        self.run_dir = run_dir
 
     def run(self, table: Table, seed_labels: dict[Pair, bool],
             mode: str = "full") -> DedupResult:
@@ -86,7 +96,8 @@ class Deduplicator:
             for pair, label in seeds.items()
         }
         platform = _DedupPlatform(self.platform)
-        pipeline = Corleone(self.config, platform, rng=self.rng)
+        pipeline = Corleone(self.config, platform, rng=self.rng,
+                            seed=self.seed, run_dir=self.run_dir)
         result = pipeline.run(left, right, prefixed_seeds, mode=mode)
 
         duplicates: set[Pair] = set()

@@ -11,6 +11,7 @@ pre-degradation forest.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,8 +57,46 @@ class MatcherResult:
         }
 
 
+@dataclass
+class MatcherTrainState:
+    """The full state of an in-progress active-learning training run.
+
+    Everything :meth:`ActiveLearningMatcher.step` reads and writes lives
+    here, and every field is serializable (forests via
+    ``repro.persistence``), so the engine can checkpoint training after
+    any iteration and resume it bit-identically.
+    """
+
+    labeled_rows: dict[int, bool]
+    """Candidate-set row -> training label gathered so far."""
+
+    monitor_rows: list[int]
+    """Rows of the held-out monitoring set V (empty: monitor on all)."""
+
+    confidences: list[float] = field(default_factory=list)
+    """Raw conf(V) recorded per completed iteration."""
+
+    forests: list[RandomForest] = field(default_factory=list)
+    """The forest fitted in each iteration, in order."""
+
+    pairs_before: int = 0
+    """Tracker's ``pairs_labeled`` when training started (for cost
+    attribution; absolute, so it survives checkpoint/resume)."""
+
+    stop_reason: str | None = None
+    """Why training stopped, or None while it should continue."""
+
+    rollback_index: int | None = None
+    """Forest index to keep when a monitor decision requested rollback."""
+
+
 class ActiveLearningMatcher:
-    """Trains a forest over a candidate set via crowdsourced labelling."""
+    """Trains a forest over a candidate set via crowdsourced labelling.
+
+    Training runs stepwise — :meth:`start` / :meth:`step` /
+    :meth:`finish` — so the engine can checkpoint between iterations;
+    :meth:`train` composes the three into the classic one-call loop.
+    """
 
     def __init__(self, config: CorleoneConfig, service: LabelingService,
                  rng: np.random.Generator) -> None:
@@ -68,71 +107,112 @@ class ActiveLearningMatcher:
     def train(self, candidates: CandidateSet,
               initial_labels: dict[Pair, bool],
               extra_vectors: np.ndarray | None = None,
-              extra_labels: np.ndarray | None = None) -> MatcherResult:
+              extra_labels: np.ndarray | None = None,
+              state: MatcherTrainState | None = None,
+              on_iteration: Callable[[MatcherTrainState], None] | None = None,
+              ) -> MatcherResult:
         """Run the full active-learning loop over ``candidates``.
 
         ``initial_labels`` hold trusted labels (the user's seed examples
         and anything already cached); pairs not present in the candidate
         set are ignored here — pass their vectors via ``extra_vectors`` /
         ``extra_labels`` to still use them for training.
+
+        ``state`` resumes a checkpointed training run (``initial_labels``
+        is then ignored — the state already carries the labels), and
+        ``on_iteration`` is called after every completed iteration with
+        the current state (the engine's mid-stage checkpoint hook).
         """
+        if state is None:
+            state = self.start(candidates, initial_labels)
+        while not self.train_finished(state):
+            self.step(state, candidates, extra_vectors, extra_labels)
+            if on_iteration is not None:
+                on_iteration(state)
+        return self.finish(state, candidates)
+
+    def start(self, candidates: CandidateSet,
+              initial_labels: dict[Pair, bool]) -> MatcherTrainState:
+        """Initialize training: seed the labels, draw the monitor set."""
         if len(candidates) == 0:
             raise DataError("cannot train a matcher on an empty candidate set")
-        cfg = self.config.matcher
-
         labeled_rows: dict[int, bool] = {}
         for pair, label in initial_labels.items():
             if pair in candidates:
                 labeled_rows[candidates.index_of(pair)] = label
-
         monitor_rows = self._pick_monitor_rows(candidates, labeled_rows)
-        monitor_x = candidates.features[monitor_rows] if monitor_rows.size else None
+        return MatcherTrainState(
+            labeled_rows=labeled_rows,
+            monitor_rows=[int(row) for row in monitor_rows],
+            pairs_before=self.service.tracker.pairs_labeled,
+        )
 
-        monitor = ConfidenceMonitor(cfg)
-        forests: list[RandomForest] = []
-        pairs_before = self.service.tracker.pairs_labeled
-        decision: StopDecision | None = None
-        stop_reason = "max_iterations"
-        excluded = set(int(r) for r in monitor_rows)
+    def train_finished(self, state: MatcherTrainState) -> bool:
+        """True when no further :meth:`step` call should run."""
+        if state.stop_reason is not None:
+            return True
+        return len(state.forests) >= self.config.matcher.max_iterations
 
-        for _ in range(cfg.max_iterations):
-            forest = self._fit(candidates, labeled_rows,
-                               extra_vectors, extra_labels)
-            forests.append(forest)
+    def step(self, state: MatcherTrainState, candidates: CandidateSet,
+             extra_vectors: np.ndarray | None = None,
+             extra_labels: np.ndarray | None = None) -> None:
+        """One active-learning iteration: fit, monitor, select, label.
 
-            if monitor_x is not None:
-                confidence = forest.mean_confidence(monitor_x)
-            else:
-                confidence = forest.mean_confidence(candidates.features)
-            decision = monitor.add(confidence)
-            if decision is not None:
-                stop_reason = decision.reason
-                break
+        Mutates ``state`` in place; sets ``state.stop_reason`` when a
+        stopping condition fires.  When the loop instead exhausts
+        ``max_iterations`` without a stop, :meth:`train_finished` ends
+        training and :meth:`finish` reports ``"max_iterations"``.
+        """
+        forest = self._fit(candidates, state.labeled_rows,
+                           extra_vectors, extra_labels)
+        state.forests.append(forest)
 
-            batch_rows = self._select_batch(
-                forest, candidates, labeled_rows, excluded
+        if state.monitor_rows:
+            monitor_x = candidates.features[
+                np.asarray(state.monitor_rows, dtype=np.intp)
+            ]
+        else:
+            monitor_x = candidates.features
+        confidence = forest.mean_confidence(monitor_x)
+        monitor = ConfidenceMonitor.from_history(self.config.matcher,
+                                                 state.confidences)
+        decision: StopDecision | None = monitor.add(confidence)
+        state.confidences.append(float(confidence))
+        if decision is not None:
+            state.stop_reason = decision.reason
+            state.rollback_index = decision.rollback_index
+            return
+
+        batch_rows = self._select_batch(
+            forest, candidates, state.labeled_rows, set(state.monitor_rows)
+        )
+        if not batch_rows:
+            state.stop_reason = "pool_exhausted"
+            return
+        try:
+            new_labels = self.service.label_batch(
+                [candidates.pairs[row] for row in batch_rows],
+                scheme=VoteScheme.MAJORITY_2PLUS1,
             )
-            if not batch_rows:
-                stop_reason = "pool_exhausted"
-                break
-            try:
-                new_labels = self.service.label_batch(
-                    [candidates.pairs[row] for row in batch_rows],
-                    scheme=VoteScheme.MAJORITY_2PLUS1,
-                )
-            except BudgetExhaustedError:
-                # Out of money: keep the current forest and wrap up.
-                stop_reason = "budget_exhausted"
-                break
-            if not new_labels:
-                stop_reason = "no_labels_returned"
-                break
-            for row in batch_rows:
-                pair = candidates.pairs[row]
-                if pair in new_labels:
-                    labeled_rows[row] = new_labels[pair]
+        except BudgetExhaustedError:
+            # Out of money: keep the current forest and wrap up.
+            state.stop_reason = "budget_exhausted"
+            return
+        if not new_labels:
+            state.stop_reason = "no_labels_returned"
+            return
+        for row in batch_rows:
+            pair = candidates.pairs[row]
+            if pair in new_labels:
+                state.labeled_rows[row] = new_labels[pair]
 
-        chosen_index = decision.rollback_index if decision else len(forests) - 1
+    def finish(self, state: MatcherTrainState,
+               candidates: CandidateSet) -> MatcherResult:
+        """Select the final forest and package the training outcome."""
+        forests = state.forests
+        chosen_index = (state.rollback_index
+                        if state.rollback_index is not None
+                        else len(forests) - 1)
         chosen = forests[min(chosen_index, len(forests) - 1)]
         # Predictions come from the forest for every pair, including the
         # crowd-labelled ones: individual crowd labels are noisy (2+1
@@ -142,11 +222,12 @@ class ActiveLearningMatcher:
         return MatcherResult(
             forest=chosen,
             predictions=predictions,
-            labeled_rows=dict(labeled_rows),
-            confidence_history=monitor.raw,
-            stop_reason=stop_reason,
+            labeled_rows=dict(state.labeled_rows),
+            confidence_history=list(state.confidences),
+            stop_reason=state.stop_reason or "max_iterations",
             n_iterations=len(forests),
-            pairs_labeled=self.service.tracker.pairs_labeled - pairs_before,
+            pairs_labeled=(self.service.tracker.pairs_labeled
+                           - state.pairs_before),
         )
 
     # ------------------------------------------------------------------

@@ -133,10 +133,10 @@ class MultiTaskRunner:
                 config = config.replace(
                     budget=max(0.01, remaining_budget * share)
                 )
-            pipeline = Corleone(
-                config, self.platform,
-                rng=np.random.default_rng(self.seed + index),
-            )
+            # Each task gets its own root seed (and so its own engine
+            # RNG streams): task index offsets the runner's base seed.
+            pipeline = Corleone(config, self.platform,
+                                seed=self.seed + index)
             result = pipeline.run(task.table_a, task.table_b,
                                   task.seed_labels, mode=mode)
             outcomes.append(TaskOutcome(task=task, result=result))

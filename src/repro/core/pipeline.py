@@ -1,90 +1,61 @@
-"""The Corleone orchestrator (Figure 1).
+"""The Corleone orchestrator (Figure 1), as a thin engine driver.
 
-Wires the Blocker, Matcher, Accuracy Estimator and Difficult Pairs'
-Locator into the hands-off loop: block A x B, train a matcher with the
-crowd, estimate its accuracy, locate the difficult pairs, train a new
-matcher for those, and repeat until the estimated accuracy stops
-improving (or a budget/iteration cap is hit).  The final prediction is an
-ensemble: each pair is decided by the matcher of the iteration in which
-it left the difficult set (Section 7, step 3).
+The hands-off loop — block A x B, train a matcher with the crowd,
+estimate its accuracy, locate the difficult pairs, reduce, repeat — is
+implemented as five stages executed by the staged engine
+(:mod:`repro.engine`).  This module supplies only the public
+entry points: build the run context, seed the
+:class:`~repro.engine.state.RunState`, drive it to completion, and
+package (possibly partial) results.  With a ``run_dir``, every stage
+boundary and matcher iteration is checkpointed, and
+:meth:`Corleone.resume` continues a killed run to a bit-identical
+result.
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..config import CorleoneConfig
 from ..crowd.base import CrowdPlatform
-from ..crowd.cost import CostSnapshot, CostTracker
-from ..crowd.service import LabelingService
 from ..data.pairs import CandidateSet, Pair
 from ..data.table import Table
+from ..engine.checkpoint import (
+    CANDIDATES_FILE,
+    TRACE_FILE,
+    Checkpointer,
+    load_checkpoint,
+    load_run_inputs,
+)
+from ..engine.context import RunContext
+from ..engine.events import EventBus, JsonlTraceSink
+from ..engine.runner import StagedEngine
+from ..engine.state import RunState
 from ..exceptions import BudgetExhaustedError, DataError
-from ..features.library import FeatureLibrary, build_feature_library
-from ..features.vectorize import vectorize_pairs
-from .budgeting import BudgetPlan, PhaseBudgetManager
+from ..features.library import build_feature_library
+from ..persistence import load_candidates
 from .blocker import Blocker, BlockerResult
+from .budgeting import BudgetPlan, PhaseBudgetManager
 from .estimator import AccuracyEstimate, AccuracyEstimator
 from .locator import DifficultPairsLocator, LocatorResult
 from .matcher import ActiveLearningMatcher, MatcherResult
+from .results import CorleoneResult, IterationRecord
 
-
-@dataclass
-class IterationRecord:
-    """Telemetry for one matching iteration (one row group of Table 4)."""
-
-    index: int
-    matcher: MatcherResult
-    matcher_pairs_labeled: int
-    predicted_pairs: frozenset[Pair]
-    """Combined (ensemble) predicted matches over C after this iteration."""
-    estimate: AccuracyEstimate | None = None
-    estimation_pairs_labeled: int = 0
-    locator: LocatorResult | None = None
-    reduction_pairs_labeled: int = 0
-    difficult_size: int | None = None
-
-
-@dataclass
-class CorleoneResult:
-    """The hands-off run's complete output."""
-
-    predicted_matches: frozenset[Pair]
-    candidates: CandidateSet
-    blocker: BlockerResult
-    iterations: list[IterationRecord] = field(default_factory=list)
-    estimate: AccuracyEstimate | None = None
-    cost: CostSnapshot = field(default_factory=CostSnapshot)
-    stop_reason: str = ""
-
-    @property
-    def total_pairs_labeled(self) -> int:
-        return self.cost.pairs_labeled
-
-    @property
-    def total_dollars(self) -> float:
-        return self.cost.dollars
-
-
-@dataclass
-class _RunProgress:
-    """State ``_run`` has accumulated so far, readable if it aborts.
-
-    ``run`` hands an instance to ``_run``, which writes each milestone
-    into it as soon as it exists — so a :class:`BudgetExhaustedError`
-    escaping mid-run still leaves the real blocker result, candidate set
-    and completed iterations available to report, instead of fabricated
-    empties.
-    """
-
-    blocker: BlockerResult | None = None
-    candidates: CandidateSet | None = None
-    iterations: list[IterationRecord] = field(default_factory=list)
-    best_predictions: frozenset[Pair] = frozenset()
-    best_estimate: AccuracyEstimate | None = None
+__all__ = [
+    "ActiveLearningMatcher",
+    "AccuracyEstimate",
+    "AccuracyEstimator",
+    "Blocker",
+    "BlockerResult",
+    "Corleone",
+    "CorleoneResult",
+    "DifficultPairsLocator",
+    "IterationRecord",
+    "LocatorResult",
+    "MatcherResult",
+]
 
 
 class Corleone:
@@ -95,18 +66,31 @@ class Corleone:
     to real crowds, unused by simulated ones) and four labelled seed
     pairs.  Everything else — blocking rules, training data, accuracy
     estimates, iteration — comes from the crowd.
+
+    ``seed`` (or a back-compat ``rng``) fixes the run's root seed
+    sequence, from which each stage derives its own independent RNG
+    stream.  ``run_dir`` enables checkpointing: the run writes its
+    inputs, candidate set, event trace and a resumable checkpoint into
+    that directory.
     """
 
     def __init__(self, config: CorleoneConfig, platform: CrowdPlatform,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 seed: int | np.random.SeedSequence | None = None,
+                 run_dir: str | Path | None = None,
+                 bus: EventBus | None = None) -> None:
         self.config = config
         self.platform = platform
-        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
-        self.tracker = CostTracker(
-            price_per_question=config.crowd.price_per_question,
-            budget=config.budget,
-        )
-        self.service = LabelingService(platform, config.crowd, self.tracker)
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self._ctx = RunContext(config, platform, seed=seed, rng=rng, bus=bus)
+        self.service = self._ctx.service
+        self.tracker = self._ctx.tracker
+        self.bus = self._ctx.bus
+
+    @property
+    def context(self) -> RunContext:
+        """The run context (RNG streams, services, event bus)."""
+        return self._ctx
 
     def run(self, table_a: Table, table_b: Table,
             seed_labels: dict[Pair, bool],
@@ -130,184 +114,117 @@ class Corleone:
         self._check_seeds(seed_labels)
         library = build_feature_library(table_a, table_b)
 
-        progress = _RunProgress()
-        try:
-            return self._run(table_a, table_b, seed_labels, library, mode,
-                             budget_plan, progress)
-        except BudgetExhaustedError:
-            # Return the state the partial run actually accumulated — the
-            # real blocker result, candidate set and completed iterations
-            # — so callers can still inspect how far the run got.
-            if progress.best_predictions:
-                predicted = progress.best_predictions
-            elif progress.iterations:
-                predicted = progress.iterations[-1].predicted_pairs
-            else:
-                predicted = frozenset(self.service.positive_pairs())
-            return CorleoneResult(
-                predicted_matches=predicted,
-                candidates=(progress.candidates
-                            if progress.candidates is not None
-                            else CandidateSet.empty(library.names)),
-                blocker=(progress.blocker
-                         if progress.blocker is not None
-                         else BlockerResult(triggered=False,
-                                            candidate_pairs=[],
-                                            cartesian=0)),
-                iterations=progress.iterations,
-                estimate=progress.best_estimate,
-                cost=self.tracker.snapshot(),
-                stop_reason="budget_exhausted",
-            )
+        ctx = self._ctx
+        ctx.manager = (PhaseBudgetManager(budget_plan, ctx.tracker)
+                       if budget_plan is not None else None)
+        state = RunState(mode=mode, seed_labels=dict(seed_labels))
+        state.attach(table_a, table_b, library)
+
+        checkpointer = None
+        if self.run_dir is not None:
+            checkpointer = Checkpointer(self.run_dir)
+            checkpointer.write_inputs(state, ctx, budget_plan)
+        return self._execute(state, checkpointer)
+
+    @classmethod
+    def resume(cls, run_dir: str | Path,
+               platform: CrowdPlatform) -> CorleoneResult:
+        """Continue a checkpointed run to its (bit-identical) result.
+
+        Everything mutable — run state, label cache, cost ledger, phase
+        budgets, platform answer stream, RNG stream states — is restored
+        from the directory's latest checkpoint, so the resumed run
+        produces exactly the result the uninterrupted run would have.
+        ``platform`` must be constructed the same way as the original
+        run's (its internal state is then fast-forwarded from the
+        checkpoint when it supports ``load_state``).
+        """
+        run_dir = Path(run_dir)
+        inputs = load_run_inputs(run_dir)
+        checkpoint = load_checkpoint(run_dir)
+        if checkpoint is None:
+            raise DataError(f"{run_dir}: no checkpoint to resume from")
+
+        pipeline = cls(inputs["config"], platform,
+                       seed=inputs["root_seed"], run_dir=run_dir)
+        ctx = pipeline._ctx
+        plan = inputs["budget_plan"]
+        ctx.manager = (PhaseBudgetManager(plan, ctx.tracker)
+                       if plan is not None else None)
+        ctx.tracker.load_state(checkpoint["tracker"])
+        if ctx.manager is not None and checkpoint["manager"] is not None:
+            ctx.manager.load_state(checkpoint["manager"])
+        ctx.service.restore_cache(checkpoint["service_cache"])
+        ctx.restore_rng_states(checkpoint["rng"])
+        if (checkpoint["platform"] is not None
+                and hasattr(platform, "load_state")):
+            platform.load_state(checkpoint["platform"])
+        ctx.bus.restore_sequence(checkpoint["sequence"])
+
+        table_a, table_b = inputs["table_a"], inputs["table_b"]
+        library = build_feature_library(table_a, table_b)
+        candidates = None
+        candidates_path = run_dir / CANDIDATES_FILE
+        if candidates_path.is_file():
+            candidates = load_candidates(candidates_path)
+        state = RunState.from_dict(checkpoint["state"], candidates)
+        state.attach(table_a, table_b, library)
+        return pipeline._execute(state, Checkpointer(run_dir))
 
     # ------------------------------------------------------------------
 
-    def _run(self, table_a: Table, table_b: Table,
-             seed_labels: dict[Pair, bool], library: FeatureLibrary,
-             mode: str, budget_plan: BudgetPlan | None,
-             progress: _RunProgress) -> CorleoneResult:
-        manager = (PhaseBudgetManager(budget_plan, self.tracker)
-                   if budget_plan is not None else None)
+    def _execute(self, state: RunState,
+                 checkpointer: Checkpointer | None) -> CorleoneResult:
+        """Drive ``state`` through the engine and package the result."""
+        ctx = self._ctx
+        engine = StagedEngine(ctx, checkpointer=checkpointer)
+        sink = None
+        if checkpointer is not None:
+            sink = JsonlTraceSink(checkpointer.run_dir / TRACE_FILE)
+            ctx.bus.subscribe(sink)
+        try:
+            engine.run(state)
+        except BudgetExhaustedError:
+            return self._partial_result(state)
+        finally:
+            if sink is not None:
+                ctx.bus.unsubscribe(sink)
+                sink.close()
+            ctx.checkpoint = None
+        return state.to_result(ctx.tracker)
 
-        def phase(name: str):
-            if manager is None:
-                return nullcontext()
-            return manager.phase(name)
+    def _partial_result(self, state: RunState) -> CorleoneResult:
+        """Package what a budget-exhausted run actually accumulated.
 
-        blocker = Blocker(self.config, self.service, self.rng)
-        with phase("blocking"):
-            blocker_result = blocker.run(table_a, table_b, library,
-                                         seed_labels)
-        progress.blocker = blocker_result
-        candidates = vectorize_pairs(
-            table_a, table_b, blocker_result.candidate_pairs, library
-        )
-        progress.candidates = candidates
-        if len(candidates) == 0:
-            return CorleoneResult(
-                predicted_matches=frozenset(),
-                candidates=candidates,
-                blocker=blocker_result,
-                cost=self.tracker.snapshot(),
-                stop_reason="empty_candidate_set",
-            )
-
-        # Seed pairs may sit outside the umbrella set; vectorize them
-        # separately so every matcher still trains on them.
-        seed_items = sorted(seed_labels.items())
-        seed_vectors = vectorize_pairs(
-            table_a, table_b, [pair for pair, _ in seed_items], library
-        ).features
-        seed_flags = np.array([label for _, label in seed_items], dtype=bool)
-
-        matcher = ActiveLearningMatcher(self.config, self.service, self.rng)
-        estimator = AccuracyEstimator(self.config, self.service, self.rng)
-        locator = DifficultPairsLocator(self.config, self.service, self.rng)
-
-        predictions_by_pair: dict[Pair, bool] = {}
-        iterations = progress.iterations
-        certified_reductions: list = []
-        working = candidates
-        best_f1 = -1.0
-        best_predictions: frozenset[Pair] = frozenset()
-        best_estimate: AccuracyEstimate | None = None
-        stop_reason = "max_iterations"
-
-        max_rounds = (1 if mode in ("one_iteration", "blocker_matcher")
-                      else self.config.max_pipeline_iterations)
-
-        for index in range(1, max_rounds + 1):
-            initial = {
-                pair: label
-                for pair, label in self.service.labeled_pairs().items()
-                if pair in working
-            }
-            with phase("matching"):
-                matcher_result = matcher.train(
-                    working, initial,
-                    extra_vectors=seed_vectors, extra_labels=seed_flags,
-                )
-            for row, pair in enumerate(working.pairs):
-                predictions_by_pair[pair] = bool(
-                    matcher_result.predictions[row]
-                )
-            combined = np.array([
-                predictions_by_pair.get(pair, False)
-                for pair in candidates.pairs
-            ], dtype=bool)
-            record = IterationRecord(
-                index=index,
-                matcher=matcher_result,
-                matcher_pairs_labeled=matcher_result.pairs_labeled,
-                predicted_pairs=frozenset(
-                    pair for pair, hit in zip(candidates.pairs, combined)
-                    if hit
-                ),
-            )
-            iterations.append(record)
-
-            if mode == "blocker_matcher":
-                best_predictions = record.predicted_pairs
-                progress.best_predictions = best_predictions
-                stop_reason = "blocker_matcher_mode"
-                break
-
-            est_before = self.tracker.snapshot()
-            with phase("estimation"):
-                estimate = estimator.estimate(
-                    candidates, combined, matcher_result.forest,
-                    certified=certified_reductions,
-                )
-            certified_reductions.extend(
-                ev for ev in estimate.rule_evaluations if ev.accepted
-            )
-            record.estimate = estimate
-            record.estimation_pairs_labeled = (
-                self.tracker.snapshot().minus(est_before).pairs_labeled
-            )
-
-            if estimate.f1 <= best_f1:
-                stop_reason = "no_improvement"
-                break
-            best_f1 = estimate.f1
-            best_predictions = record.predicted_pairs
-            best_estimate = estimate
-            progress.best_predictions = best_predictions
-            progress.best_estimate = best_estimate
-
-            if mode == "one_iteration":
-                stop_reason = "one_iteration_mode"
-                break
-            if index == max_rounds:
-                stop_reason = "max_iterations"
-                break
-
-            loc_before = self.tracker.snapshot()
-            with phase("reduction"):
-                locator_result = locator.locate(working,
-                                                matcher_result.forest)
-            record.locator = locator_result
-            record.reduction_pairs_labeled = (
-                self.tracker.snapshot().minus(loc_before).pairs_labeled
-            )
-            if not locator_result.should_continue:
-                stop_reason = f"locator_{locator_result.stop_reason}"
-                break
-            working = locator_result.difficult
-            record.difficult_size = len(working)
-
+        The real blocker result, candidate set and completed iterations
+        are reported — not fabricated empties — so callers can inspect
+        how far the run got.
+        """
+        if state.best_predictions:
+            predicted = state.best_predictions
+        elif state.iterations:
+            predicted = state.iterations[-1].predicted_pairs
+        else:
+            predicted = frozenset(self.service.positive_pairs())
         return CorleoneResult(
-            predicted_matches=best_predictions,
-            candidates=candidates,
-            blocker=blocker_result,
-            iterations=iterations,
-            estimate=best_estimate,
+            predicted_matches=predicted,
+            candidates=(state.candidates
+                        if state.candidates is not None
+                        else CandidateSet.empty(state.library.names)),
+            blocker=(state.blocker
+                     if state.blocker is not None
+                     else BlockerResult(triggered=False,
+                                        candidate_pairs=[],
+                                        cartesian=0)),
+            iterations=state.iterations,
+            estimate=state.best_estimate,
             cost=self.tracker.snapshot(),
-            stop_reason=stop_reason,
+            stop_reason="budget_exhausted",
         )
 
     @staticmethod
     def _check_seeds(seed_labels: dict[Pair, bool]) -> None:
+        """Validate the user's seed examples (>= 1 of each polarity)."""
         positives = sum(1 for label in seed_labels.values() if label)
         negatives = len(seed_labels) - positives
         if positives < 1 or negatives < 1:

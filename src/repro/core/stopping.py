@@ -60,6 +60,20 @@ class ConfidenceMonitor:
         self.config = config
         self._raw: list[float] = []
 
+    @classmethod
+    def from_history(cls, config: MatcherConfig,
+                     values: list[float]) -> "ConfidenceMonitor":
+        """A monitor preloaded with an already-recorded conf(V) series.
+
+        Used when resuming matcher training from a checkpoint: the
+        recorded values are restored verbatim *without* re-running the
+        stop patterns (they did not fire when the values were first
+        added, or training would have stopped then).
+        """
+        monitor = cls(config)
+        monitor._raw = [float(v) for v in values]
+        return monitor
+
     @property
     def raw(self) -> list[float]:
         """The recorded conf(V) series (a copy)."""

@@ -9,7 +9,9 @@ named checkpoints so the pipeline can attribute cost to each step
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from ..exceptions import BudgetExhaustedError
 
@@ -44,6 +46,10 @@ class CostTracker:
         self._answers = 0
         self._pairs_labeled = 0
         self._hits = 0
+        self.on_spend: Callable[[int, float], None] | None = None
+        """Optional observer called as ``on_spend(answers, dollars)``
+        after every paid batch of answers (the engine's ``budget_spent``
+        event hook)."""
 
     @property
     def dollars(self) -> float:
@@ -76,6 +82,8 @@ class CostTracker:
         """Record ``n_answers`` paid single-worker answers."""
         self._answers += n_answers
         self._dollars += n_answers * self.price_per_question
+        if self.on_spend is not None and n_answers:
+            self.on_spend(n_answers, n_answers * self.price_per_question)
 
     def record_pair(self) -> None:
         """Record that one new distinct pair obtained a crowd label."""
@@ -93,3 +101,25 @@ class CostTracker:
             pairs_labeled=self._pairs_labeled,
             hits=self._hits,
         )
+
+    def state_dict(self) -> dict[str, Any]:
+        """The tracker's counters as a JSON-compatible dict.
+
+        ``budget`` is deliberately excluded: the run-level budget comes
+        from the configuration on resume, and phase contexts re-derive
+        their temporary clamps (see
+        :class:`~repro.core.budgeting.PhaseBudgetManager`).
+        """
+        return {
+            "dollars": self._dollars,
+            "answers": self._answers,
+            "pairs_labeled": self._pairs_labeled,
+            "hits": self._hits,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        self._dollars = float(state["dollars"])
+        self._answers = int(state["answers"])
+        self._pairs_labeled = int(state["pairs_labeled"])
+        self._hits = int(state["hits"])

@@ -16,7 +16,7 @@ Every Corleone module labels pairs through one shared
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..config import CrowdConfig
@@ -81,6 +81,11 @@ class LabelingService:
             price_per_question=config.price_per_question
         )
         self._cache: dict[Pair, CachedLabel] = {}
+        self.on_label: Callable[[Pair, bool, bool], None] | None = None
+        """Optional observer called as ``on_label(pair, label, strong)``
+        after every freshly purchased label (the engine's
+        ``labels_purchased`` event hook).  Cache hits and injected seeds
+        do not fire it — only labels the crowd was actually paid for."""
 
     # ------------------------------------------------------------------
     # Cache access
@@ -123,6 +128,25 @@ class LabelingService:
         """Inject known labels (e.g. the user's four seed examples)."""
         for pair, label in labels.items():
             self._cache[Pair(*pair)] = CachedLabel(label, strong=strong)
+
+    def cache_state(self) -> list[list]:
+        """The cache as JSON-compatible rows, in insertion order.
+
+        Each row is ``[a_id, b_id, label, strong]``.  Insertion order is
+        preserved exactly so that a restored cache iterates identically
+        to the original — part of the bit-identical resume contract.
+        """
+        return [
+            [pair.a_id, pair.b_id, entry.label, entry.strong]
+            for pair, entry in self._cache.items()
+        ]
+
+    def restore_cache(self, rows: Iterable[Sequence]) -> None:
+        """Replace the cache with rows saved by :meth:`cache_state`."""
+        self._cache = {
+            Pair(str(a), str(b)): CachedLabel(bool(label), strong=bool(strong))
+            for a, b, label, strong in rows
+        }
 
     # ------------------------------------------------------------------
     # Labelling
@@ -218,5 +242,8 @@ class LabelingService:
         self.tracker.record_answers(counter.asked - consumed_before)
         if pair not in self._cache:
             self.tracker.record_pair()
-        self._cache[pair] = _entry_for(label, scheme)
+        entry = _entry_for(label, scheme)
+        self._cache[pair] = entry
+        if self.on_label is not None:
+            self.on_label(pair, entry.label, entry.strong)
         return label

@@ -28,13 +28,38 @@ Oracle = Callable[[Pair], bool]
 """Ground truth: maps a pair to its true matched/unmatched label."""
 
 
+class _StatefulCrowd(CrowdPlatform):
+    """Shared answer-stream state capture for the simulated platforms.
+
+    The staged execution engine checkpoints any platform exposing
+    ``state_dict()`` / ``load_state()`` (duck-typed), so that a resumed
+    run draws the *same* noisy answers the uninterrupted run would have
+    — without it, a noisy crowd's RNG would restart and diverge.
+    """
+
+    _rng: np.random.Generator
+    _answers_given: int
+
+    def state_dict(self) -> dict:
+        """The platform's answer-stream state (JSON-compatible)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "answers_given": self._answers_given,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore answer-stream state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._answers_given = int(state["answers_given"])
+
+
 def oracle_from_matches(matches: Collection[Pair]) -> Oracle:
     """Build an oracle from the set of true matching pairs."""
     match_set = {Pair(*pair) for pair in matches}
     return lambda pair: Pair(*pair) in match_set
 
 
-class SimulatedCrowd(CrowdPlatform):
+class SimulatedCrowd(_StatefulCrowd):
     """Random-worker crowd with one fixed error rate for all workers."""
 
     def __init__(self, oracle: Oracle | Collection[Pair],
@@ -73,7 +98,7 @@ class PerfectCrowd(SimulatedCrowd):
         super().__init__(oracle, error_rate=0.0, rng=rng)
 
 
-class BiasedCrowd(CrowdPlatform):
+class BiasedCrowd(_StatefulCrowd):
     """A crowd with *asymmetric* error rates.
 
     Real EM workers miss matches more often than they invent them: a
@@ -119,7 +144,7 @@ class BiasedCrowd(CrowdPlatform):
                             worker_id=self._answers_given)
 
 
-class HeterogeneousCrowd(CrowdPlatform):
+class HeterogeneousCrowd(_StatefulCrowd):
     """A pool of workers with individually drawn error rates.
 
     Each question is routed to a uniformly random worker from the pool,

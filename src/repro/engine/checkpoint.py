@@ -1,0 +1,165 @@
+"""Durable run directories: checkpoint, kill, resume.
+
+A run directory has a fixed layout:
+
+* ``run.json`` — the run's immutable inputs, written once: config,
+  tables, seed labels, mode, budget plan and the root seed sequence;
+* ``candidates.npz`` — the vectorized umbrella set, written once as
+  soon as blocking produces it (the expensive artifact, so it is never
+  re-serialized per checkpoint);
+* ``checkpoint.json`` — the latest engine state, replaced atomically
+  (tmp file + ``os.replace``) at every stage boundary and after every
+  matcher iteration.  It carries everything mutable: the serialized
+  :class:`~repro.engine.state.RunState`, the label cache with vote
+  strengths, the cost ledger, the phase-budget ledger, the platform's
+  answer-stream state and every RNG stream's bit-generator state;
+* ``trace.jsonl`` — the structured event trace (append-only; a resumed
+  run appends its tail again, so duplicate sequence numbers mark where
+  a crash was resumed from).
+
+Everything is plain JSON (candidates aside) — no pickling, so run
+directories are inspectable and portable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .. import persistence
+from ..core.budgeting import BudgetPlan
+from ..data.pairs import Pair
+from ..exceptions import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import RunContext
+    from .state import RunState
+
+RUN_FILE = "run.json"
+CHECKPOINT_FILE = "checkpoint.json"
+CANDIDATES_FILE = "candidates.npz"
+TRACE_FILE = "trace.jsonl"
+
+
+class Checkpointer:
+    """Writes a run's durable artifacts into one directory."""
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_written = 0
+        """Checkpoints written by *this* instance (benchmarking)."""
+        existing = load_checkpoint(self.run_dir)
+        self._next_index = (existing["index"] + 1
+                            if existing is not None else 0)
+        self._have_candidates = (self.run_dir / CANDIDATES_FILE).exists()
+
+    def write_inputs(self, state: "RunState", ctx: "RunContext",
+                     budget_plan: BudgetPlan | None = None) -> None:
+        """Persist the run's immutable inputs (no-op if already there)."""
+        path = self.run_dir / RUN_FILE
+        if path.exists():
+            return
+        root = ctx.root_seed
+        entropy = root.entropy
+        if not isinstance(entropy, int):
+            entropy = [int(word) for word in np.atleast_1d(entropy)]
+        document = {
+            "format": "corleone-run",
+            "version": persistence.FORMAT_VERSION,
+            "mode": state.mode,
+            "config": persistence.config_to_dict(ctx.config),
+            "budget_plan": (
+                None if budget_plan is None
+                else persistence.budget_plan_to_dict(budget_plan)
+            ),
+            "seed_labels": [
+                [pair.a_id, pair.b_id, bool(label)]
+                for pair, label in state.seed_labels.items()
+            ],
+            "root_seed": {
+                "entropy": entropy,
+                "spawn_key": [int(key) for key in root.spawn_key],
+            },
+            "table_a": persistence.table_to_dict(state.table_a),
+            "table_b": persistence.table_to_dict(state.table_b),
+        }
+        path.write_text(json.dumps(document))
+
+    def write(self, state: "RunState", ctx: "RunContext") -> int:
+        """Atomically persist one checkpoint; return its index."""
+        if not self._have_candidates and state.candidates is not None:
+            persistence.save_candidates(
+                state.candidates, self.run_dir / CANDIDATES_FILE
+            )
+            self._have_candidates = True
+        platform_state = None
+        if hasattr(ctx.platform, "state_dict"):
+            platform_state = ctx.platform.state_dict()
+        document = {
+            "format": "corleone-checkpoint",
+            "version": persistence.FORMAT_VERSION,
+            "index": self._next_index,
+            "sequence": ctx.bus.events_emitted,
+            "state": state.to_dict(),
+            "service_cache": ctx.service.cache_state(),
+            "tracker": ctx.tracker.state_dict(),
+            "manager": (ctx.manager.state_dict()
+                        if ctx.manager is not None else None),
+            "platform": platform_state,
+            "rng": ctx.rng_states(),
+        }
+        tmp = self.run_dir / (CHECKPOINT_FILE + ".tmp")
+        tmp.write_text(json.dumps(document))
+        os.replace(tmp, self.run_dir / CHECKPOINT_FILE)
+        self._next_index += 1
+        self.checkpoints_written += 1
+        return document["index"]
+
+
+def load_checkpoint(run_dir: str | Path) -> dict[str, Any] | None:
+    """The latest checkpoint document, or None if none was written."""
+    path = Path(run_dir) / CHECKPOINT_FILE
+    if not path.is_file():
+        return None
+    return persistence._load_document(path, "corleone-checkpoint")
+
+
+def load_run_inputs(run_dir: str | Path) -> dict[str, Any]:
+    """The parsed run inputs: config, tables, seeds, plan, root seed.
+
+    Returns a dict with keys ``mode``, ``config``, ``budget_plan``,
+    ``seed_labels``, ``root_seed`` (a reconstructed
+    :class:`numpy.random.SeedSequence`), ``table_a`` and ``table_b``.
+    """
+    path = Path(run_dir) / RUN_FILE
+    if not path.is_file():
+        raise DataError(f"{run_dir}: not a run directory (no {RUN_FILE})")
+    document = persistence._load_document(path, "corleone-run")
+    raw = document["root_seed"]
+    entropy = raw["entropy"]
+    if not isinstance(entropy, int):
+        entropy = [int(word) for word in entropy]
+    root = np.random.SeedSequence(
+        entropy=entropy,
+        spawn_key=tuple(int(key) for key in raw["spawn_key"]),
+    )
+    return {
+        "mode": document["mode"],
+        "config": persistence.config_from_dict(document["config"]),
+        "budget_plan": (
+            None if document["budget_plan"] is None
+            else persistence.budget_plan_from_dict(document["budget_plan"])
+        ),
+        "seed_labels": {
+            Pair(str(a), str(b)): bool(label)
+            for a, b, label in document["seed_labels"]
+        },
+        "root_seed": root,
+        "table_a": persistence.table_from_dict(document["table_a"]),
+        "table_b": persistence.table_from_dict(document["table_b"]),
+    }

@@ -1,0 +1,178 @@
+"""The engine's structured event bus and its standard sinks.
+
+Every observable milestone of a run flows through one
+:class:`EventBus`: stage boundaries, label purchases, budget spend and
+checkpoint writes.  Sinks subscribe to the bus; the engine ships two —
+a JSONL trace writer (the machine-readable run log) and a human
+progress reporter.  Events carry a monotonically increasing sequence
+number instead of wall-clock timestamps, so traces of a seeded run are
+bit-identical across replays (the same determinism contract corlint
+CL001 enforces on the algorithmic subsystems).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, TextIO
+
+EVENT_STAGE_STARTED = "stage_started"
+EVENT_STAGE_FINISHED = "stage_finished"
+EVENT_LABELS_PURCHASED = "labels_purchased"
+EVENT_BUDGET_SPENT = "budget_spent"
+EVENT_CHECKPOINT_WRITTEN = "checkpoint_written"
+
+EVENT_NAMES = (
+    EVENT_STAGE_STARTED,
+    EVENT_STAGE_FINISHED,
+    EVENT_LABELS_PURCHASED,
+    EVENT_BUDGET_SPENT,
+    EVENT_CHECKPOINT_WRITTEN,
+)
+"""Every event name the engine emits, in rough lifecycle order."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured engine event.
+
+    ``sequence`` orders events totally within a run; payload keys are
+    event-specific but always JSON-compatible scalars or short lists.
+    """
+
+    name: str
+    sequence: int
+    payload: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible representation (one trace line)."""
+        return {"event": self.name, "sequence": self.sequence,
+                **self.payload}
+
+
+Sink = Callable[[Event], None]
+"""A subscriber: any callable accepting one :class:`Event`."""
+
+
+class EventBus:
+    """Fans engine events out to subscribed sinks, in subscribe order.
+
+    A sink that raises aborts the emit — the engine treats observer
+    failures as real failures rather than silently dropping telemetry
+    (and the resume tests exploit this to kill runs at exact
+    checkpoint boundaries).
+    """
+
+    def __init__(self) -> None:
+        self._sinks: list[Sink] = []
+        self._sequence = 0
+
+    @property
+    def events_emitted(self) -> int:
+        """Total events emitted so far."""
+        return self._sequence
+
+    def subscribe(self, sink: Sink) -> Sink:
+        """Register ``sink`` for every future event; returns it."""
+        self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        """Remove a previously subscribed sink (no-op if absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def emit(self, name: str, **payload: Any) -> Event:
+        """Build, number and deliver one event to every sink."""
+        event = Event(name=name, sequence=self._sequence, payload=payload)
+        self._sequence += 1
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    def restore_sequence(self, sequence: int) -> None:
+        """Reset the sequence counter (checkpoint resume)."""
+        self._sequence = int(sequence)
+
+
+class JsonlTraceSink:
+    """Appends every event as one JSON line to a trace file.
+
+    The file is opened lazily and flushed per event, so a killed run's
+    trace is complete up to the last event it survived to emit.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: TextIO | None = None
+
+    def __call__(self, event: Event) -> None:
+        """Write one event as a JSON line."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: str | Path) -> list[Event]:
+    """Load a JSONL trace written by :class:`JsonlTraceSink`."""
+    events: list[Event] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        name = data.pop("event")
+        sequence = data.pop("sequence")
+        events.append(Event(name=name, sequence=sequence, payload=data))
+    return events
+
+
+class ProgressReporter:
+    """Human-readable one-liner per coarse event.
+
+    ``write`` defaults to ``print``; tests pass a list-appender.  Label
+    purchases are aggregated into the following stage_finished line
+    rather than reported one-by-one, keeping the output proportional to
+    stages, not labels.
+    """
+
+    def __init__(self, write: Callable[[str], None] = print) -> None:
+        self._write = write
+        self._labels_since_stage = 0
+
+    def __call__(self, event: Event) -> None:
+        """Format and forward one event."""
+        if event.name == EVENT_LABELS_PURCHASED:
+            self._labels_since_stage += 1
+            return
+        if event.name == EVENT_STAGE_STARTED:
+            self._labels_since_stage = 0
+            self._write(
+                f"[{event.sequence}] stage {event.payload.get('stage')} "
+                f"(iteration {event.payload.get('iteration')}) started"
+            )
+        elif event.name == EVENT_STAGE_FINISHED:
+            self._write(
+                f"[{event.sequence}] stage {event.payload.get('stage')} "
+                f"finished: {self._labels_since_stage} labels purchased, "
+                f"${event.payload.get('dollars', 0.0):.2f} total spend"
+            )
+        elif event.name == EVENT_CHECKPOINT_WRITTEN:
+            self._write(
+                f"[{event.sequence}] checkpoint "
+                f"#{event.payload.get('index')} written"
+            )
+        elif event.name == EVENT_BUDGET_SPENT:
+            pass  # per-answer spend is too fine-grained for progress output
+        else:
+            self._write(f"[{event.sequence}] {event.name}")

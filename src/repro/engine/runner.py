@@ -1,0 +1,83 @@
+"""The thin deterministic driver executing the stage sequence.
+
+``StagedEngine.run`` loops: look up the next stage by name, emit
+``stage_started``, run the stage inside its budget phase, emit
+``stage_finished``, checkpoint.  All control flow lives in the stages'
+return values; the driver adds only events and durability.
+
+Checkpoints are written *before* the ``checkpoint_written`` event is
+emitted, so even a sink that raises (the crash-injection hook the
+resume tests use) leaves a complete checkpoint on disk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from .context import RunContext
+from .events import (
+    EVENT_CHECKPOINT_WRITTEN,
+    EVENT_STAGE_FINISHED,
+    EVENT_STAGE_STARTED,
+)
+from .stage import Stage
+from .stages import build_stages
+from .state import RunState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .checkpoint import Checkpointer
+
+
+class StagedEngine:
+    """Executes stages against one run state until none remains."""
+
+    def __init__(self, ctx: RunContext,
+                 stages: Sequence[Stage] | None = None,
+                 checkpointer: "Checkpointer | None" = None) -> None:
+        self.ctx = ctx
+        stage_list = list(stages) if stages is not None else build_stages()
+        self.stages: dict[str, Stage] = {
+            stage.name: stage for stage in stage_list
+        }
+        self.checkpointer = checkpointer
+        if checkpointer is not None:
+            # Stages call this mid-stage (e.g. per matcher iteration).
+            ctx.checkpoint = self._write_checkpoint
+
+    def _write_checkpoint(self, state: RunState) -> None:
+        """Persist the state, then announce it on the bus."""
+        index = self.checkpointer.write(state, self.ctx)
+        self.ctx.bus.emit(
+            EVENT_CHECKPOINT_WRITTEN,
+            index=index,
+            stage=state.next_stage,
+            iteration=state.iteration,
+        )
+
+    def run(self, state: RunState) -> RunState:
+        """Drive ``state`` to completion (``next_stage is None``).
+
+        A :class:`~repro.exceptions.BudgetExhaustedError` escaping a
+        stage propagates to the caller with the partial state intact.
+        """
+        while state.next_stage is not None:
+            stage = self.stages[state.next_stage]
+            self.ctx.bus.emit(
+                EVENT_STAGE_STARTED,
+                stage=stage.name,
+                iteration=state.iteration,
+            )
+            with self.ctx.phase(stage.phase):
+                next_name = stage.run(state, self.ctx)
+            state.next_stage = next_name
+            self.ctx.bus.emit(
+                EVENT_STAGE_FINISHED,
+                stage=stage.name,
+                iteration=state.iteration,
+                next_stage=next_name,
+                dollars=round(self.ctx.tracker.dollars, 10),
+            )
+            if self.checkpointer is not None:
+                self._write_checkpoint(state)
+        return state

@@ -1,0 +1,37 @@
+"""The stage protocol: one pipeline phase as a named, resumable unit.
+
+A stage reads and mutates the :class:`~repro.engine.state.RunState`,
+draws randomness only from its own named stream on the
+:class:`~repro.engine.context.RunContext`, and returns the name of the
+stage to run next (or None to finish the run).  Because every stage
+transition passes through the serializable state, the engine can
+checkpoint at any boundary and resume bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import RunContext
+    from .state import RunState
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One phase of the hands-off loop.
+
+    Implementations are stateless: all run state lives in the
+    :class:`~repro.engine.state.RunState` they receive, so a single
+    stage instance can serve any number of runs.
+    """
+
+    name: str
+    """Unique stage name; stored in ``RunState.next_stage``."""
+
+    phase: str | None
+    """Budget phase this stage spends under (None: no crowd spend)."""
+
+    def run(self, state: "RunState", ctx: "RunContext") -> str | None:
+        """Execute the stage; return the next stage's name (None: done)."""
+        ...

@@ -1,0 +1,225 @@
+"""The serializable state of one hands-off run.
+
+:class:`RunState` replaces the old ``_RunProgress`` accumulator: it is
+the *only* mutable object the stages operate on, and everything in it
+(beyond the input tables, which are persisted once per run directory)
+round-trips through plain JSON via :meth:`RunState.to_dict` /
+:meth:`RunState.from_dict`.  That property is what makes checkpointed
+runs resumable to a bit-identical result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..core.blocker import BlockerResult
+from ..core.estimator import AccuracyEstimate
+from ..core.matcher import MatcherTrainState
+from ..core.results import CorleoneResult, IterationRecord
+from ..data.pairs import CandidateSet, Pair
+from ..rules.evaluation import RuleEvaluation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crowd.cost import CostTracker
+    from ..data.table import Table
+    from ..features.library import FeatureLibrary
+
+FIRST_STAGE = "block"
+"""Name of the stage every fresh run starts in."""
+
+
+@dataclass
+class RunState:
+    """Everything a hands-off run has computed so far.
+
+    The candidate set is referenced, not duplicated: ``working_rows``
+    and the serialized forms of locator results store row indices into
+    ``candidates``, and the checkpointer persists the candidate set once
+    (as ``.npz``) rather than on every checkpoint.
+    """
+
+    mode: str
+    """"full", "one_iteration" or "blocker_matcher"."""
+
+    seed_labels: dict[Pair, bool]
+    """The user's trusted seed examples."""
+
+    next_stage: str | None = FIRST_STAGE
+    """Name of the stage to run next; None when the run is finished."""
+
+    iteration: int = 0
+    """1-based index of the current matching iteration."""
+
+    max_rounds: int = 0
+    """Iteration cap for this run (set by the blocking stage)."""
+
+    blocker: BlockerResult | None = None
+    candidates: CandidateSet | None = None
+    working_rows: list[int] = field(default_factory=list)
+    """Rows of ``candidates`` forming the current working set."""
+
+    pending_difficult_rows: list[int] = field(default_factory=list)
+    """Difficult rows handed from the locate stage to the reduce stage."""
+
+    predictions_by_pair: dict[Pair, bool] = field(default_factory=dict)
+    """Ensemble predictions: each pair decided by the matcher of the
+    iteration in which it left the difficult set (Section 7, step 3)."""
+
+    iterations: list[IterationRecord] = field(default_factory=list)
+    certified: list[RuleEvaluation] = field(default_factory=list)
+    """Reduction-rule evaluations accepted by earlier estimation rounds;
+    re-applied for free by later rounds."""
+
+    best_f1: float = -1.0
+    best_predictions: frozenset[Pair] = frozenset()
+    best_estimate: AccuracyEstimate | None = None
+    stop_reason: str = "max_iterations"
+    matcher_state: MatcherTrainState | None = None
+    """In-progress matcher training (set between mid-stage checkpoints,
+    None at stage boundaries)."""
+
+    def __post_init__(self) -> None:
+        """Initialize the transient (non-serialized) input references."""
+        self.table_a: "Table | None" = None
+        self.table_b: "Table | None" = None
+        self.library: "FeatureLibrary | None" = None
+
+    def attach(self, table_a: "Table", table_b: "Table",
+               library: "FeatureLibrary") -> None:
+        """Attach the run inputs (transient; persisted via ``run.json``)."""
+        self.table_a = table_a
+        self.table_b = table_b
+        self.library = library
+
+    def working_set(self) -> CandidateSet:
+        """The current working candidate set C' (a view by rows)."""
+        assert self.candidates is not None
+        if len(self.working_rows) == len(self.candidates):
+            return self.candidates
+        return self.candidates.subset(self.working_rows)
+
+    def to_result(self, tracker: "CostTracker") -> CorleoneResult:
+        """Package a *finished* run (``next_stage is None``) as a result.
+
+        Requires the blocking stage to have run (``blocker`` and
+        ``candidates`` set); partial budget-exhausted runs are packaged
+        by the pipeline's own fallback path instead.
+        """
+        assert self.blocker is not None and self.candidates is not None
+        return CorleoneResult(
+            predicted_matches=self.best_predictions,
+            candidates=self.candidates,
+            blocker=self.blocker,
+            iterations=self.iterations,
+            estimate=self.best_estimate,
+            cost=tracker.snapshot(),
+            stop_reason=self.stop_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot of the run state.
+
+        The candidate set itself is *not* included — only row indices
+        into it; the checkpointer stores the set once as ``.npz``.
+        """
+        from .. import persistence as p
+
+        candidates = self.candidates
+        return {
+            "mode": self.mode,
+            "seed_labels": [
+                [pair.a_id, pair.b_id, bool(label)]
+                for pair, label in self.seed_labels.items()
+            ],
+            "next_stage": self.next_stage,
+            "iteration": self.iteration,
+            "max_rounds": self.max_rounds,
+            "blocker": (None if self.blocker is None
+                        else p.blocker_result_to_dict(self.blocker)),
+            "working_rows": [int(row) for row in self.working_rows],
+            "pending_difficult_rows": [
+                int(row) for row in self.pending_difficult_rows
+            ],
+            "predictions_by_pair": [
+                [pair.a_id, pair.b_id, bool(label)]
+                for pair, label in self.predictions_by_pair.items()
+            ],
+            "iterations": [
+                p.iteration_record_to_dict(record, candidates)
+                for record in self.iterations
+            ],
+            "certified": [
+                p.rule_evaluation_to_dict(ev) for ev in self.certified
+            ],
+            "best_f1": float(self.best_f1),
+            "best_predictions": [
+                [pair.a_id, pair.b_id]
+                for pair in sorted(self.best_predictions)
+            ],
+            "best_estimate": (None if self.best_estimate is None
+                              else p.estimate_to_dict(self.best_estimate)),
+            "stop_reason": self.stop_reason,
+            "matcher_state": (
+                None if self.matcher_state is None
+                else p.matcher_train_state_to_dict(self.matcher_state)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any],
+                  candidates: CandidateSet | None) -> "RunState":
+        """Rebuild a state saved with :meth:`to_dict`.
+
+        ``candidates`` is the candidate set loaded from the run
+        directory's ``.npz`` (None when the run was checkpointed before
+        blocking produced one).
+        """
+        from .. import persistence as p
+
+        state = cls(
+            mode=data["mode"],
+            seed_labels={
+                Pair(str(a), str(b)): bool(label)
+                for a, b, label in data["seed_labels"]
+            },
+            next_stage=data["next_stage"],
+            iteration=data["iteration"],
+            max_rounds=data["max_rounds"],
+            blocker=(None if data["blocker"] is None
+                     else p.blocker_result_from_dict(data["blocker"])),
+            candidates=candidates,
+            working_rows=[int(row) for row in data["working_rows"]],
+            pending_difficult_rows=[
+                int(row) for row in data["pending_difficult_rows"]
+            ],
+            predictions_by_pair={
+                Pair(str(a), str(b)): bool(label)
+                for a, b, label in data["predictions_by_pair"]
+            },
+            iterations=[
+                p.iteration_record_from_dict(record, candidates)
+                for record in data["iterations"]
+            ],
+            certified=[
+                p.rule_evaluation_from_dict(ev) for ev in data["certified"]
+            ],
+            best_f1=float(data["best_f1"]),
+            best_predictions=frozenset(
+                Pair(str(a), str(b)) for a, b in data["best_predictions"]
+            ),
+            best_estimate=(
+                None if data["best_estimate"] is None
+                else p.estimate_from_dict(data["best_estimate"])
+            ),
+            stop_reason=data["stop_reason"],
+            matcher_state=(
+                None if data["matcher_state"] is None
+                else p.matcher_train_state_from_dict(data["matcher_state"])
+            ),
+        )
+        return state

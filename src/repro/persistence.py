@@ -9,15 +9,32 @@ run report.  Everything round-trips through plain JSON-compatible dicts
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Any
 
-from .core.pipeline import CorleoneResult
-from .data.pairs import CandidateSet
+from .config import (
+    BlockerConfig,
+    CorleoneConfig,
+    CrowdConfig,
+    EstimatorConfig,
+    ForestConfig,
+    LocatorConfig,
+    MatcherConfig,
+)
+from .core.blocker import BlockerResult
+from .core.budgeting import BudgetPlan
+from .core.estimator import AccuracyEstimate
+from .core.locator import LocatorResult
+from .core.matcher import MatcherResult, MatcherTrainState
+from .core.results import CorleoneResult, IterationRecord
+from .data.pairs import CandidateSet, Pair
+from .data.table import AttrType, Record, Schema, Table
 from .exceptions import DataError
 from .forest.forest import RandomForest
 from .forest.tree import DecisionTree, Node
+from .rules.evaluation import RuleEvaluation
 from .rules.predicates import Predicate
 from .rules.rule import Rule
 
@@ -204,6 +221,378 @@ def load_candidates(path: str | Path) -> CandidateSet:
     except (KeyError, ValueError) as error:
         raise DataError(f"{path}: malformed candidate file "
                         f"({error})") from None
+
+
+# ----------------------------------------------------------------------
+# Configuration and budget plans
+# ----------------------------------------------------------------------
+
+def config_to_dict(config: CorleoneConfig) -> dict[str, Any]:
+    """A JSON-compatible representation of a full configuration."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> CorleoneConfig:
+    """Rebuild a configuration saved with :func:`config_to_dict`."""
+    try:
+        return CorleoneConfig(
+            forest=ForestConfig(**data["forest"]),
+            blocker=BlockerConfig(**data["blocker"]),
+            matcher=MatcherConfig(**data["matcher"]),
+            estimator=EstimatorConfig(**data["estimator"]),
+            locator=LocatorConfig(**data["locator"]),
+            crowd=CrowdConfig(**data["crowd"]),
+            max_pipeline_iterations=data["max_pipeline_iterations"],
+            budget=data["budget"],
+            seed=data["seed"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed config document: {error}") from None
+
+
+def budget_plan_to_dict(plan: BudgetPlan) -> dict[str, Any]:
+    """A JSON-compatible representation of a phase budget plan."""
+    return dataclasses.asdict(plan)
+
+
+def budget_plan_from_dict(data: dict[str, Any]) -> BudgetPlan:
+    """Rebuild a plan saved with :func:`budget_plan_to_dict`."""
+    try:
+        return BudgetPlan(**data)
+    except TypeError as error:
+        raise DataError(f"malformed budget plan: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+def table_to_dict(table: Table) -> dict[str, Any]:
+    """A JSON-compatible representation of one input table."""
+    return {
+        "name": table.name,
+        "schema": [
+            [attr.name, attr.attr_type.value]
+            for attr in table.schema.attributes
+        ],
+        "records": [
+            [record.record_id, dict(record.values)] for record in table
+        ],
+    }
+
+
+def table_from_dict(data: dict[str, Any]) -> Table:
+    """Rebuild a table saved with :func:`table_to_dict`."""
+    try:
+        schema = Schema.from_pairs(
+            (name, AttrType(kind)) for name, kind in data["schema"]
+        )
+        return Table(
+            data["name"], schema,
+            (Record(rid, values) for rid, values in data["records"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(f"malformed table document: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Stage results (checkpointing)
+# ----------------------------------------------------------------------
+
+def _pair_rows(pairs: Any) -> list[list[str]]:
+    """Pairs as ``[a_id, b_id]`` rows, preserving order."""
+    return [[pair.a_id, pair.b_id] for pair in pairs]
+
+
+def _pairs_from_rows(rows: Any) -> list[Pair]:
+    """Inverse of :func:`_pair_rows`."""
+    return [Pair(str(a), str(b)) for a, b in rows]
+
+
+def rule_evaluation_to_dict(evaluation: RuleEvaluation) -> dict[str, Any]:
+    """A JSON-compatible representation of one rule evaluation."""
+    return {
+        "rule": rule_to_dict(evaluation.rule),
+        "accepted": evaluation.accepted,
+        "precision": evaluation.precision,
+        "error_margin": evaluation.error_margin,
+        "coverage": evaluation.coverage,
+        "n_labeled": evaluation.n_labeled,
+        "reason": evaluation.reason,
+    }
+
+
+def rule_evaluation_from_dict(data: dict[str, Any]) -> RuleEvaluation:
+    """Rebuild an evaluation saved with :func:`rule_evaluation_to_dict`."""
+    try:
+        return RuleEvaluation(
+            rule=rule_from_dict(data["rule"]),
+            accepted=data["accepted"],
+            precision=data["precision"],
+            error_margin=data["error_margin"],
+            coverage=data["coverage"],
+            n_labeled=data["n_labeled"],
+            reason=data["reason"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed rule evaluation: {error}") from None
+
+
+def estimate_to_dict(estimate: AccuracyEstimate) -> dict[str, Any]:
+    """A JSON-compatible representation of an accuracy estimate."""
+    return {
+        "precision": estimate.precision,
+        "recall": estimate.recall,
+        "eps_precision": estimate.eps_precision,
+        "eps_recall": estimate.eps_recall,
+        "n_labeled": estimate.n_labeled,
+        "n_probes": estimate.n_probes,
+        "density": estimate.density,
+        "converged": estimate.converged,
+        "applied_rules": [rule_to_dict(r) for r in estimate.applied_rules],
+        "rule_evaluations": [
+            rule_evaluation_to_dict(e) for e in estimate.rule_evaluations
+        ],
+    }
+
+
+def estimate_from_dict(data: dict[str, Any]) -> AccuracyEstimate:
+    """Rebuild an estimate saved with :func:`estimate_to_dict`."""
+    try:
+        return AccuracyEstimate(
+            precision=data["precision"],
+            recall=data["recall"],
+            eps_precision=data["eps_precision"],
+            eps_recall=data["eps_recall"],
+            n_labeled=data["n_labeled"],
+            n_probes=data["n_probes"],
+            density=data["density"],
+            converged=data["converged"],
+            applied_rules=[rule_from_dict(r) for r in data["applied_rules"]],
+            rule_evaluations=[
+                rule_evaluation_from_dict(e)
+                for e in data["rule_evaluations"]
+            ],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed estimate document: {error}") from None
+
+
+def matcher_result_to_dict(result: MatcherResult) -> dict[str, Any]:
+    """A JSON-compatible representation of a matcher training outcome.
+
+    Predictions are stored as a 0/1 list aligned to the candidate rows
+    the matcher was trained on.
+    """
+    import numpy as np
+
+    return {
+        "forest": forest_to_dict(result.forest),
+        "predictions": np.asarray(result.predictions, dtype=int).tolist(),
+        "labeled_rows": [
+            [int(row), bool(label)]
+            for row, label in result.labeled_rows.items()
+        ],
+        "confidence_history": [float(v) for v in result.confidence_history],
+        "stop_reason": result.stop_reason,
+        "n_iterations": result.n_iterations,
+        "pairs_labeled": result.pairs_labeled,
+        "extra_labels": [
+            [pair.a_id, pair.b_id, bool(label)]
+            for pair, label in result.extra_labels.items()
+        ],
+    }
+
+
+def matcher_result_from_dict(data: dict[str, Any]) -> MatcherResult:
+    """Rebuild a matcher result saved with :func:`matcher_result_to_dict`."""
+    import numpy as np
+
+    try:
+        return MatcherResult(
+            forest=forest_from_dict(data["forest"]),
+            predictions=np.asarray(data["predictions"], dtype=bool),
+            labeled_rows={
+                int(row): bool(label) for row, label in data["labeled_rows"]
+            },
+            confidence_history=[float(v) for v in data["confidence_history"]],
+            stop_reason=data["stop_reason"],
+            n_iterations=data["n_iterations"],
+            pairs_labeled=data["pairs_labeled"],
+            extra_labels={
+                Pair(str(a), str(b)): bool(label)
+                for a, b, label in data["extra_labels"]
+            },
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed matcher result: {error}") from None
+
+
+def matcher_train_state_to_dict(state: MatcherTrainState) -> dict[str, Any]:
+    """A JSON-compatible snapshot of an in-progress matcher training."""
+    return {
+        "labeled_rows": [
+            [int(row), bool(label)]
+            for row, label in state.labeled_rows.items()
+        ],
+        "monitor_rows": [int(row) for row in state.monitor_rows],
+        "confidences": [float(v) for v in state.confidences],
+        "forests": [forest_to_dict(forest) for forest in state.forests],
+        "pairs_before": state.pairs_before,
+        "stop_reason": state.stop_reason,
+        "rollback_index": state.rollback_index,
+    }
+
+
+def matcher_train_state_from_dict(data: dict[str, Any]) -> MatcherTrainState:
+    """Rebuild a snapshot from :func:`matcher_train_state_to_dict`."""
+    try:
+        return MatcherTrainState(
+            labeled_rows={
+                int(row): bool(label) for row, label in data["labeled_rows"]
+            },
+            monitor_rows=[int(row) for row in data["monitor_rows"]],
+            confidences=[float(v) for v in data["confidences"]],
+            forests=[forest_from_dict(f) for f in data["forests"]],
+            pairs_before=data["pairs_before"],
+            stop_reason=data["stop_reason"],
+            rollback_index=data["rollback_index"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed matcher train state: {error}") from None
+
+
+def blocker_result_to_dict(result: BlockerResult) -> dict[str, Any]:
+    """A JSON-compatible representation of the blocker's outcome.
+
+    The internal ``matcher_result`` (the forest the blocker trained to
+    derive rules from) is deliberately dropped: nothing downstream of
+    the blocking stage reads it, and it would double checkpoint size.
+    A restored result carries ``matcher_result=None``.
+    """
+    return {
+        "triggered": result.triggered,
+        "candidate_pairs": _pair_rows(result.candidate_pairs),
+        "cartesian": result.cartesian,
+        "sample_size": result.sample_size,
+        "applied_rules": [rule_to_dict(r) for r in result.applied_rules],
+        "evaluations": [
+            rule_evaluation_to_dict(e) for e in result.evaluations
+        ],
+        "n_candidate_rules": result.n_candidate_rules,
+        "pairs_labeled": result.pairs_labeled,
+        "dollars": result.dollars,
+    }
+
+
+def blocker_result_from_dict(data: dict[str, Any]) -> BlockerResult:
+    """Rebuild a blocker result saved with :func:`blocker_result_to_dict`."""
+    try:
+        return BlockerResult(
+            triggered=data["triggered"],
+            candidate_pairs=_pairs_from_rows(data["candidate_pairs"]),
+            cartesian=data["cartesian"],
+            sample_size=data["sample_size"],
+            applied_rules=[rule_from_dict(r) for r in data["applied_rules"]],
+            evaluations=[
+                rule_evaluation_from_dict(e) for e in data["evaluations"]
+            ],
+            n_candidate_rules=data["n_candidate_rules"],
+            pairs_labeled=data["pairs_labeled"],
+            dollars=data["dollars"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed blocker result: {error}") from None
+
+
+def locator_result_to_dict(result: LocatorResult,
+                           candidates: CandidateSet) -> dict[str, Any]:
+    """A JSON-compatible representation of a locator verdict.
+
+    The difficult set is stored as row indices into ``candidates`` (the
+    full candidate set it was carved from), not as a second copy of the
+    feature matrix.
+    """
+    difficult = None
+    if result.difficult is not None:
+        difficult = [
+            candidates.index_of(pair) for pair in result.difficult.pairs
+        ]
+    return {
+        "difficult_rows": difficult,
+        "stop_reason": result.stop_reason,
+        "accepted_rules": [rule_to_dict(r) for r in result.accepted_rules],
+        "evaluations": [
+            rule_evaluation_to_dict(e) for e in result.evaluations
+        ],
+        "pairs_labeled": result.pairs_labeled,
+    }
+
+
+def locator_result_from_dict(data: dict[str, Any],
+                             candidates: CandidateSet) -> LocatorResult:
+    """Rebuild a verdict saved with :func:`locator_result_to_dict`."""
+    try:
+        difficult = None
+        if data["difficult_rows"] is not None:
+            difficult = candidates.subset(
+                [int(row) for row in data["difficult_rows"]]
+            )
+        return LocatorResult(
+            difficult=difficult,
+            stop_reason=data["stop_reason"],
+            accepted_rules=[
+                rule_from_dict(r) for r in data["accepted_rules"]
+            ],
+            evaluations=[
+                rule_evaluation_from_dict(e) for e in data["evaluations"]
+            ],
+            pairs_labeled=data["pairs_labeled"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed locator result: {error}") from None
+
+
+def iteration_record_to_dict(record: IterationRecord,
+                             candidates: CandidateSet) -> dict[str, Any]:
+    """A JSON-compatible representation of one pipeline iteration."""
+    return {
+        "index": record.index,
+        "matcher": matcher_result_to_dict(record.matcher),
+        "matcher_pairs_labeled": record.matcher_pairs_labeled,
+        "predicted_pairs": _pair_rows(sorted(record.predicted_pairs)),
+        "estimate": (None if record.estimate is None
+                     else estimate_to_dict(record.estimate)),
+        "estimation_pairs_labeled": record.estimation_pairs_labeled,
+        "locator": (None if record.locator is None
+                    else locator_result_to_dict(record.locator, candidates)),
+        "reduction_pairs_labeled": record.reduction_pairs_labeled,
+        "difficult_size": record.difficult_size,
+    }
+
+
+def iteration_record_from_dict(data: dict[str, Any],
+                               candidates: CandidateSet) -> IterationRecord:
+    """Rebuild a record saved with :func:`iteration_record_to_dict`."""
+    try:
+        return IterationRecord(
+            index=data["index"],
+            matcher=matcher_result_from_dict(data["matcher"]),
+            matcher_pairs_labeled=data["matcher_pairs_labeled"],
+            predicted_pairs=frozenset(
+                _pairs_from_rows(data["predicted_pairs"])
+            ),
+            estimate=(None if data["estimate"] is None
+                      else estimate_from_dict(data["estimate"])),
+            estimation_pairs_labeled=data["estimation_pairs_labeled"],
+            locator=(None if data["locator"] is None
+                     else locator_result_from_dict(data["locator"],
+                                                   candidates)),
+            reduction_pairs_labeled=data["reduction_pairs_labeled"],
+            difficult_size=data["difficult_size"],
+        )
+    except (KeyError, TypeError) as error:
+        raise DataError(f"malformed iteration record: {error}") from None
 
 
 # ----------------------------------------------------------------------

@@ -412,6 +412,89 @@ class TestGenericHygieneRule:
 
 
 # ----------------------------------------------------------------------
+# CL007 RNG stream sharing
+# ----------------------------------------------------------------------
+
+
+_SHARED_RNG = (
+    "class Pipeline:\n"
+    "    def run(self):\n"
+    "        blocker = Blocker(self.config, self.rng)\n"
+    "        matcher = Matcher(self.config, rng=self.rng)\n"
+    "        return blocker, matcher\n"
+)
+
+
+class TestRngSharingRule:
+    def test_two_constructors_sharing_self_rng_flagged(self, tmp_path):
+        report = check({"core/mod.py": _SHARED_RNG}, tmp_path)
+        assert rule_ids(report) == {"CL007"}
+        assert len(report.new_findings) == 1
+
+    def test_single_constructor_ok(self, tmp_path):
+        report = check({"engine/mod.py": (
+            "class Pipeline:\n"
+            "    def run(self):\n"
+            "        return Blocker(self.config, rng=self.rng)\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_distinct_streams_ok(self, tmp_path):
+        report = check({"core/mod.py": (
+            "class Pipeline:\n"
+            "    def run(self, ctx):\n"
+            "        blocker = Blocker(self.config, ctx.rng('blocker'))\n"
+            "        matcher = Matcher(self.config, ctx.rng('matcher'))\n"
+            "        return blocker, matcher\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_sharing_across_functions_ok(self, tmp_path):
+        report = check({"core/mod.py": (
+            "class Pipeline:\n"
+            "    def block(self):\n"
+            "        return Blocker(self.config, self.rng)\n"
+            "    def match(self):\n"
+            "        return Matcher(self.config, self.rng)\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_lowercase_helpers_ok(self, tmp_path):
+        report = check({"core/mod.py": (
+            "class Pipeline:\n"
+            "    def run(self):\n"
+            "        a = shuffle(self.rng)\n"
+            "        b = sample(self.rng)\n"
+            "        return a, b\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_outside_scope_ok(self, tmp_path):
+        report = check({"crowd/mod.py": _SHARED_RNG}, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({"core/mod.py": (
+            "class Pipeline:\n"
+            "    def run(self):\n"
+            "        blocker = Blocker(self.config, self.rng)\n"
+            "        matcher = Matcher(self.config, rng=self.rng)"
+            "  # corlint: disable=CL007\n"
+            "        return blocker, matcher\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_baselined_sharing_allowed(self, tmp_path):
+        first = check({"core/mod.py": _SHARED_RNG}, tmp_path)
+        assert rule_ids(first) == {"CL007"}
+        baseline = baseline_from_findings(first.new_findings)
+        second = check({"core/mod.py": _SHARED_RNG}, tmp_path,
+                       baseline=baseline)
+        assert second.new_findings == []
+        assert len(second.baselined_findings) == 1
+
+
+# ----------------------------------------------------------------------
 # Baseline semantics
 # ----------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ from repro.config import (
     LocatorConfig,
     MatcherConfig,
 )
-from repro.core.reapply import drift_report, reapply_matcher
+from repro.core.reapply import ReapplyResult, drift_report, reapply_matcher
 from repro.data.table import AttrType, Record, Schema, Table
 from repro.evaluation.experiment import run_corleone
 from repro.exceptions import DataError
@@ -127,8 +127,16 @@ class TestDriftReport:
             fresh_data.table_a, fresh_data.table_b, library,
             summary.result.blocker.applied_rules, forest,
         )
-        report = drift_report(result, training_mean_confidence=1.0,
-                              max_drop=0.001)
+        # Degrade the confidence profile explicitly: the trigger under
+        # test is the report's drop logic, not this forest's profile.
+        degraded = ReapplyResult(
+            predicted_matches=result.predicted_matches,
+            candidates=result.candidates,
+            cartesian=result.cartesian,
+            confidence=result.confidence * 0.5,
+        )
+        report = drift_report(degraded, training_mean_confidence=1.0,
+                              max_drop=0.25)
         assert report.refresh_recommended
 
     def test_bad_training_confidence(self, trained):

@@ -1,0 +1,105 @@
+"""Per-stage RNG stream isolation: the coupling the engine removed.
+
+Under the old orchestration a single ``self.rng`` flowed into every
+stage, so one extra draw in the blocker shifted the matcher's monitor
+rows, the estimator's probes and everything after — the coupling
+corlint CL007 now flags.  These tests pin the fix: streams derived from
+one root seed are independent, and perturbing one stage's stream leaves
+the others' draw sequences (and the pipeline's training samples)
+untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import persistence
+from repro.core.pipeline import Corleone
+from repro.crowd.simulated import PerfectCrowd
+from repro.engine import RNG_STREAMS, RunContext
+
+
+@pytest.fixture
+def context_pair(fast_config):
+    """Two independent contexts built from the same root seed."""
+    def build():
+        crowd = PerfectCrowd(frozenset(), rng=np.random.default_rng(0))
+        return RunContext(fast_config, crowd, seed=999)
+    return build(), build()
+
+
+class TestStreamIsolation:
+    def test_extra_blocker_draws_leave_other_streams_unchanged(
+            self, context_pair):
+        plain, perturbed = context_pair
+        perturbed.rng("blocker").random(100)  # the "extra draw", at bulk
+        plain.rng("blocker").random(1)
+        for name in ("matcher", "estimator", "locator", "engine"):
+            np.testing.assert_array_equal(plain.rng(name).random(8),
+                                          perturbed.rng(name).random(8))
+
+    def test_every_stream_is_isolated_from_every_other(self, context_pair):
+        plain, perturbed = context_pair
+        for victim in RNG_STREAMS:
+            others = [name for name in RNG_STREAMS if name != victim]
+            perturbed.rng(victim).random(17)
+            for name in others:
+                np.testing.assert_array_equal(
+                    plain.rng(name).random(3),
+                    perturbed.rng(name).random(3),
+                )
+            plain.rng(victim).random(17)  # realign the victim stream
+            np.testing.assert_array_equal(plain.rng(victim).random(3),
+                                          perturbed.rng(victim).random(3))
+
+
+def _run_tiny(dataset, config, extra_blocker_draws: int):
+    """One one_iteration run, with the blocker stream pre-perturbed."""
+    crowd = PerfectCrowd(dataset.matches, rng=np.random.default_rng(5))
+    pipeline = Corleone(config, crowd, seed=321)
+    if extra_blocker_draws:
+        pipeline.context.rng("blocker").random(extra_blocker_draws)
+    result = pipeline.run(dataset.table_a, dataset.table_b,
+                          dataset.seed_labels, mode="one_iteration")
+    return persistence.result_report(result), result
+
+
+class TestPipelineLevelPinning:
+    def test_blocker_draws_do_not_change_matcher_training(
+            self, tiny_dataset, fast_config):
+        """The headline regression pin for the engine refactor.
+
+        On the tiny dataset the blocker never triggers (Cartesian size
+        below ``t_b``), so consuming draws from the blocker stream must
+        not move a single matcher training sample — under the old
+        shared-``self.rng`` design it reshuffled all of them.
+        """
+        baseline_report, baseline = _run_tiny(tiny_dataset, fast_config, 0)
+        perturbed_report, perturbed = _run_tiny(tiny_dataset, fast_config,
+                                                13)
+        base_matcher = baseline.iterations[0].matcher
+        pert_matcher = perturbed.iterations[0].matcher
+        assert pert_matcher.labeled_rows == base_matcher.labeled_rows
+        assert (pert_matcher.confidence_history
+                == base_matcher.confidence_history)
+        assert perturbed_report == baseline_report
+
+
+class TestSeedPlumbingEquivalence:
+    def test_seed_kwarg_equals_generator_backcompat(self, tiny_dataset,
+                                                    fast_config):
+        """``seed=n`` and ``rng=default_rng(n)`` are the same run.
+
+        MultiTaskRunner switched from the latter to the former; this
+        pins that the switch is bit-identical.
+        """
+        def run(**kwargs):
+            crowd = PerfectCrowd(tiny_dataset.matches,
+                                 rng=np.random.default_rng(5))
+            pipeline = Corleone(fast_config, crowd, **kwargs)
+            return persistence.result_report(pipeline.run(
+                tiny_dataset.table_a, tiny_dataset.table_b,
+                tiny_dataset.seed_labels, mode="one_iteration"))
+
+        assert run(seed=44) == run(rng=np.random.default_rng(44))
