@@ -29,6 +29,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/collect_results.py \
 		--substrates benchmarks/results/substrates_benchmark.json
 	$(PYTHON) benchmarks/collect_results.py --engine
+	$(PYTHON) benchmarks/collect_results.py --faults
 
 results: bench
 	$(PYTHON) benchmarks/collect_results.py

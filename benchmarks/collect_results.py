@@ -32,6 +32,14 @@ event-bus throughput, recorded as ``BENCH_engine.json`` plus an
 ``engine_overhead`` result table:
 
     python benchmarks/collect_results.py --engine
+
+A fifth mode exercises the resilient crowd gateway
+(docs/robustness.md): wall-clock overhead of the fault-injection +
+gateway stack at a 0% fault rate (acceptance bar < 5%) and the recovery
+statistics of a full run at a 10% uniform fault rate, recorded as
+``BENCH_faults.json`` plus a ``fault_gateway`` result table:
+
+    python benchmarks/collect_results.py --faults
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ OUTPUT = Path(__file__).parent / "RESULTS.md"
 SUBSTRATES_OUTPUT = Path(__file__).parent / "BENCH_substrates.json"
 LINT_OUTPUT = Path(__file__).parent / "BENCH_lint.json"
 ENGINE_OUTPUT = Path(__file__).parent / "BENCH_engine.json"
+FAULTS_OUTPUT = Path(__file__).parent / "BENCH_faults.json"
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -77,6 +86,7 @@ ORDER = [
     "micro_substrates",
     "lint_findings",
     "engine_overhead",
+    "fault_gateway",
 ]
 
 
@@ -324,6 +334,169 @@ def collect_engine(output: Path | None = None, repeats: int = 3) -> dict:
     return payload
 
 
+def collect_faults(output: Path | None = None, repeats: int = 3) -> dict:
+    """Measure the resilient gateway's overhead and recovery behaviour.
+
+    Runs the same seeded hands-off run three ways: directly against the
+    crowd, through the ``ResilientCrowd``/``FaultyCrowd`` stack at a 0%
+    fault rate (the pure wrapper tax; acceptance bar < 5%), and through
+    the stack at a 10% uniform fault rate with spam disabled (the
+    lossless-recovery taxonomy: timeouts, expiries, duplicates,
+    outages).  Records wall-clock overhead, per-kind injection counts,
+    retry/repost/recovery counters, simulated retry latency, the
+    delivered-equals-charged accounting check and the F1 delta, as
+    ``BENCH_faults.json`` plus a ``fault_gateway`` result table.
+    """
+    import time
+
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    import numpy as np
+
+    from repro.config import (
+        BlockerConfig,
+        CorleoneConfig,
+        EstimatorConfig,
+        ForestConfig,
+        LocatorConfig,
+        MatcherConfig,
+    )
+    from repro.core.pipeline import Corleone
+    from repro.crowd import (
+        CircuitBreaker,
+        FaultSpec,
+        FaultyCrowd,
+        ResilientCrowd,
+        RetryPolicy,
+    )
+    from repro.crowd.simulated import SimulatedCrowd
+    from repro.synth.restaurants import generate_restaurants
+
+    dataset = generate_restaurants(n_a=120, n_b=90, n_matches=35, seed=7)
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=6000, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=15),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+    def f1_score(predicted) -> float:
+        if not predicted:
+            return 0.0
+        hits = len(set(predicted) & set(dataset.matches))
+        precision = hits / len(predicted)
+        recall = hits / len(dataset.matches)
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def run_once(fault_rate: float | None):
+        """One seeded run; ``None`` means no wrapper stack at all."""
+        crowd = SimulatedCrowd(dataset.matches, error_rate=0.05,
+                               rng=np.random.default_rng(11))
+        faulty = None
+        platform = crowd
+        if fault_rate is not None:
+            spec = FaultSpec.uniform(fault_rate, spammer_rate=0.0)
+            faulty = FaultyCrowd(crowd, spec, seed=77)
+            platform = ResilientCrowd(
+                faulty,
+                RetryPolicy(max_attempts=7),
+                breaker=CircuitBreaker(failure_threshold=20),
+            )
+        started = time.perf_counter()
+        result = Corleone(config, platform, seed=123).run(
+            dataset.table_a, dataset.table_b, dataset.seed_labels)
+        elapsed = time.perf_counter() - started
+        return elapsed, result, platform, faulty
+
+    direct_times = []
+    for _ in range(repeats):
+        elapsed, direct_result, _, _ = run_once(None)
+        direct_times.append(elapsed)
+    clean_times = []
+    for _ in range(repeats):
+        elapsed, clean_result, _, _ = run_once(0.0)
+        clean_times.append(elapsed)
+    _, faulty_result, gateway, faulty = run_once(0.1)
+
+    direct = min(direct_times)
+    clean = min(clean_times)
+    direct_f1 = f1_score(direct_result.predicted_matches)
+    faulty_f1 = f1_score(faulty_result.predicted_matches)
+    payload = {
+        "run": {
+            "dataset": "restaurants 120x90",
+            "repeats": repeats,
+            "direct_seconds": round(direct, 4),
+            "gateway_clean_seconds": round(clean, 4),
+            "gateway_overhead_fraction": round(
+                max(0.0, clean - direct) / direct, 4
+            ),
+            "direct_f1": round(direct_f1, 4),
+        },
+        "recovery_at_10pct": {
+            "faults_injected": dict(faulty.counts),
+            "retries_scheduled": gateway.retries_scheduled,
+            "hits_reposted": gateway.hits_reposted,
+            "answers_recovered": gateway.answers_recovered,
+            "retry_simulated_seconds": round(gateway.retry_seconds, 1),
+            "answers_delivered": faulty.answers_delivered,
+            "answers_charged": faulty_result.cost.answers,
+            "accounting_exact": (
+                faulty.answers_delivered == faulty_result.cost.answers
+            ),
+            "f1": round(faulty_f1, 4),
+            "f1_delta": round(faulty_f1 - direct_f1, 4),
+        },
+    }
+
+    target = output if output is not None else FAULTS_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} (gateway overhead "
+          f"{payload['run']['gateway_overhead_fraction']:.1%})")
+
+    run = payload["run"]
+    recovery = payload["recovery_at_10pct"]
+    injected = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(recovery["faults_injected"].items())
+        if count
+    ) or "none"
+    table = (
+        "Resilient gateway: overhead and fault recovery "
+        f"({run['dataset']}, best of {repeats})\n"
+        "\n"
+        "metric                      value\n"
+        "--------------------------  ---------\n"
+        f"direct run                  {run['direct_seconds']:.3f} s\n"
+        f"gateway run (0% faults)     "
+        f"{run['gateway_clean_seconds']:.3f} s\n"
+        f"gateway overhead            "
+        f"{run['gateway_overhead_fraction']:.1%}\n"
+        f"faults injected (10%)       {injected}\n"
+        f"retries scheduled           {recovery['retries_scheduled']}\n"
+        f"HITs reposted               {recovery['hits_reposted']}\n"
+        f"answers recovered           {recovery['answers_recovered']}\n"
+        f"simulated retry time        "
+        f"{recovery['retry_simulated_seconds']:.0f} s\n"
+        f"answers delivered/charged   {recovery['answers_delivered']}"
+        f"/{recovery['answers_charged']}"
+        f" ({'exact' if recovery['accounting_exact'] else 'MISMATCH'})\n"
+        f"F1 (direct -> 10% faults)   {run['direct_f1']:.4f} -> "
+        f"{recovery['f1']:.4f} ({recovery['f1_delta']:+.4f})\n"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fault_gateway.txt").write_text(table)
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -365,6 +538,12 @@ if __name__ == "__main__":
              "throughput, recording BENCH_engine.json instead of "
              "collecting RESULTS.md",
     )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="measure the resilient gateway's overhead at 0%% faults "
+             "and its recovery statistics at 10%%, recording "
+             "BENCH_faults.json instead of collecting RESULTS.md",
+    )
     args = parser.parse_args()
     if args.substrates is not None:
         distill_substrates(args.substrates)
@@ -372,5 +551,7 @@ if __name__ == "__main__":
         collect_lint()
     elif args.engine:
         collect_engine()
+    elif args.faults:
+        collect_faults()
     else:
         main()

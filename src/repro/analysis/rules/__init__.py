@@ -18,6 +18,7 @@ from .hygiene import GenericHygieneRule
 from .kernel_parity import KernelParityRule
 from .numeric import NumericHygieneRule
 from .picklability import PicklabilityRule
+from .resilience import SwallowedCrowdErrorRule
 from .rng_sharing import RngSharingRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -28,6 +29,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     PicklabilityRule,
     GenericHygieneRule,
     RngSharingRule,
+    SwallowedCrowdErrorRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -55,6 +57,7 @@ __all__ = [
     "ProjectContext",
     "ProjectRule",
     "RngSharingRule",
+    "SwallowedCrowdErrorRule",
     "Rule",
     "default_rules",
     "rules_by_id",

@@ -1,0 +1,105 @@
+"""CL008 — swallowed crowd errors: failures must propagate or be seen.
+
+The robustness subsystem's contract (``docs/robustness.md``) is that
+every crowd-platform failure either propagates as a typed exception or
+is surfaced through the engine's event bus — a silent ``except
+CrowdError: pass`` hides exactly the faults the resilient gateway and
+the chaos harness exist to exercise, and turns a platform outage into a
+mystery hang or a wrong label count.  This rule flags ``except`` clauses
+that catch :class:`~repro.exceptions.CrowdError` (or its transient /
+unavailable subclasses) without re-raising *some* exception or emitting
+an event inside the handler.  Handlers for
+:class:`~repro.exceptions.BudgetExhaustedError` are exempt: running out
+of money is graceful degradation by design, not a hidden fault.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ModuleContext, ModuleRule, dotted_name, is_test_module
+
+_CROWD_ERRORS = frozenset({
+    "CrowdError",
+    "TransientCrowdError",
+    "AnswerTimeoutError",
+    "HitExpiredError",
+    "CrowdUnavailableError",
+})
+"""Exception names whose handlers must re-raise or emit.
+
+``BudgetExhaustedError`` is deliberately absent — the pipeline catches
+it to wrap up gracefully, which is the documented behaviour, not a
+swallowed fault.
+"""
+
+_EMIT_METHODS = frozenset({"emit", "report", "warning", "error"})
+"""Call leaves that count as surfacing the failure to an observer."""
+
+
+def _caught_crowd_names(node: ast.ExceptHandler) -> list[str]:
+    """The crowd-error names this handler catches (possibly none).
+
+    Understands bare names, dotted names and tuples of either; a bare
+    ``except:`` or ``except Exception:`` is CL006's business, not ours.
+    """
+    if node.type is None:
+        return []
+    exprs = (list(node.type.elts) if isinstance(node.type, ast.Tuple)
+             else [node.type])
+    caught = []
+    for expr in exprs:
+        chain = dotted_name(expr)
+        if chain is not None and chain[-1] in _CROWD_ERRORS:
+            caught.append(chain[-1])
+    return caught
+
+
+def _handler_surfaces(node: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise or emit somewhere?
+
+    Any ``raise`` statement counts (including conditional ones — the
+    retry loops re-raise only on the final attempt, which is exactly the
+    sanctioned pattern), as does any call whose final attribute is an
+    observer-style method (``bus.emit``, ``logger.warning``, …).
+    """
+    for child in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+        if isinstance(child, ast.Raise):
+            return True
+        if isinstance(child, ast.Call):
+            chain = dotted_name(child.func)
+            if chain is not None and chain[-1] in _EMIT_METHODS:
+                return True
+    return False
+
+
+class SwallowedCrowdErrorRule(ModuleRule):
+    """Flags ``except CrowdError`` handlers that hide the failure."""
+
+    rule_id = "CL008"
+    severity = Severity.ERROR
+    summary = ("an except clause catching CrowdError or a transient "
+               "subclass must re-raise or emit an event; silently "
+               "swallowing platform failures defeats the robustness "
+               "subsystem")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Library code only; tests legitimately assert-and-swallow."""
+        return not is_test_module(module)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: ModuleContext) -> None:
+        """Check one handler: caught crowd error => must surface it."""
+        caught = _caught_crowd_names(node)
+        if not caught:
+            return
+        if _handler_surfaces(node):
+            return
+        ctx.report(
+            self, node,
+            f"except {', '.join(caught)} swallows the platform failure; "
+            "re-raise it (possibly after cleanup) or emit an event on "
+            "the engine bus so the fault stays observable",
+        )

@@ -198,6 +198,43 @@ class CrowdConfig:
 
 
 @dataclass(frozen=True)
+class GatewayConfig:
+    """Resilient-gateway parameters (beyond the paper; see
+    ``docs/robustness.md``).
+
+    Tunes :class:`repro.crowd.gateway.ResilientCrowd`: how hard the
+    labelling path retries transient platform failures before the
+    circuit breaker declares the crowd unavailable.  All delays are in
+    *simulated* seconds on the shared :class:`repro.crowd.latency.
+    SimulatedClock`; nothing here ever sleeps on wall time.
+    """
+
+    max_attempts: int = 5
+    """Total tries per question (first attempt + retries)."""
+
+    base_delay_seconds: float = 30.0
+    """Backoff delay before the first retry."""
+
+    backoff_factor: float = 2.0
+    """Multiplier applied to the backoff delay per further retry."""
+
+    max_delay_seconds: float = 600.0
+    """Cap on any single backoff delay."""
+
+    jitter_fraction: float = 0.1
+    """Fractional deterministic jitter applied to each delay."""
+
+    question_timeout_seconds: float = 300.0
+    """Simulated seconds charged when a question's answer never arrives."""
+
+    failure_threshold: int = 5
+    """Consecutive platform failures that open the circuit breaker."""
+
+    cooldown_seconds: float = 3600.0
+    """Simulated seconds the circuit stays open before half-open."""
+
+
+@dataclass(frozen=True)
 class CorleoneConfig:
     """Top-level configuration bundling every module's parameters."""
 
@@ -207,6 +244,7 @@ class CorleoneConfig:
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     locator: LocatorConfig = field(default_factory=LocatorConfig)
     crowd: CrowdConfig = field(default_factory=CrowdConfig)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
 
     max_pipeline_iterations: int = 5
     """Cap on matcher->estimate->reduce rounds (paper needed 1-2)."""
@@ -272,6 +310,22 @@ def _validate(cfg: CorleoneConfig) -> None:
          "crowd.strong_majority_max must be >= strong_majority_gap"),
         (cfg.crowd.max_platform_retries >= 0,
          "crowd.max_platform_retries must be >= 0"),
+        (cfg.gateway.max_attempts >= 1,
+         "gateway.max_attempts must be >= 1"),
+        (cfg.gateway.base_delay_seconds >= 0,
+         "gateway.base_delay_seconds must be >= 0"),
+        (cfg.gateway.backoff_factor >= 1.0,
+         "gateway.backoff_factor must be >= 1"),
+        (cfg.gateway.max_delay_seconds >= 0,
+         "gateway.max_delay_seconds must be >= 0"),
+        (0 <= cfg.gateway.jitter_fraction < 1,
+         "gateway.jitter_fraction must be in [0, 1)"),
+        (cfg.gateway.question_timeout_seconds >= 0,
+         "gateway.question_timeout_seconds must be >= 0"),
+        (cfg.gateway.failure_threshold >= 1,
+         "gateway.failure_threshold must be >= 1"),
+        (cfg.gateway.cooldown_seconds >= 0,
+         "gateway.cooldown_seconds must be >= 0"),
         (cfg.max_pipeline_iterations >= 1,
          "max_pipeline_iterations must be >= 1"),
         (cfg.budget is None or cfg.budget > 0, "budget must be positive"),

@@ -33,7 +33,11 @@ from ..engine.context import RunContext
 from ..engine.events import EventBus, JsonlTraceSink
 from ..engine.runner import StagedEngine
 from ..engine.state import RunState
-from ..exceptions import BudgetExhaustedError, DataError
+from ..exceptions import (
+    BudgetExhaustedError,
+    CrowdUnavailableError,
+    DataError,
+)
 from ..features.library import build_feature_library
 from ..persistence import load_candidates
 from .blocker import Blocker, BlockerResult
@@ -142,8 +146,6 @@ class Corleone:
         run_dir = Path(run_dir)
         inputs = load_run_inputs(run_dir)
         checkpoint = load_checkpoint(run_dir)
-        if checkpoint is None:
-            raise DataError(f"{run_dir}: no checkpoint to resume from")
 
         pipeline = cls(inputs["config"], platform,
                        seed=inputs["root_seed"], run_dir=run_dir)
@@ -151,6 +153,19 @@ class Corleone:
         plan = inputs["budget_plan"]
         ctx.manager = (PhaseBudgetManager(plan, ctx.tracker)
                        if plan is not None else None)
+        table_a, table_b = inputs["table_a"], inputs["table_b"]
+        library = build_feature_library(table_a, table_b)
+
+        if checkpoint is None:
+            # The run died before reaching its first stage boundary
+            # (e.g. the crowd went away mid-blocking).  There is nothing
+            # mutable to restore, so restart deterministically from the
+            # persisted inputs — the run seed makes this equivalent.
+            state = RunState(mode=inputs["mode"],
+                             seed_labels=dict(inputs["seed_labels"]))
+            state.attach(table_a, table_b, library)
+            return pipeline._execute(state, Checkpointer(run_dir))
+
         ctx.tracker.load_state(checkpoint["tracker"])
         if ctx.manager is not None and checkpoint["manager"] is not None:
             ctx.manager.load_state(checkpoint["manager"])
@@ -161,8 +176,6 @@ class Corleone:
             platform.load_state(checkpoint["platform"])
         ctx.bus.restore_sequence(checkpoint["sequence"])
 
-        table_a, table_b = inputs["table_a"], inputs["table_b"]
-        library = build_feature_library(table_a, table_b)
         candidates = None
         candidates_path = run_dir / CANDIDATES_FILE
         if candidates_path.is_file():
@@ -186,6 +199,16 @@ class Corleone:
             engine.run(state)
         except BudgetExhaustedError:
             return self._partial_result(state)
+        except CrowdUnavailableError as error:
+            # Graceful degradation: the engine checkpointed at the last
+            # stage boundary, so ``resume`` can continue this run once
+            # the platform recovers.  Attach what the run accumulated
+            # and hand the typed error to the caller.
+            state.stop_reason = "crowd_unavailable"
+            error.partial = self._partial_result(
+                state, stop_reason="crowd_unavailable"
+            )
+            raise
         finally:
             if sink is not None:
                 ctx.bus.unsubscribe(sink)
@@ -193,8 +216,10 @@ class Corleone:
             ctx.checkpoint = None
         return state.to_result(ctx.tracker)
 
-    def _partial_result(self, state: RunState) -> CorleoneResult:
-        """Package what a budget-exhausted run actually accumulated.
+    def _partial_result(self, state: RunState,
+                        stop_reason: str = "budget_exhausted",
+                        ) -> CorleoneResult:
+        """Package what an interrupted run actually accumulated.
 
         The real blocker result, candidate set and completed iterations
         are reported — not fabricated empties — so callers can inspect
@@ -219,7 +244,7 @@ class Corleone:
             iterations=state.iterations,
             estimate=state.best_estimate,
             cost=self.tracker.snapshot(),
-            stop_reason="budget_exhausted",
+            stop_reason=stop_reason,
         )
 
     @staticmethod

@@ -32,9 +32,30 @@ from .profiler import (
 from .latency import (
     LatencyModel,
     PayPoint,
+    SimulatedClock,
     TimedCrowd,
     cheapest_within_deadline,
     pareto_sweep,
+)
+from .faults import (
+    FAULT_DUPLICATE,
+    FAULT_EXPIRY,
+    FAULT_KINDS,
+    FAULT_OUTAGE,
+    FAULT_SPAMMER,
+    FAULT_TIMEOUT,
+    FaultSpec,
+    FaultyCrowd,
+    fault_stream_seed,
+)
+from .gateway import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPEN,
+    CircuitBreaker,
+    ResilientCrowd,
+    RetryPolicy,
+    find_clock,
 )
 from .transcript import (
     QuestionTranscript,
@@ -73,9 +94,26 @@ __all__ = [
     "ProfilingLabelingService",
     "LatencyModel",
     "PayPoint",
+    "SimulatedClock",
     "TimedCrowd",
     "cheapest_within_deadline",
     "pareto_sweep",
+    "FAULT_DUPLICATE",
+    "FAULT_EXPIRY",
+    "FAULT_KINDS",
+    "FAULT_OUTAGE",
+    "FAULT_SPAMMER",
+    "FAULT_TIMEOUT",
+    "FaultSpec",
+    "FaultyCrowd",
+    "fault_stream_seed",
+    "CIRCUIT_CLOSED",
+    "CIRCUIT_HALF_OPEN",
+    "CIRCUIT_OPEN",
+    "CircuitBreaker",
+    "ResilientCrowd",
+    "RetryPolicy",
+    "find_clock",
     "Hit",
     "Question",
     "hit_to_html",

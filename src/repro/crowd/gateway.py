@@ -1,0 +1,407 @@
+"""The resilient labelling gateway: retry, backoff, repost, break.
+
+:class:`ResilientCrowd` sits between the
+:class:`~repro.crowd.service.LabelingService` and a (possibly faulty)
+platform and makes the labelling path survive the realistic failure
+taxonomy of :mod:`repro.crowd.faults`:
+
+* **per-question timeout** — an :class:`AnswerTimeoutError` charges the
+  full question deadline to the shared simulated clock before retrying
+  (we waited that long for nothing);
+* **capped exponential backoff** with *deterministic* jitter — the
+  jitter draws come from the gateway's own seeded stream, and every
+  delay advances the :class:`~repro.crowd.latency.SimulatedClock`
+  shared with :class:`~repro.crowd.latency.TimedCrowd`, never wall time
+  (CL001);
+* **HIT reposting** — a :class:`HitExpiredError` reposts the question
+  as a fresh HIT, metered in the :class:`~repro.crowd.cost.CostTracker`
+  so reposted spend shows up in the run's cost report;
+* **a circuit breaker** — after ``failure_threshold`` consecutive
+  platform failures the circuit opens and the gateway raises a typed
+  :class:`CrowdUnavailableError`; the engine's last checkpoint is on
+  disk, so :meth:`~repro.core.pipeline.Corleone.resume` continues the
+  run once the platform recovers.  After ``cooldown_seconds`` of
+  simulated time the breaker goes *half-open* and lets one trial
+  question through.
+
+Every hook (``on_retry`` / ``on_repost`` / ``on_circuit_open``) is
+wired to the engine's event bus by
+:class:`~repro.engine.context.RunContext`, surfacing the
+``retry_scheduled`` / ``hit_reposted`` / ``circuit_opened`` events; see
+``docs/robustness.md`` for the full state machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..data.pairs import Pair
+from ..exceptions import (
+    AnswerTimeoutError,
+    BudgetExhaustedError,
+    ConfigurationError,
+    CrowdUnavailableError,
+    HitExpiredError,
+    TransientCrowdError,
+)
+from .base import CrowdPlatform, WorkerAnswer
+from .cost import CostTracker
+from .latency import SimulatedClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import GatewayConfig
+
+CIRCUIT_CLOSED = "closed"
+CIRCUIT_OPEN = "open"
+CIRCUIT_HALF_OPEN = "half_open"
+
+RetryObserver = Callable[[str, int, float], None]
+"""``on_retry(kind, attempt, delay_seconds)`` — a retry was scheduled."""
+
+RepostObserver = Callable[[Pair, int], None]
+"""``on_repost(pair, attempt)`` — an expired HIT was reposted."""
+
+CircuitObserver = Callable[[int], None]
+"""``on_circuit_open(failures)`` — the circuit breaker just opened."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 5
+    """Total tries per question (first attempt + retries)."""
+
+    base_delay_seconds: float = 30.0
+    """Backoff delay before the first retry."""
+
+    backoff_factor: float = 2.0
+    """Multiplier applied to the delay per further retry."""
+
+    max_delay_seconds: float = 600.0
+    """Cap on any single backoff delay."""
+
+    jitter_fraction: float = 0.1
+    """Delays are perturbed by up to this fraction either way, drawn
+    from the gateway's own seeded stream (deterministic jitter)."""
+
+    question_timeout_seconds: float = 300.0
+    """Simulated time charged for a question whose answer never arrived
+    (the per-HIT deadline the gateway waited out)."""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+        if self.question_timeout_seconds < 0:
+            raise ConfigurationError(
+                "question_timeout_seconds must be >= 0"
+            )
+
+    def delay_seconds(self, attempt: int,
+                      rng: np.random.Generator) -> float:
+        """The backoff delay before retry number ``attempt`` (0-based).
+
+        Capped exponential, then jittered by a draw from ``rng`` — one
+        draw per scheduled retry, so identical seeds yield bit-identical
+        retry schedules.
+        """
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0")
+        delay = min(self.max_delay_seconds,
+                    self.base_delay_seconds * self.backoff_factor ** attempt)
+        if self.jitter_fraction:
+            swing = self.jitter_fraction * (2.0 * float(rng.random()) - 1.0)
+            delay *= 1.0 + swing
+        return delay
+
+
+class CircuitBreaker:
+    """The gateway's closed / open / half-open failure state machine.
+
+    Closed: questions flow, consecutive failures are counted.  Open:
+    questions are rejected until ``cooldown_seconds`` of *simulated*
+    time pass.  Half-open: one trial question is allowed; success closes
+    the circuit, failure re-opens it (and restarts the cooldown).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown_seconds: float = 3600.0,
+                 clock: SimulatedClock | None = None) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._failures = 0
+        self._open = False
+        self._opened_at = 0.0
+        self._trial_pending = False
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Platform failures since the last successful answer."""
+        return self._failures
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open`` (cooldown elapsed)."""
+        if not self._open:
+            return CIRCUIT_CLOSED
+        if self.clock.now - self._opened_at >= self.cooldown_seconds:
+            return CIRCUIT_HALF_OPEN
+        return CIRCUIT_OPEN
+
+    def allow(self) -> bool:
+        """May a question be attempted right now?
+
+        Half-open admits exactly one in-flight trial; its outcome
+        (``record_success`` / ``record_failure``) decides what happens
+        next.
+        """
+        state = self.state
+        if state == CIRCUIT_CLOSED:
+            return True
+        if state == CIRCUIT_HALF_OPEN and not self._trial_pending:
+            self._trial_pending = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """An answer arrived: close the circuit, reset the count."""
+        self._failures = 0
+        self._open = False
+        self._trial_pending = False
+
+    def record_failure(self) -> bool:
+        """One platform failure; returns True if the circuit just opened.
+
+        A failed half-open trial re-opens immediately (and restarts the
+        cooldown); a closed circuit opens once the consecutive-failure
+        count reaches the threshold.
+        """
+        self._failures += 1
+        was_open = self._open
+        if self._trial_pending:
+            self._trial_pending = False
+            self._opened_at = self.clock.now
+            return False  # re-opened, not newly opened
+        if not self._open and self._failures >= self.failure_threshold:
+            self._open = True
+            self._opened_at = self.clock.now
+        return self._open and not was_open
+
+    def state_dict(self) -> dict:
+        """The breaker's state (JSON-compatible)."""
+        return {
+            "failures": self._failures,
+            "open": self._open,
+            "opened_at": self._opened_at,
+            "trial_pending": self._trial_pending,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._failures = int(state["failures"])
+        self._open = bool(state["open"])
+        self._opened_at = float(state["opened_at"])
+        self._trial_pending = bool(state["trial_pending"])
+
+
+def find_clock(platform: CrowdPlatform) -> SimulatedClock | None:
+    """The first :class:`SimulatedClock` down a decorator stack, if any.
+
+    Lets the gateway share the clock a :class:`TimedCrowd` somewhere
+    below it already accounts answer latency on.
+    """
+    node: object = platform
+    while node is not None:
+        clock = getattr(node, "clock", None)
+        if isinstance(clock, SimulatedClock):
+            return clock
+        node = getattr(node, "_inner", None)
+    return None
+
+
+class ResilientCrowd(CrowdPlatform):
+    """The retry/backoff/repost/circuit-breaker gateway platform.
+
+    Wraps any platform (usually a :class:`~repro.crowd.faults.FaultyCrowd`
+    or :class:`~repro.crowd.latency.TimedCrowd` stack) and guarantees its
+    caller one of exactly two outcomes per ``ask``: a
+    :class:`WorkerAnswer`, or a typed error —
+    :class:`CrowdUnavailableError` once the breaker opens,
+    :class:`BudgetExhaustedError` passed through untouched, or the last
+    :class:`TransientCrowdError` if retries ran out while the circuit
+    stayed closed.
+    """
+
+    def __init__(self, inner: CrowdPlatform,
+                 policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 clock: SimulatedClock | None = None,
+                 rng: np.random.Generator | None = None,
+                 tracker: CostTracker | None = None) -> None:
+        self._inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        if clock is None:
+            clock = find_clock(inner)
+        self.clock = clock if clock is not None else SimulatedClock()
+        if breaker is None:
+            breaker = CircuitBreaker(clock=self.clock)
+        else:
+            breaker.clock = self.clock
+        self.breaker = breaker
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.tracker = tracker
+        """Bound by :class:`~repro.engine.context.RunContext` so reposted
+        HITs are metered in the run's cost ledger."""
+        self.retries_scheduled = 0
+        self.hits_reposted = 0
+        self.answers_recovered = 0
+        """Answers that arrived only after at least one retry."""
+        self.retry_seconds = 0.0
+        """Simulated time spent waiting on timeouts and backoff."""
+        self.on_retry: RetryObserver | None = None
+        self.on_repost: RepostObserver | None = None
+        self.on_circuit_open: CircuitObserver | None = None
+
+    @classmethod
+    def from_config(cls, inner: CrowdPlatform, config: "GatewayConfig",
+                    **kwargs: object) -> "ResilientCrowd":
+        """Build a gateway from a :class:`~repro.config.GatewayConfig`."""
+        policy = RetryPolicy(
+            max_attempts=config.max_attempts,
+            base_delay_seconds=config.base_delay_seconds,
+            backoff_factor=config.backoff_factor,
+            max_delay_seconds=config.max_delay_seconds,
+            jitter_fraction=config.jitter_fraction,
+            question_timeout_seconds=config.question_timeout_seconds,
+        )
+        gateway = cls(inner, policy=policy, **kwargs)  # type: ignore[arg-type]
+        gateway.breaker.failure_threshold = config.failure_threshold
+        gateway.breaker.cooldown_seconds = config.cooldown_seconds
+        return gateway
+
+    @property
+    def inner(self) -> CrowdPlatform:
+        """The wrapped platform."""
+        return self._inner
+
+    def bind_tracker(self, tracker: CostTracker) -> None:
+        """Meter reposted HITs into ``tracker`` from now on."""
+        self.tracker = tracker
+
+    # ------------------------------------------------------------------
+    # The answer path
+    # ------------------------------------------------------------------
+
+    def ask(self, pair: Pair) -> WorkerAnswer:
+        """One answer for ``pair``, retried/reposted as needed."""
+        last_error: TransientCrowdError | None = None
+        for attempt in range(self.policy.max_attempts):
+            if not self.breaker.allow():
+                raise CrowdUnavailableError(
+                    self.breaker.consecutive_failures,
+                    "crowd platform unavailable: circuit is open "
+                    f"(cooldown {self.breaker.cooldown_seconds:.0f}s on "
+                    "the simulated clock)",
+                )
+            try:
+                answer = self._inner.ask(pair)
+            except BudgetExhaustedError:
+                # Money running out is the caller's concern, not a
+                # platform failure; never counts against the breaker.
+                raise
+            except TransientCrowdError as error:
+                last_error = error
+                if self._note_failure(pair, error, attempt):
+                    # The breaker just opened: degrade, don't retry.
+                    if self.on_circuit_open is not None:
+                        self.on_circuit_open(
+                            self.breaker.consecutive_failures
+                        )
+                    raise CrowdUnavailableError(
+                        self.breaker.consecutive_failures
+                    ) from error
+                if attempt + 1 < self.policy.max_attempts:
+                    self._schedule_retry(error, attempt)
+                continue
+            self.breaker.record_success()
+            if attempt > 0:
+                self.answers_recovered += 1
+            return answer
+        assert last_error is not None
+        raise last_error
+
+    def _note_failure(self, pair: Pair, error: TransientCrowdError,
+                      attempt: int) -> bool:
+        """Account one platform failure: clock, breaker, reposting.
+
+        Returns True when this failure opened the circuit breaker.
+        """
+        if isinstance(error, AnswerTimeoutError):
+            # We waited the full question deadline for nothing.
+            waited = self.policy.question_timeout_seconds
+            self.clock.advance(waited)
+            self.retry_seconds += waited
+        if isinstance(error, HitExpiredError):
+            # The HIT died; repost it as a fresh one (and pay the fee).
+            self.hits_reposted += 1
+            if self.tracker is not None:
+                self.tracker.record_hits(1)
+            if self.on_repost is not None:
+                self.on_repost(pair, attempt)
+        return self.breaker.record_failure()
+
+    def _schedule_retry(self, error: TransientCrowdError,
+                        attempt: int) -> None:
+        """Back off (on the simulated clock) before the next attempt."""
+        delay = self.policy.delay_seconds(attempt, self._rng)
+        self.clock.advance(delay)
+        self.retry_seconds += delay
+        self.retries_scheduled += 1
+        if self.on_retry is not None:
+            self.on_retry(type(error).__name__, attempt, delay)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (duck-typed by the engine's Checkpointer)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The gateway's full state (JSON-compatible)."""
+        state: dict = {
+            "rng": self._rng.bit_generator.state,
+            "breaker": self.breaker.state_dict(),
+            "clock": self.clock.state_dict(),
+            "retries_scheduled": self.retries_scheduled,
+            "hits_reposted": self.hits_reposted,
+            "answers_recovered": self.answers_recovered,
+            "retry_seconds": self.retry_seconds,
+        }
+        if hasattr(self._inner, "state_dict"):
+            state["inner"] = self._inner.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self.breaker.load_state(state["breaker"])
+        self.clock.load_state(state["clock"])
+        self.retries_scheduled = int(state["retries_scheduled"])
+        self.hits_reposted = int(state["hits_reposted"])
+        self.answers_recovered = int(state["answers_recovered"])
+        self.retry_seconds = float(state["retry_seconds"])
+        if "inner" in state and hasattr(self._inner, "load_state"):
+            self._inner.load_state(state["inner"])

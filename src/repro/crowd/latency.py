@@ -27,6 +27,48 @@ from ..exceptions import CrowdError
 from .base import CrowdPlatform, WorkerAnswer
 
 
+class SimulatedClock:
+    """A shared simulated wall clock (seconds since the run started).
+
+    The money-time extension (:class:`TimedCrowd`) and the resilient
+    gateway (:class:`repro.crowd.gateway.ResilientCrowd`) both account
+    time on the *same* clock instance — answer latency, timeout waits
+    and backoff delays all advance it — so a run's elapsed time is one
+    coherent number and never touches real wall time (the CL001
+    determinism contract).
+    """
+
+    def __init__(self, now: float = 0.0) -> None:
+        if now < 0:
+            raise CrowdError("clock must not start before zero")
+        self._now = float(now)
+
+    @property
+    def now(self) -> float:
+        """Simulated seconds elapsed since the run started."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise CrowdError("cannot advance the clock backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock to ``timestamp`` if that is later (monotonic)."""
+        self._now = max(self._now, float(timestamp))
+        return self._now
+
+    def state_dict(self) -> dict:
+        """The clock's state (JSON-compatible)."""
+        return {"now": self._now}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._now = float(state["now"])
+
+
 @dataclass(frozen=True)
 class LatencyModel:
     """Pay-dependent answer latency.
@@ -88,7 +130,8 @@ class TimedCrowd(CrowdPlatform):
     def __init__(self, inner: CrowdPlatform, model: LatencyModel,
                  pay_per_question: float,
                  rng: np.random.Generator | None = None,
-                 parallelism: int = 5) -> None:
+                 parallelism: int = 5,
+                 clock: SimulatedClock | None = None) -> None:
         if parallelism < 1:
             raise CrowdError("parallelism must be >= 1")
         self._inner = inner
@@ -97,11 +140,23 @@ class TimedCrowd(CrowdPlatform):
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.parallelism = parallelism
         self._lane_clocks = [0.0] * parallelism
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.retry_seconds = 0.0
+        """Simulated time spent on attempts that produced no answer
+        (worker time the platform burned before a fault); retried and
+        reposted questions accrue here in addition to the normal lane
+        accounting of the answers they eventually produce."""
 
     @property
     def elapsed_seconds(self) -> float:
-        """Simulated wall-clock time consumed so far."""
-        return max(self._lane_clocks)
+        """Simulated wall-clock time consumed so far.
+
+        The makespan over the worker lanes, merged with the shared
+        clock — which a gateway above this platform advances during
+        timeout waits and backoff sleeps, so retried questions are
+        timed too, not only first-attempt answers.
+        """
+        return self.clock.advance_to(max(self._lane_clocks))
 
     @property
     def elapsed_hours(self) -> float:
@@ -113,8 +168,40 @@ class TimedCrowd(CrowdPlatform):
         # Greedy assignment to the least-loaded worker lane.
         lane = min(range(self.parallelism),
                    key=lambda i: self._lane_clocks[i])
+        try:
+            answer = self._inner.ask(pair)
+        except CrowdError:
+            # The worker's time was spent even though no answer arrived;
+            # charge the lane and tally it as retry time so the money-time
+            # report reflects what failures cost.
+            self._lane_clocks[lane] += latency
+            self.retry_seconds += latency
+            self.clock.advance_to(max(self._lane_clocks))
+            raise
         self._lane_clocks[lane] += latency
-        return self._inner.ask(pair)
+        self.clock.advance_to(max(self._lane_clocks))
+        return answer
+
+    def state_dict(self) -> dict:
+        """Timing state for engine checkpoints (JSON-compatible)."""
+        state: dict = {
+            "rng": self._rng.bit_generator.state,
+            "lanes": list(self._lane_clocks),
+            "retry_seconds": self.retry_seconds,
+            "clock": self.clock.state_dict(),
+        }
+        if hasattr(self._inner, "state_dict"):
+            state["inner"] = self._inner.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore timing state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._lane_clocks = [float(v) for v in state["lanes"]]
+        self.retry_seconds = float(state["retry_seconds"])
+        self.clock.load_state(state["clock"])
+        if "inner" in state and hasattr(self._inner, "load_state"):
+            self._inner.load_state(state["inner"])
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,11 @@ from dataclasses import dataclass
 
 from ..config import CrowdConfig
 from ..data.pairs import Pair
-from ..exceptions import BudgetExhaustedError, CrowdError
+from ..exceptions import (
+    BudgetExhaustedError,
+    CrowdError,
+    CrowdUnavailableError,
+)
 from .aggregation import VoteScheme, aggregate
 from .base import CrowdPlatform
 from .cost import CostTracker
@@ -183,9 +187,19 @@ class LabelingService:
             to_label = uncached
             n_full = 1
         if to_label:
-            self.tracker.record_hits(max(n_full, 1))
-            for pair in to_label:
-                result[pair] = self._label_one(pair, scheme)
+            # HITs are metered *after* their questions are consumed, so
+            # a padded HIT that expires mid-flight and is reposted by the
+            # gateway is not double-charged here: the repost fee is the
+            # gateway's, and this charge always equals the questions the
+            # platform actually served (ceil over HIT size).
+            served = 0
+            try:
+                for pair in to_label:
+                    result[pair] = self._label_one(pair, scheme)
+                    served += 1
+            finally:
+                if served:
+                    self.tracker.record_hits(-(-served // per_hit))
         return result
 
     def label_all(self, pairs: Iterable[Pair],
@@ -198,16 +212,20 @@ class LabelingService:
         pairs = [Pair(*p) for p in pairs]
         result: dict[Pair, bool] = {}
         fresh = 0
-        for pair in pairs:
-            entry = self._cache.get(pair)
-            if entry is not None and _satisfies(entry, scheme):
-                result[pair] = entry.label
-            else:
-                result[pair] = self._label_one(pair, scheme)
-                fresh += 1
-        if fresh:
-            per_hit = self.config.questions_per_hit
-            self.tracker.record_hits(-(-fresh // per_hit))
+        try:
+            for pair in pairs:
+                entry = self._cache.get(pair)
+                if entry is not None and _satisfies(entry, scheme):
+                    result[pair] = entry.label
+                else:
+                    result[pair] = self._label_one(pair, scheme)
+                    fresh += 1
+        finally:
+            # Metered after consumption (like label_batch) so an aborted
+            # batch is charged only for questions actually served.
+            if fresh:
+                per_hit = self.config.questions_per_hit
+                self.tracker.record_hits(-(-fresh // per_hit))
         return result
 
     def _label_one(self, pair: Pair, scheme: VoteScheme) -> bool:
@@ -231,6 +249,14 @@ class LabelingService:
                 )
                 break
             except BudgetExhaustedError:
+                raise
+            except CrowdUnavailableError:
+                # The gateway's circuit is open: retrying here would just
+                # hammer a dead platform.  Pay for answers already served
+                # and let the engine degrade to its last checkpoint.
+                self.tracker.record_answers(
+                    counter.asked - consumed_before
+                )
                 raise
             except CrowdError:
                 # Workers who answered before the failure still get paid.

@@ -34,7 +34,11 @@ from .context import RNG_STREAMS, RunContext
 from .events import (
     EVENT_BUDGET_SPENT,
     EVENT_CHECKPOINT_WRITTEN,
+    EVENT_CIRCUIT_OPENED,
+    EVENT_FAULT_INJECTED,
+    EVENT_HIT_REPOSTED,
     EVENT_LABELS_PURCHASED,
+    EVENT_RETRY_SCHEDULED,
     EVENT_STAGE_FINISHED,
     EVENT_STAGE_STARTED,
     Event,
@@ -59,7 +63,11 @@ __all__ = [
     "Checkpointer",
     "EVENT_BUDGET_SPENT",
     "EVENT_CHECKPOINT_WRITTEN",
+    "EVENT_CIRCUIT_OPENED",
+    "EVENT_FAULT_INJECTED",
+    "EVENT_HIT_REPOSTED",
     "EVENT_LABELS_PURCHASED",
+    "EVENT_RETRY_SCHEDULED",
     "EVENT_STAGE_FINISHED",
     "EVENT_STAGE_STARTED",
     "Event",

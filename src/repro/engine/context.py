@@ -28,9 +28,19 @@ import numpy as np
 from ..config import CorleoneConfig
 from ..crowd.base import CrowdPlatform
 from ..crowd.cost import CostTracker
+from ..crowd.faults import FaultyCrowd
+from ..crowd.gateway import ResilientCrowd
 from ..crowd.service import LabelingService
 from ..core.budgeting import BudgetPlan, PhaseBudgetManager
-from .events import EVENT_BUDGET_SPENT, EVENT_LABELS_PURCHASED, EventBus
+from .events import (
+    EVENT_BUDGET_SPENT,
+    EVENT_CIRCUIT_OPENED,
+    EVENT_FAULT_INJECTED,
+    EVENT_HIT_REPOSTED,
+    EVENT_LABELS_PURCHASED,
+    EVENT_RETRY_SCHEDULED,
+    EventBus,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .state import RunState
@@ -87,6 +97,7 @@ class RunContext:
 
         self.service.on_label = self._emit_label
         self.tracker.on_spend = self._emit_spend
+        self._wire_platform(platform)
 
     # ------------------------------------------------------------------
     # RNG streams
@@ -160,3 +171,45 @@ class RunContext:
             dollars=round(float(dollars), 10),
             total_dollars=round(self.tracker.dollars, 10),
         )
+
+    def _wire_platform(self, platform: CrowdPlatform) -> None:
+        """Hook the robustness wrappers in the stack up to this run.
+
+        Walks the decorator stack: a
+        :class:`~repro.crowd.gateway.ResilientCrowd` is bound to the
+        run's cost tracker (reposted HITs are metered) and its
+        retry/repost/circuit hooks emit ``retry_scheduled`` /
+        ``hit_reposted`` / ``circuit_opened`` events; a
+        :class:`~repro.crowd.faults.FaultyCrowd` emits
+        ``fault_injected``.  Plain platforms pass through untouched.
+        """
+        node: Any = platform
+        while node is not None:
+            if isinstance(node, ResilientCrowd):
+                node.bind_tracker(self.tracker)
+                node.on_retry = self._emit_retry
+                node.on_repost = self._emit_repost
+                node.on_circuit_open = self._emit_circuit_open
+            if isinstance(node, FaultyCrowd):
+                node.on_fault = self._emit_fault
+            node = getattr(node, "_inner", None)
+
+    def _emit_fault(self, kind: str, pair) -> None:
+        """Forward one injected fault from a FaultyCrowd to the bus."""
+        self.bus.emit(EVENT_FAULT_INJECTED, kind=kind,
+                      pair=[pair.a_id, pair.b_id])
+
+    def _emit_retry(self, kind: str, attempt: int, delay: float) -> None:
+        """Forward one scheduled retry from the gateway to the bus."""
+        self.bus.emit(EVENT_RETRY_SCHEDULED, kind=kind,
+                      attempt=int(attempt),
+                      delay_seconds=round(float(delay), 6))
+
+    def _emit_repost(self, pair, attempt: int) -> None:
+        """Forward one HIT repost from the gateway to the bus."""
+        self.bus.emit(EVENT_HIT_REPOSTED, pair=[pair.a_id, pair.b_id],
+                      attempt=int(attempt))
+
+    def _emit_circuit_open(self, failures: int) -> None:
+        """Forward a circuit-breaker trip from the gateway to the bus."""
+        self.bus.emit(EVENT_CIRCUIT_OPENED, failures=int(failures))

@@ -23,6 +23,10 @@ EVENT_STAGE_FINISHED = "stage_finished"
 EVENT_LABELS_PURCHASED = "labels_purchased"
 EVENT_BUDGET_SPENT = "budget_spent"
 EVENT_CHECKPOINT_WRITTEN = "checkpoint_written"
+EVENT_FAULT_INJECTED = "fault_injected"
+EVENT_RETRY_SCHEDULED = "retry_scheduled"
+EVENT_HIT_REPOSTED = "hit_reposted"
+EVENT_CIRCUIT_OPENED = "circuit_opened"
 
 EVENT_NAMES = (
     EVENT_STAGE_STARTED,
@@ -30,6 +34,10 @@ EVENT_NAMES = (
     EVENT_LABELS_PURCHASED,
     EVENT_BUDGET_SPENT,
     EVENT_CHECKPOINT_WRITTEN,
+    EVENT_FAULT_INJECTED,
+    EVENT_RETRY_SCHEDULED,
+    EVENT_HIT_REPOSTED,
+    EVENT_CIRCUIT_OPENED,
 )
 """Every event name the engine emits, in rough lifecycle order."""
 
@@ -172,7 +180,13 @@ class ProgressReporter:
                 f"[{event.sequence}] checkpoint "
                 f"#{event.payload.get('index')} written"
             )
-        elif event.name == EVENT_BUDGET_SPENT:
-            pass  # per-answer spend is too fine-grained for progress output
+        elif event.name == EVENT_CIRCUIT_OPENED:
+            self._write(
+                f"[{event.sequence}] crowd circuit OPENED after "
+                f"{event.payload.get('failures')} consecutive failures"
+            )
+        elif event.name in (EVENT_BUDGET_SPENT, EVENT_FAULT_INJECTED,
+                            EVENT_RETRY_SCHEDULED, EVENT_HIT_REPOSTED):
+            pass  # per-answer noise, too fine-grained for progress output
         else:
             self._write(f"[{event.sequence}] {event.name}")

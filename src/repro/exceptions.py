@@ -37,6 +37,58 @@ class CrowdError(CorleoneError):
     """The crowd platform failed to answer a question batch."""
 
 
+class TransientCrowdError(CrowdError):
+    """A temporary platform failure that a retry may recover from.
+
+    Raised for the realistic microtask failure taxonomy
+    (:mod:`repro.crowd.faults`): platform outages, per-answer timeouts
+    and HIT expiry.  The resilient gateway
+    (:class:`repro.crowd.gateway.ResilientCrowd`) retries these with
+    capped exponential backoff; anything that escapes the gateway is no
+    longer transient from the caller's point of view.
+    """
+
+
+class AnswerTimeoutError(TransientCrowdError):
+    """No :class:`~repro.crowd.base.WorkerAnswer` arrived in time.
+
+    The question was posted but no worker answered within the deadline;
+    no answer was consumed (and none is charged).
+    """
+
+
+class HitExpiredError(TransientCrowdError):
+    """A posted HIT was abandoned by its worker or expired unanswered.
+
+    The gateway reacts by *reposting* the HIT (metered as a fresh HIT in
+    the cost tracker) rather than merely re-asking.
+    """
+
+
+class CrowdUnavailableError(CrowdError):
+    """The crowd platform is down and retrying is no longer useful.
+
+    Raised by the gateway when its circuit breaker opens after
+    ``failure_threshold`` consecutive platform failures.  The engine
+    degrades gracefully: the last stage-boundary checkpoint is already
+    on disk, so :meth:`repro.core.pipeline.Corleone.resume` can continue
+    the run (with a recovered platform) to a bit-identical result.
+    ``partial`` is attached by the pipeline when the error escapes a
+    checkpointed run, so callers can inspect how far the run got.
+    """
+
+    def __init__(self, failures: int,
+                 message: str | None = None) -> None:
+        super().__init__(
+            message if message is not None else
+            f"crowd platform unavailable: circuit opened after "
+            f"{failures} consecutive platform failures"
+        )
+        self.failures = failures
+        self.partial = None
+        """Set by the pipeline: the partial CorleoneResult at failure."""
+
+
 class BudgetExhaustedError(CrowdError):
     """The monetary budget for crowdsourcing has been exhausted.
 

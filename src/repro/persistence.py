@@ -20,6 +20,7 @@ from .config import (
     CrowdConfig,
     EstimatorConfig,
     ForestConfig,
+    GatewayConfig,
     LocatorConfig,
     MatcherConfig,
 )
@@ -242,6 +243,8 @@ def config_from_dict(data: dict[str, Any]) -> CorleoneConfig:
             estimator=EstimatorConfig(**data["estimator"]),
             locator=LocatorConfig(**data["locator"]),
             crowd=CrowdConfig(**data["crowd"]),
+            # Documents written before the gateway existed omit the key.
+            gateway=GatewayConfig(**data.get("gateway", {})),
             max_pipeline_iterations=data["max_pipeline_iterations"],
             budget=data["budget"],
             seed=data["seed"],
@@ -599,11 +602,17 @@ def iteration_record_from_dict(data: dict[str, Any],
 # Run reports
 # ----------------------------------------------------------------------
 
-def result_report(result: CorleoneResult) -> dict[str, Any]:
+def result_report(result: CorleoneResult,
+                  platform: Any = None) -> dict[str, Any]:
     """A machine-readable summary of a pipeline run.
 
     Predicted matches are included as sorted (a_id, b_id) pairs;
-    everything else is telemetry a monitoring system would want.
+    everything else is telemetry a monitoring system would want.  Pass
+    the run's platform stack to add a ``timing`` section: simulated
+    elapsed time plus the retry-time totals the gateway and the timed
+    wrapper accrued (timeout waits, backoff sleeps, worker time burned
+    by faults) — omitted when no wrapper in the stack tracks time, so
+    reports from plain platforms are unchanged.
     """
     report: dict[str, Any] = {
         "format": "corleone-report",
@@ -658,7 +667,51 @@ def result_report(result: CorleoneResult) -> dict[str, Any]:
             "eps_recall": result.estimate.eps_recall,
             "converged": result.estimate.converged,
         }
+    if platform is not None:
+        timing = platform_timing(platform)
+        if timing is not None:
+            report["timing"] = timing
     return report
+
+
+def platform_timing(platform: Any) -> dict[str, Any] | None:
+    """Timing telemetry scraped from a platform decorator stack.
+
+    Walks the ``_inner`` chain collecting whatever the wrappers expose:
+    ``elapsed_seconds``/``retry_seconds`` from
+    :class:`~repro.crowd.latency.TimedCrowd` and retry counters from
+    :class:`~repro.crowd.gateway.ResilientCrowd`.  Returns None when the
+    stack tracks no time at all (plain simulated platforms).
+    """
+    timing: dict[str, Any] = {}
+    retry_seconds = 0.0
+    saw_timer = False
+    node = platform
+    while node is not None:
+        if hasattr(node, "elapsed_seconds") and "elapsed_seconds" not in timing:
+            timing["elapsed_seconds"] = float(node.elapsed_seconds)
+            saw_timer = True
+        if hasattr(node, "retry_seconds"):
+            retry_seconds += float(node.retry_seconds)
+            saw_timer = True
+        for counter in ("retries_scheduled", "hits_reposted",
+                        "answers_recovered"):
+            if hasattr(node, counter) and counter not in timing:
+                timing[counter] = int(getattr(node, counter))
+        node = getattr(node, "_inner", None)
+    if not saw_timer:
+        return None
+    if "elapsed_seconds" not in timing:
+        # A gateway without a TimedCrowd below it still keeps a clock.
+        node = platform
+        while node is not None:
+            clock = getattr(node, "clock", None)
+            if clock is not None and hasattr(clock, "now"):
+                timing["elapsed_seconds"] = float(clock.now)
+                break
+            node = getattr(node, "_inner", None)
+    timing["retry_seconds"] = retry_seconds
+    return timing
 
 
 def save_report(result: CorleoneResult, path: str | Path) -> None:

@@ -494,6 +494,90 @@ class TestRngSharingRule:
         assert len(second.baselined_findings) == 1
 
 
+_SWALLOWED = (
+    "def fetch(platform, pair):\n"
+    "    try:\n"
+    "        return platform.submit(pair)\n"
+    "    except CrowdError:\n"
+    "        return None\n"
+)
+
+
+class TestSwallowedCrowdErrorRule:
+    def test_silent_handler_flagged(self, tmp_path):
+        report = check({"crowd/mod.py": _SWALLOWED}, tmp_path)
+        assert rule_ids(report) == {"CL008"}
+        assert len(report.new_findings) == 1
+
+    def test_reraise_ok(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except TransientCrowdError:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_conditional_raise_ok(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair, attempt, limit):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except TransientCrowdError as error:\n"
+            "        if attempt >= limit:\n"
+            "            raise CrowdUnavailableError(attempt) from error\n"
+            "        return None\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_emit_ok(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair, bus):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except CrowdError as error:\n"
+            "        bus.emit('fault_injected', kind=str(error))\n"
+            "        return None\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_budget_exhausted_exempt(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except BudgetExhaustedError:\n"
+            "        return None\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+    def test_tuple_clause_flagged(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except (ValueError, HitExpiredError):\n"
+            "        return None\n"
+        )}, tmp_path)
+        assert rule_ids(report) == {"CL008"}
+
+    def test_test_modules_exempt(self, tmp_path):
+        report = check({"test_mod.py": _SWALLOWED}, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({"crowd/mod.py": (
+            "def fetch(platform, pair):\n"
+            "    try:\n"
+            "        return platform.submit(pair)\n"
+            "    except CrowdError:  # corlint: disable=CL008\n"
+            "        return None\n"
+        )}, tmp_path)
+        assert report.new_findings == []
+
+
 # ----------------------------------------------------------------------
 # Baseline semantics
 # ----------------------------------------------------------------------
