@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke results examples clean
+.PHONY: install lint test bench bench-smoke trace-report results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,8 +19,10 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick substrate microbenches; refreshes the BENCH_substrates.json
-# baseline (scalar vs batched feature-evaluation throughput) and the
-# BENCH_engine.json baseline (checkpoint overhead, event throughput).
+# baseline (scalar vs batched feature-evaluation throughput), the
+# BENCH_engine.json baseline (checkpoint overhead, event throughput),
+# BENCH_faults.json (gateway overhead/recovery) and BENCH_obs.json
+# (run-telemetry instrumentation overhead).
 bench-smoke:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest \
@@ -30,6 +32,20 @@ bench-smoke:
 		--substrates benchmarks/results/substrates_benchmark.json
 	$(PYTHON) benchmarks/collect_results.py --engine
 	$(PYTHON) benchmarks/collect_results.py --faults
+	$(PYTHON) benchmarks/collect_results.py --obs
+
+# Render the obs report (docs/observability.md) for the newest run
+# directory under the repo — any directory holding a run.json; `make
+# bench-smoke` leaves one at benchmarks/results/obs_run.
+trace-report:
+	@run_dir=$$(find . -path ./.git -prune -o -name run.json \
+		-printf '%T@ %h\n' | sort -rn | head -1 | cut -d' ' -f2-); \
+	if [ -z "$$run_dir" ]; then \
+		echo "no run directories found — run 'make bench-smoke' first"; \
+		exit 1; \
+	fi; \
+	echo "== $$run_dir"; \
+	PYTHONPATH=src $(PYTHON) -m repro.obs report "$$run_dir"
 
 results: bench
 	$(PYTHON) benchmarks/collect_results.py

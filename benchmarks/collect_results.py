@@ -40,6 +40,17 @@ statistics of a full run at a 10% uniform fault rate, recorded as
 ``BENCH_faults.json`` plus a ``fault_gateway`` result table:
 
     python benchmarks/collect_results.py --faults
+
+A sixth mode measures the run-telemetry subsystem
+(docs/observability.md): wall-clock overhead of full instrumentation
+(metrics registry + span tracer + profiler) on a checkpointed run
+versus the same run with ``telemetry=False`` (acceptance bar < 5%),
+plus the artifact counts of the instrumented run, recorded as
+``BENCH_obs.json`` plus an ``obs_overhead`` result table.  The
+instrumented run directory is kept at ``benchmarks/results/obs_run``
+so ``make trace-report`` has a run to render:
+
+    python benchmarks/collect_results.py --obs
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ SUBSTRATES_OUTPUT = Path(__file__).parent / "BENCH_substrates.json"
 LINT_OUTPUT = Path(__file__).parent / "BENCH_lint.json"
 ENGINE_OUTPUT = Path(__file__).parent / "BENCH_engine.json"
 FAULTS_OUTPUT = Path(__file__).parent / "BENCH_faults.json"
+OBS_OUTPUT = Path(__file__).parent / "BENCH_obs.json"
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -87,6 +99,7 @@ ORDER = [
     "lint_findings",
     "engine_overhead",
     "fault_gateway",
+    "obs_overhead",
 ]
 
 
@@ -497,6 +510,140 @@ def collect_faults(output: Path | None = None, repeats: int = 3) -> dict:
     return payload
 
 
+def collect_obs(output: Path | None = None, repeats: int = 3) -> dict:
+    """Measure the run-telemetry subsystem's instrumentation overhead.
+
+    Runs the same seeded, checkpointed hands-off run ``repeats`` times
+    with ``telemetry=False`` and ``repeats`` times fully instrumented
+    (metric registry + span tracer + wall-clock profiler, see
+    docs/observability.md), then derives the instrumentation overhead
+    (acceptance bar < 5%) and the instrumented run's artifact counts.
+    The last instrumented run directory is preserved at
+    ``benchmarks/results/obs_run`` for ``make trace-report``.  Writes
+    ``BENCH_obs.json`` and an ``obs_overhead`` result table, and
+    returns the payload.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    import numpy as np
+
+    from repro.config import (
+        BlockerConfig,
+        CorleoneConfig,
+        EstimatorConfig,
+        ForestConfig,
+        LocatorConfig,
+        MatcherConfig,
+    )
+    from repro.core.pipeline import Corleone
+    from repro.crowd.simulated import SimulatedCrowd
+    from repro.synth.restaurants import generate_restaurants
+
+    dataset = generate_restaurants(n_a=120, n_b=90, n_matches=35, seed=7)
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=6000, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=15),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+    def run_once(run_dir: Path, telemetry: bool):
+        crowd = SimulatedCrowd(dataset.matches, error_rate=0.05,
+                               rng=np.random.default_rng(11))
+        pipeline = Corleone(config, crowd, seed=123, run_dir=run_dir,
+                            telemetry=telemetry)
+        started = time.perf_counter()
+        pipeline.run(dataset.table_a, dataset.table_b,
+                     dataset.seed_labels)
+        return time.perf_counter() - started, pipeline.bus.events_emitted
+
+    off_times: list[float] = []
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            off_times.append(run_once(Path(tmp) / "run", False)[0])
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    kept_run_dir = RESULTS_DIR / "obs_run"
+    on_times: list[float] = []
+    events = 0
+    for index in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            run_dir = Path(tmp) / "run"
+            elapsed, events = run_once(run_dir, True)
+            on_times.append(elapsed)
+            if index == repeats - 1:
+                if kept_run_dir.is_dir():
+                    shutil.rmtree(kept_run_dir)
+                shutil.copytree(run_dir, kept_run_dir)
+
+    metrics_doc = json.loads((kept_run_dir / "metrics.json").read_text())
+    spans = (kept_run_dir / "spans.jsonl").read_text().splitlines()
+    profile = json.loads((kept_run_dir / "profile.json").read_text())
+    checkpoint = json.loads((kept_run_dir / "checkpoint.json").read_text())
+
+    off = min(off_times)
+    on = min(on_times)
+    overhead = round(max(0.0, on - off) / off, 4)
+    payload = {
+        "run": {
+            "dataset": "restaurants 120x90",
+            "repeats": repeats,
+            "telemetry_off_seconds": round(off, 4),
+            "telemetry_on_seconds": round(on, 4),
+            "instrumentation_overhead_fraction": overhead,
+            "acceptance_bar_fraction": 0.05,
+            "within_bar": overhead < 0.05,
+        },
+        "artifacts": {
+            "run_dir": str(kept_run_dir.relative_to(ROOT)),
+            "events_emitted": events,
+            "metric_families": len(metrics_doc["metrics"]),
+            "spans_completed": len(spans),
+            "profile_sections": len(profile.get("sections", {})),
+            "checkpoints_written": checkpoint["index"] + 1,
+        },
+    }
+
+    target = output if output is not None else OBS_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} (instrumentation overhead "
+          f"{overhead:.1%}, kept {payload['artifacts']['run_dir']})")
+
+    run = payload["run"]
+    artifacts = payload["artifacts"]
+    table = (
+        "Run telemetry: instrumentation overhead "
+        f"({run['dataset']}, best of {repeats})\n"
+        "\n"
+        "metric                      value\n"
+        "--------------------------  ---------\n"
+        f"telemetry off               {run['telemetry_off_seconds']:.3f} s\n"
+        f"telemetry on                {run['telemetry_on_seconds']:.3f} s\n"
+        f"overhead                    "
+        f"{run['instrumentation_overhead_fraction']:.1%}"
+        f" (bar {run['acceptance_bar_fraction']:.0%}:"
+        f" {'ok' if run['within_bar'] else 'EXCEEDED'})\n"
+        f"events emitted              {artifacts['events_emitted']}\n"
+        f"metric families             {artifacts['metric_families']}\n"
+        f"spans completed             {artifacts['spans_completed']}\n"
+        f"profile sections            {artifacts['profile_sections']}\n"
+        f"checkpoints written         {artifacts['checkpoints_written']}\n"
+        f"run dir kept                {artifacts['run_dir']}\n"
+    )
+    (RESULTS_DIR / "obs_overhead.txt").write_text(table)
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -544,6 +691,13 @@ if __name__ == "__main__":
              "and its recovery statistics at 10%%, recording "
              "BENCH_faults.json instead of collecting RESULTS.md",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="measure run-telemetry instrumentation overhead (telemetry "
+             "on vs off), recording BENCH_obs.json and keeping an "
+             "instrumented run at benchmarks/results/obs_run instead of "
+             "collecting RESULTS.md",
+    )
     args = parser.parse_args()
     if args.substrates is not None:
         distill_substrates(args.substrates)
@@ -553,5 +707,7 @@ if __name__ == "__main__":
         collect_engine()
     elif args.faults:
         collect_faults()
+    elif args.obs:
+        collect_obs()
     else:
         main()

@@ -14,6 +14,7 @@ from .accounting import AccountingRule
 from .base import ModuleContext, ModuleRule, ProjectContext, ProjectRule, \
     Rule
 from .determinism import DeterminismRule
+from .events import EventRegistryRule
 from .hygiene import GenericHygieneRule
 from .kernel_parity import KernelParityRule
 from .numeric import NumericHygieneRule
@@ -30,6 +31,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     GenericHygieneRule,
     RngSharingRule,
     SwallowedCrowdErrorRule,
+    EventRegistryRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -48,6 +50,7 @@ __all__ = [
     "AccountingRule",
     "DEFAULT_RULE_CLASSES",
     "DeterminismRule",
+    "EventRegistryRule",
     "GenericHygieneRule",
     "KernelParityRule",
     "ModuleContext",

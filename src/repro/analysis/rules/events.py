@@ -1,0 +1,135 @@
+"""CL009 — event registry: every emitted event name is declared.
+
+The observability stack fans one :class:`~repro.engine.events.EventBus`
+out to the trace sink, the progress reporter and the metrics registry,
+and each consumer dispatches on the event *name*.  A typo'd name in an
+``emit`` call would silently fall through every dispatcher — the event
+lands in ``trace.jsonl`` but no metric moves and no report row shows
+it.  The registry tuple ``EVENT_NAMES`` in ``engine/events.py`` is the
+contract: this rule cross-checks that (a) every ``EVENT_*`` string
+constant defined in the registry module is listed in ``EVENT_NAMES``,
+and (b) every ``*.emit("literal", ...)`` call in the scanned sources
+uses a declared name.  Emits through an ``EVENT_*`` constant are the
+idiom and need no per-site check — the constant either is in the tuple
+or trips check (a).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ProjectContext, ProjectRule, is_test_module
+
+_REGISTRY_TUPLE = "EVENT_NAMES"
+_CONSTANT_PREFIX = "EVENT_"
+
+
+def _module_constants(tree: ast.Module) -> dict[str, tuple[ast.AST, str]]:
+    """Module-level ``NAME = "literal"``: name -> (target node, value)."""
+    out: dict[str, tuple[ast.AST, str]] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not (isinstance(value, ast.Constant)
+                and isinstance(value.value, str)):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = (target, value.value)
+    return out
+
+
+def _registry_tuple(tree: ast.Module) -> ast.Tuple | None:
+    """The tuple literal assigned to module-level ``EVENT_NAMES``."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id == _REGISTRY_TUPLE
+                    and isinstance(value, ast.Tuple)):
+                return value
+    return None
+
+
+class EventRegistryRule(ProjectRule):
+    """Cross-checks emitted event names against ``EVENT_NAMES``."""
+
+    rule_id = "CL009"
+    severity = Severity.ERROR
+    summary = ("every *.emit(\"name\") string literal must be listed in "
+               "the EVENT_NAMES registry tuple, and every EVENT_* string "
+               "constant in the registry module must be in EVENT_NAMES — "
+               "an undeclared name silently bypasses every dispatcher")
+
+    def check_project(self, modules: Sequence[SourceModule],
+                      ctx: ProjectContext) -> None:
+        """Resolve the registry, then audit constants and emit calls."""
+        registry = None
+        tuple_node: ast.Tuple | None = None
+        for module in modules:
+            tuple_node = _registry_tuple(module.tree)
+            if tuple_node is not None:
+                registry = module
+                break
+        if registry is None or tuple_node is None:
+            # The registry module was not part of the scan (e.g. a
+            # targeted run over one subpackage): nothing to check
+            # against, so stay silent rather than flagging every emit.
+            return
+
+        constants = _module_constants(registry.tree)
+        declared_names: set[str] = set()
+        declared_values: set[str] = set()
+        for element in tuple_node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str):
+                declared_values.add(element.value)
+            elif isinstance(element, ast.Name):
+                declared_names.add(element.id)
+                if element.id in constants:
+                    declared_values.add(constants[element.id][1])
+
+        for name, (target, _value) in sorted(constants.items()):
+            if (name.startswith(_CONSTANT_PREFIX)
+                    and name not in declared_names):
+                ctx.report(self, registry, target,
+                           f"event constant {name} is not listed in "
+                           f"{_REGISTRY_TUPLE}; consumers dispatching on "
+                           "the registry will never see this event")
+
+        for module in modules:
+            if is_test_module(module):
+                continue
+            self._check_emits(module, declared_values, ctx)
+
+    def _check_emits(self, module: SourceModule, declared_values: set[str],
+                     ctx: ProjectContext) -> None:
+        """Flag ``*.emit("literal")`` calls with undeclared names."""
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit" and node.args):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            if first.value in declared_values:
+                continue
+            ctx.report(self, module, first,
+                       f"emit with undeclared event name "
+                       f"{first.value!r}; add it to {_REGISTRY_TUPLE} in "
+                       "engine/events.py (and prefer emitting via the "
+                       "EVENT_* constant)")

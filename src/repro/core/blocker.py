@@ -29,6 +29,7 @@ from ..data.table import Table
 from ..features.batch import table_cache
 from ..features.library import FeatureLibrary
 from ..features.vectorize import vectorize_pairs
+from ..obs.profiling import profile_section
 from ..rules.evaluation import RuleEvaluation, evaluate_rules
 from ..rules.extraction import extract_negative_rules
 from ..rules.rule import Rule
@@ -358,24 +359,27 @@ def apply_rules_streaming(table_a: Table, table_b: Table,
     def flush() -> None:
         if not chunk:
             return
-        records_a = [table_a[pair.a_id] for pair in chunk]
-        records_b = [table_b[pair.b_id] for pair in chunk]
-        # Fill only the needed columns of a full-width matrix so predicate
-        # indices line up; the rest stays NaN and is never read.
-        matrix = np.full((len(chunk), width), np.nan)
-        for index, feature in zip(needed, needed_features):
-            matrix[:, index] = feature.batch_value(
-                records_a, records_b, cache_a, cache_b
+        with profile_section("blocker.stream_flush"):
+            records_a = [table_a[pair.a_id] for pair in chunk]
+            records_b = [table_b[pair.b_id] for pair in chunk]
+            # Fill only the needed columns of a full-width matrix so
+            # predicate indices line up; the rest stays NaN and is never
+            # read.
+            matrix = np.full((len(chunk), width), np.nan)
+            for index, feature in zip(needed, needed_features):
+                matrix[:, index] = feature.batch_value(
+                    records_a, records_b, cache_a, cache_b
+                )
+            blocked = np.zeros(len(chunk), dtype=bool)
+            for rule in rules:
+                blocked |= rule.applies(matrix)
+                if blocked.all():
+                    break
+            survivors.extend(
+                pair for pair, is_blocked in zip(chunk, blocked)
+                if not is_blocked
             )
-        blocked = np.zeros(len(chunk), dtype=bool)
-        for rule in rules:
-            blocked |= rule.applies(matrix)
-            if blocked.all():
-                break
-        survivors.extend(
-            pair for pair, is_blocked in zip(chunk, blocked) if not is_blocked
-        )
-        chunk.clear()
+            chunk.clear()
 
     for pair in iter_cartesian(table_a, table_b):
         chunk.append(pair)

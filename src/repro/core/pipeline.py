@@ -82,11 +82,13 @@ class Corleone:
                  rng: np.random.Generator | None = None,
                  seed: int | np.random.SeedSequence | None = None,
                  run_dir: str | Path | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 telemetry: bool = True) -> None:
         self.config = config
         self.platform = platform
         self.run_dir = Path(run_dir) if run_dir is not None else None
-        self._ctx = RunContext(config, platform, seed=seed, rng=rng, bus=bus)
+        self._ctx = RunContext(config, platform, seed=seed, rng=rng,
+                               bus=bus, telemetry=telemetry)
         self.service = self._ctx.service
         self.tracker = self._ctx.tracker
         self.bus = self._ctx.bus
@@ -171,6 +173,9 @@ class Corleone:
             ctx.manager.load_state(checkpoint["manager"])
         ctx.service.restore_cache(checkpoint["service_cache"])
         ctx.restore_rng_states(checkpoint["rng"])
+        telemetry_state = checkpoint.get("telemetry")
+        if ctx.telemetry is not None and telemetry_state is not None:
+            ctx.telemetry.load_state(telemetry_state)
         if (checkpoint["platform"] is not None
                 and hasattr(platform, "load_state")):
             platform.load_state(checkpoint["platform"])
@@ -213,6 +218,13 @@ class Corleone:
             if sink is not None:
                 ctx.bus.unsubscribe(sink)
                 sink.close()
+            if checkpointer is not None and ctx.telemetry is not None:
+                # Final telemetry artifacts: the metric snapshot and
+                # span tree (deterministic) plus the wall-clock profile
+                # (explicitly not) land next to trace.jsonl even when
+                # the run aborted mid-stage.
+                ctx.telemetry.export(checkpointer.run_dir,
+                                     include_profile=True)
             ctx.checkpoint = None
         return state.to_result(ctx.tracker)
 

@@ -50,6 +50,9 @@ class CostTracker:
         """Optional observer called as ``on_spend(answers, dollars)``
         after every paid batch of answers (the engine's ``budget_spent``
         event hook)."""
+        self.on_hits: Callable[[int], None] | None = None
+        """Optional observer called as ``on_hits(n_hits)`` after HITs
+        are metered (the telemetry layer's HITs-posted counter)."""
 
     @property
     def dollars(self) -> float:
@@ -92,6 +95,8 @@ class CostTracker:
     def record_hits(self, n_hits: int) -> None:
         """Record that ``n_hits`` HITs were posted to the platform."""
         self._hits += n_hits
+        if self.on_hits is not None and n_hits:
+            self.on_hits(n_hits)
 
     def snapshot(self) -> CostSnapshot:
         """Capture the current totals (for per-step cost attribution)."""

@@ -15,7 +15,13 @@ A run directory has a fixed layout:
   answer-stream state and every RNG stream's bit-generator state;
 * ``trace.jsonl`` — the structured event trace (append-only; a resumed
   run appends its tail again, so duplicate sequence numbers mark where
-  a crash was resumed from).
+  a crash was resumed from);
+* ``metrics.json`` / ``spans.jsonl`` — the telemetry layer's metric
+  snapshot and span tree (``docs/observability.md``), *rewritten* from
+  checkpointed telemetry state at every write so a resumed run's final
+  files are byte-identical to the uninterrupted run's;
+* ``profile.json`` — wall-clock hot-path profile, written once at run
+  end and deliberately non-deterministic.
 
 Everything is plain JSON (candidates aside) — no pickling, so run
 directories are inspectable and portable.
@@ -112,12 +118,19 @@ class Checkpointer:
                         if ctx.manager is not None else None),
             "platform": platform_state,
             "rng": ctx.rng_states(),
+            "telemetry": (ctx.telemetry.state_dict()
+                          if ctx.telemetry is not None else None),
         }
         tmp = self.run_dir / (CHECKPOINT_FILE + ".tmp")
         tmp.write_text(json.dumps(document))
         os.replace(tmp, self.run_dir / CHECKPOINT_FILE)
         self._next_index += 1
         self.checkpoints_written += 1
+        if ctx.telemetry is not None:
+            # Telemetry artifacts are rewritten (not appended) from the
+            # just-persisted state: a later resume regenerates the same
+            # files byte for byte.
+            ctx.telemetry.export(self.run_dir)
         return document["index"]
 
 

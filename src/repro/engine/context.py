@@ -14,7 +14,12 @@ the stages share:
   ``labels_purchased`` / ``budget_spent`` events on the bus;
 * the optional :class:`~repro.core.budgeting.PhaseBudgetManager`;
 * the :class:`~repro.engine.events.EventBus` and, when checkpointing is
-  enabled, the engine's checkpoint callback.
+  enabled, the engine's checkpoint callback;
+* the run's :class:`~repro.obs.telemetry.RunTelemetry` (metrics
+  registry, span tracer, wall-clock profiler), subscribed to the bus
+  and sharing the platform stack's simulated clock — pass
+  ``telemetry=False`` to run without instrumentation (the overhead
+  benchmark's baseline).
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from ..config import CorleoneConfig
 from ..crowd.base import CrowdPlatform
 from ..crowd.cost import CostTracker
 from ..crowd.faults import FaultyCrowd
-from ..crowd.gateway import ResilientCrowd
+from ..crowd.gateway import ResilientCrowd, find_clock
 from ..crowd.service import LabelingService
 from ..core.budgeting import BudgetPlan, PhaseBudgetManager
 from .events import (
@@ -67,7 +72,8 @@ class RunContext:
                  seed: int | np.random.SeedSequence | None = None,
                  rng: np.random.Generator | None = None,
                  budget_plan: BudgetPlan | None = None,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 telemetry: bool = True) -> None:
         self.config = config
         self.platform = platform
         self.bus = bus if bus is not None else EventBus()
@@ -94,6 +100,17 @@ class RunContext:
         """Set by the engine when a run directory is configured; stages
         call it to persist the run state mid-stage (e.g. after every
         matcher iteration)."""
+
+        self.telemetry = None
+        if telemetry:
+            # Imported lazily: obs.telemetry pulls in engine.events, so
+            # a module-level import would be circular during package
+            # initialization.
+            from ..obs.telemetry import RunTelemetry
+            self.telemetry = RunTelemetry(clock=find_clock(platform))
+            self.bus.subscribe(self.telemetry.on_event)
+            self.telemetry.record_budget(config.budget)
+            self.tracker.on_hits = self.telemetry.record_hits
 
         self.service.on_label = self._emit_label
         self.tracker.on_spend = self._emit_spend
@@ -148,6 +165,16 @@ class RunContext:
         if self.manager is None or name is None:
             return nullcontext()
         return self.manager.phase(name)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager opening a telemetry span (or a no-op)."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.tracer.span(name, **attrs)
 
     # ------------------------------------------------------------------
     # Event wiring

@@ -46,7 +46,15 @@ class StagedEngine:
             ctx.checkpoint = self._write_checkpoint
 
     def _write_checkpoint(self, state: RunState) -> None:
-        """Persist the state, then announce it on the bus."""
+        """Persist the state, then announce it on the bus.
+
+        The telemetry checkpoint counter increments *before* the write
+        so the count rides inside the checkpoint document itself — a
+        run killed at this exact checkpoint then resumes with the same
+        count the uninterrupted run carries in memory.
+        """
+        if self.ctx.telemetry is not None:
+            self.ctx.telemetry.record_checkpoint()
         index = self.checkpointer.write(state, self.ctx)
         self.ctx.bus.emit(
             EVENT_CHECKPOINT_WRITTEN,
@@ -60,24 +68,50 @@ class StagedEngine:
 
         A :class:`~repro.exceptions.BudgetExhaustedError` escaping a
         stage propagates to the caller with the partial state intact.
+
+        For the run's duration the context's telemetry (if any) is
+        *activated*: ambient hot-path hooks and the wall-clock profiler
+        report to it, a root ``run`` span brackets the whole run and
+        each stage executes inside its own ``stage`` span.  A stage
+        that raises leaves its span open; the span then simply never
+        reaches ``spans.jsonl`` (the tracer serializes completed spans
+        only), and a resumed run re-opens it afresh.
         """
-        while state.next_stage is not None:
-            stage = self.stages[state.next_stage]
-            self.ctx.bus.emit(
-                EVENT_STAGE_STARTED,
-                stage=stage.name,
-                iteration=state.iteration,
-            )
-            with self.ctx.phase(stage.phase):
-                next_name = stage.run(state, self.ctx)
-            state.next_stage = next_name
-            self.ctx.bus.emit(
-                EVENT_STAGE_FINISHED,
-                stage=stage.name,
-                iteration=state.iteration,
-                next_stage=next_name,
-                dollars=round(self.ctx.tracker.dollars, 10),
-            )
-            if self.checkpointer is not None:
-                self._write_checkpoint(state)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            telemetry.activate()
+            telemetry.open_run_span(state.mode)
+        try:
+            while state.next_stage is not None:
+                stage = self.stages[state.next_stage]
+                span_id = (telemetry.start_stage_span(
+                    stage.name, state.iteration)
+                    if telemetry is not None else None)
+                self.ctx.bus.emit(
+                    EVENT_STAGE_STARTED,
+                    stage=stage.name,
+                    iteration=state.iteration,
+                )
+                with self.ctx.phase(stage.phase):
+                    next_name = stage.run(state, self.ctx)
+                state.next_stage = next_name
+                self.ctx.bus.emit(
+                    EVENT_STAGE_FINISHED,
+                    stage=stage.name,
+                    iteration=state.iteration,
+                    next_stage=next_name,
+                    dollars=round(self.ctx.tracker.dollars, 10),
+                )
+                if telemetry is not None:
+                    telemetry.tracer.end(span_id)
+                    if next_name is None:
+                        # Close the root span before the final
+                        # checkpoint so the completed run rides into
+                        # the persisted telemetry state.
+                        telemetry.close_run_span()
+                if self.checkpointer is not None:
+                    self._write_checkpoint(state)
+        finally:
+            if telemetry is not None:
+                telemetry.deactivate()
         return state

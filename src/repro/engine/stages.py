@@ -42,13 +42,17 @@ class BlockStage:
     def run(self, state: RunState, ctx: RunContext) -> str | None:
         """Block, vectorize, and set up the first working set."""
         blocker = Blocker(ctx.config, ctx.service, ctx.rng("blocker"))
-        result = blocker.run(state.table_a, state.table_b, state.library,
-                             state.seed_labels)
+        with ctx.span("section", section="blocker.run"):
+            result = blocker.run(state.table_a, state.table_b,
+                                 state.library, state.seed_labels)
         state.blocker = result
-        candidates = vectorize_pairs(
-            state.table_a, state.table_b, result.candidate_pairs,
-            state.library,
-        )
+        if ctx.telemetry is not None:
+            ctx.telemetry.record_blocker_result(result)
+        with ctx.span("section", section="vectorize_candidates"):
+            candidates = vectorize_pairs(
+                state.table_a, state.table_b, result.candidate_pairs,
+                state.library,
+            )
         state.candidates = candidates
         if len(candidates) == 0:
             state.stop_reason = "empty_candidate_set"
@@ -68,7 +72,13 @@ class TrainMatcherStage:
     phase = "matching"
 
     def run(self, state: RunState, ctx: RunContext) -> str | None:
-        """Train (or resume training) the iteration's matcher."""
+        """Train (or resume training) the iteration's matcher.
+
+        The engine drives the matcher's stepwise API directly (rather
+        than :meth:`~repro.core.matcher.ActiveLearningMatcher.train`) so
+        each active-learning iteration runs inside its own telemetry
+        span and checkpoints at the same boundary the span closes on.
+        """
         working = state.working_set()
         matcher = ActiveLearningMatcher(ctx.config, ctx.service,
                                         ctx.rng("matcher"))
@@ -80,6 +90,8 @@ class TrainMatcherStage:
             for pair, label in ctx.service.labeled_pairs().items()
             if pair in working
         }
+        if ctx.telemetry is not None:
+            ctx.telemetry.record_working_set(len(working))
         # Seed pairs may sit outside the umbrella set; vectorize them
         # separately so every matcher still trains on them.
         seed_items = sorted(state.seed_labels.items())
@@ -89,17 +101,21 @@ class TrainMatcherStage:
         ).features
         seed_flags = np.array([label for _, label in seed_items], dtype=bool)
 
-        def record_progress(train_state: MatcherTrainState) -> None:
-            """Checkpoint after every completed training iteration."""
+        train_state: MatcherTrainState | None = state.matcher_state
+        if train_state is None:
+            train_state = matcher.start(working, initial)
+        while not matcher.train_finished(train_state):
+            with ctx.span("matcher_iteration",
+                          iteration=state.iteration,
+                          al_step=len(train_state.forests) + 1):
+                matcher.step(train_state, working,
+                             seed_vectors, seed_flags)
+            if ctx.telemetry is not None:
+                ctx.telemetry.record_matcher_iteration()
             state.matcher_state = train_state
             if ctx.checkpoint is not None:
                 ctx.checkpoint(state)
-
-        matcher_result = matcher.train(
-            working, initial,
-            extra_vectors=seed_vectors, extra_labels=seed_flags,
-            state=state.matcher_state, on_iteration=record_progress,
-        )
+        matcher_result = matcher.finish(train_state, working)
         state.matcher_state = None
 
         for row, pair in enumerate(working.pairs):
@@ -162,6 +178,8 @@ class EstimateStage:
         state.best_f1 = estimate.f1
         state.best_predictions = record.predicted_pairs
         state.best_estimate = estimate
+        if ctx.telemetry is not None:
+            ctx.telemetry.record_best_f1(estimate.f1)
 
         if state.mode == "one_iteration":
             state.stop_reason = "one_iteration_mode"

@@ -19,6 +19,7 @@ import numpy as np
 from ..data.pairs import CandidateSet, Pair
 from ..data.table import Table
 from ..exceptions import DataError
+from ..obs.profiling import profile_section
 from .batch import table_cache
 from .library import FeatureLibrary
 
@@ -49,12 +50,13 @@ def vectorize_pairs(table_a: Table, table_b: Table, pairs: Sequence[Pair],
                 matrix[row, col] = feature.value(record_a, record_b)
         return CandidateSet(list(pairs), matrix, library.names)
 
-    records_a = [table_a[pair.a_id] for pair in pairs]
-    records_b = [table_b[pair.b_id] for pair in pairs]
-    cache_a = table_cache(table_a)
-    cache_b = table_cache(table_b)
-    for col, feature in enumerate(library):
-        matrix[:, col] = feature.batch_value(
-            records_a, records_b, cache_a, cache_b
-        )
+    with profile_section("features.vectorize_pairs"):
+        records_a = [table_a[pair.a_id] for pair in pairs]
+        records_b = [table_b[pair.b_id] for pair in pairs]
+        cache_a = table_cache(table_a)
+        cache_b = table_cache(table_b)
+        for col, feature in enumerate(library):
+            matrix[:, col] = feature.batch_value(
+                records_a, records_b, cache_a, cache_b
+            )
     return CandidateSet(list(pairs), matrix, library.names)

@@ -15,6 +15,8 @@ import numpy as np
 
 from ..config import ForestConfig
 from ..exceptions import DataError
+from ..obs import hooks
+from ..obs.profiling import profile_section
 from .tree import DecisionTree, TreePath
 
 
@@ -147,26 +149,30 @@ def train_forest(x: np.ndarray, y: np.ndarray, config: ForestConfig,
     negatives = np.flatnonzero(~y)
 
     trees = []
-    for _ in range(config.n_trees):
-        rows = rng.choice(n, size=portion, replace=False)
-        # Guarantee class coverage: a single-class portion would yield a
-        # stump that never splits, wasting the tree.  The negative
-        # injection must not reuse the slot a positive was just placed
-        # in, or it would undo that injection (the portion==1 case).
-        injected: int | None = None
-        if positives.size and not y[rows].any():
-            injected = int(rng.integers(rows.size))
-            rows[injected] = rng.choice(positives)
-        if negatives.size and y[rows].all():
-            slots = [i for i in range(rows.size) if i != injected]
-            if slots:
-                rows[slots[rng.integers(len(slots))]] = rng.choice(negatives)
-        tree = DecisionTree(
-            max_depth=config.max_depth,
-            min_samples_split=config.min_samples_split,
-            min_samples_leaf=config.min_samples_leaf,
-            max_features=max_features,
-        )
-        tree.fit(x[rows], y[rows], rng=rng)
-        trees.append(tree)
+    with profile_section("forest.train_forest"):
+        for _ in range(config.n_trees):
+            rows = rng.choice(n, size=portion, replace=False)
+            # Guarantee class coverage: a single-class portion would
+            # yield a stump that never splits, wasting the tree.  The
+            # negative injection must not reuse the slot a positive was
+            # just placed in, or it would undo that injection (the
+            # portion==1 case).
+            injected: int | None = None
+            if positives.size and not y[rows].any():
+                injected = int(rng.integers(rows.size))
+                rows[injected] = rng.choice(positives)
+            if negatives.size and y[rows].all():
+                slots = [i for i in range(rows.size) if i != injected]
+                if slots:
+                    rows[slots[rng.integers(len(slots))]] = (
+                        rng.choice(negatives))
+            tree = DecisionTree(
+                max_depth=config.max_depth,
+                min_samples_split=config.min_samples_split,
+                min_samples_leaf=config.min_samples_leaf,
+                max_features=max_features,
+            )
+            tree.fit(x[rows], y[rows], rng=rng)
+            trees.append(tree)
+    hooks.record_trees_trained(len(trees))
     return RandomForest(trees)

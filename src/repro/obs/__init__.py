@@ -1,0 +1,44 @@
+"""Run telemetry: metrics, spans, wall-clock profiles, run inspection.
+
+The observability layer of the staged engine (``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — counters, gauges and fixed-bucket
+  histograms with deterministic JSON snapshots;
+* :mod:`repro.obs.spans` — nested spans on the shared simulated clock,
+  written as ``spans.jsonl`` and bit-identical across seeded replays
+  and kill/resume;
+* :mod:`repro.obs.profiling` — the one wall-clock instrument, dumped
+  to ``profile.json`` and excluded from every deterministic artifact;
+* :mod:`repro.obs.hooks` — ambient hooks the algorithmic hot paths
+  report through without ever seeing a run context;
+* :mod:`repro.obs.telemetry` — the per-run binder feeding metrics from
+  the event bus and direct instrumentation;
+* :mod:`repro.obs.prometheus` — text-exposition rendering;
+* :mod:`repro.obs.report` — the ``python -m repro.obs report`` tables;
+* :mod:`repro.obs.timing` — the single platform-timing scraper behind
+  every ``timing`` report section.
+
+This package namespace re-exports only the engine-independent pieces:
+:mod:`~repro.obs.telemetry` and :mod:`~repro.obs.report` import engine
+modules and are imported lazily by their users (the run context, the
+CLI) to keep package initialization cycle-free — import them by their
+full dotted path.
+"""
+
+from .prometheus import render_prometheus
+from .profiling import PROFILE_FILE, Profiler, profile_section
+from .registry import MetricsRegistry
+from .spans import SPANS_FILE, SpanTracer, read_spans
+from .timing import platform_timing
+
+__all__ = [
+    "MetricsRegistry",
+    "PROFILE_FILE",
+    "Profiler",
+    "SPANS_FILE",
+    "SpanTracer",
+    "platform_timing",
+    "profile_section",
+    "read_spans",
+    "render_prometheus",
+]

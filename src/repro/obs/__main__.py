@@ -1,0 +1,59 @@
+"""Command-line run inspection: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``report <run_dir>`` — render the per-stage time/cost/label/fault
+  tables and the budget-burn summary from a run directory's artifacts;
+* ``prom <run_dir>`` — render the run's ``metrics.json`` in Prometheus
+  text-exposition format (what a scrape endpoint would serve).
+
+Both read only the run directory (JSON + JSONL) and need nothing
+beyond the standard library at inspection time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .prometheus import render_prometheus
+from .report import render_report
+from .telemetry import METRICS_FILE
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect a Corleone run directory's telemetry.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report", help="render the run-inspection tables")
+    report.add_argument("run_dir", help="a checkpointed run directory")
+    prom = commands.add_parser(
+        "prom", help="render metrics.json as Prometheus text exposition")
+    prom.add_argument("run_dir", help="a checkpointed run directory")
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"error: {run_dir} is not a directory", file=sys.stderr)
+        return 2
+    if args.command == "report":
+        sys.stdout.write(render_report(run_dir))
+        return 0
+    metrics_path = run_dir / METRICS_FILE
+    if not metrics_path.is_file():
+        print(f"error: {metrics_path} not found (telemetry disabled?)",
+              file=sys.stderr)
+        return 2
+    document = json.loads(metrics_path.read_text())
+    sys.stdout.write(render_prometheus(document["metrics"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Ambient telemetry hooks for code that never sees a ``RunContext``.
+
+The deepest hot paths — forest training, the matcher's entropy pooling
+— run several layers below the engine and are also used standalone (the
+blocker trains forests long before any stage machinery exists).
+Threading a context through every signature would couple the
+algorithmic core to the engine, so instead the engine *activates* a
+:class:`~repro.obs.telemetry.RunTelemetry` for the duration of a run
+and the hot paths report through the module-level functions here.  With
+nothing active every hook is a constant-time no-op, so library users
+pay nothing.
+
+Activation is a stack (nested runs, e.g. the multi-task runner, each
+see their own telemetry); hooks report to the innermost activation
+only.  Because activation is scoped to ``StagedEngine.run`` and resumed
+runs re-execute from a checkpoint that already carries the metric
+state, hook-fed metrics stay deterministic across kill/resume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .telemetry import RunTelemetry
+
+_ACTIVE: list["RunTelemetry"] = []
+
+
+def activate(telemetry: "RunTelemetry") -> None:
+    """Route subsequent hook calls to ``telemetry``."""
+    _ACTIVE.append(telemetry)
+
+
+def deactivate(telemetry: "RunTelemetry") -> None:
+    """Stop routing hook calls to ``telemetry`` (no-op if inactive)."""
+    if telemetry in _ACTIVE:
+        _ACTIVE.remove(telemetry)
+
+
+def active() -> "RunTelemetry | None":
+    """The innermost active telemetry, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def record_trees_trained(n_trees: int) -> None:
+    """Report ``n_trees`` freshly trained decision trees."""
+    if _ACTIVE:
+        _ACTIVE[-1].record_trees_trained(n_trees)
+
+
+def record_entropy_pool(size: int) -> None:
+    """Report the size of one active-learning entropy pool."""
+    if _ACTIVE:
+        _ACTIVE[-1].record_entropy_pool(size)

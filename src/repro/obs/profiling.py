@@ -1,0 +1,98 @@
+"""Wall-clock profiling hooks for the hot paths — NOT deterministic.
+
+Everything else in :mod:`repro.obs` is simulated-time and bit-identical
+across replays; this module is the one sanctioned exception.  It
+measures *real* wall time (``time.perf_counter``) around the hot
+sections — the batched feature kernels, forest training, the blocker's
+streaming flush — and dumps the totals to ``profile.json``.  Profiles
+are therefore excluded from traces, spans, metrics and checkpoints, and
+``profile.json`` carries an explicit ``deterministic: false`` marker so
+no tooling ever diffs it across runs.
+
+Most of the hot paths live inside corlint CL001's wall-clock-free zone
+(``core/``, ``forest/``, ``crowd/``, ``rules/``), so they must not
+read clocks directly; instead they call :func:`profile_section`, which
+is a near-no-op unless a profiler has been activated (the engine
+activates one for the duration of a run).  The clock reads happen
+here, in ``obs/``, outside CL001's scope — by design, not by loophole:
+the measurements never feed back into any algorithmic decision.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+PROFILE_FILE = "profile.json"
+
+_ACTIVE: list["Profiler"] = []
+"""The activation stack; :func:`profile_section` reports to the top."""
+
+
+class Profiler:
+    """Accumulates wall-clock call counts and seconds per section."""
+
+    def __init__(self) -> None:
+        self.sections: dict[str, dict[str, float]] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call to section ``name``."""
+        entry = self.sections.setdefault(name,
+                                         {"calls": 0, "seconds": 0.0})
+        entry["calls"] += 1
+        entry["seconds"] += seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """The profile document written to ``profile.json``."""
+        return {
+            "format": "corleone-profile",
+            "deterministic": False,
+            "note": ("wall-clock seconds; varies run to run and is "
+                     "excluded from traces, spans and checkpoints"),
+            "sections": {
+                name: {"calls": int(entry["calls"]),
+                       "seconds": round(entry["seconds"], 6)}
+                for name, entry in sorted(self.sections.items())
+            },
+        }
+
+    def write(self, path: str | Path) -> None:
+        """Atomically write the profile document."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2,
+                                  sort_keys=True))
+        os.replace(tmp, path)
+
+
+def activate(profiler: Profiler) -> None:
+    """Make ``profiler`` the target of :func:`profile_section`."""
+    _ACTIVE.append(profiler)
+
+
+def deactivate(profiler: Profiler) -> None:
+    """Remove ``profiler`` from the activation stack (no-op if absent)."""
+    if profiler in _ACTIVE:
+        _ACTIVE.remove(profiler)
+
+
+@contextmanager
+def profile_section(name: str):
+    """Time a hot-path section on the active profiler (if any).
+
+    With no active profiler this is a cheap pass-through, so the hot
+    paths can keep the call unconditionally.
+    """
+    if not _ACTIVE:
+        yield
+        return
+    profiler = _ACTIVE[-1]
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.record(name, time.perf_counter() - started)

@@ -1,0 +1,74 @@
+"""Prometheus text-exposition rendering for metric snapshots.
+
+Renders the output of :meth:`repro.obs.registry.MetricsRegistry.snapshot`
+(or a ``metrics.json`` document loaded from a run directory) in the
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` headers followed by one sample line per series,
+with histogram families expanded into cumulative ``_bucket`` samples
+plus ``_sum`` and ``_count``.  The rendering is a pure function of the
+snapshot, so it shares the snapshot's determinism guarantees and is
+covered by a golden test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _escape(value: str) -> str:
+    """Escape one label value per the exposition format rules."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _label_block(labels: dict[str, str],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """Render ``{a="x",b="y"}`` (empty string when no labels)."""
+    items = [*labels.items(), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{_escape(str(value))}"'
+                    for name, value in items)
+    return "{" + body + "}"
+
+
+def _format_number(value: int | float) -> str:
+    """Render one sample value (ints without a decimal point)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """The snapshot as Prometheus text exposition (one big string)."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if family["type"] == "histogram":
+                for bucket in series["buckets"]:
+                    block = _label_block(labels,
+                                         extra=(("le", bucket["le"]),))
+                    lines.append(
+                        f"{name}_bucket{block} {bucket['count']}"
+                    )
+                block = _label_block(labels)
+                lines.append(
+                    f"{name}_sum{block} {_format_number(series['sum'])}"
+                )
+                lines.append(f"{name}_count{block} {series['count']}")
+            else:
+                block = _label_block(labels)
+                lines.append(
+                    f"{name}{block} {_format_number(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

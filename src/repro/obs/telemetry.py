@@ -1,0 +1,325 @@
+"""Run telemetry: one object binding registry, tracer and profiler.
+
+A :class:`RunTelemetry` is created per :class:`~repro.engine.context.
+RunContext` and aggregates three instruments:
+
+* the **metrics registry** (:mod:`repro.obs.registry`) with the full
+  metric catalog pre-registered — the snapshot's shape is fixed up
+  front, which is what makes ``metrics.json`` diffable across runs;
+* the **span tracer** (:mod:`repro.obs.spans`) on the platform stack's
+  shared simulated clock;
+* the **wall-clock profiler** (:mod:`repro.obs.profiling`) — the one
+  deliberately non-deterministic instrument, kept out of checkpoints.
+
+Metrics are fed two ways: the telemetry subscribes to the engine's
+:class:`~repro.engine.events.EventBus` (labels, spend, faults, retries,
+reposts, circuit trips) and takes direct calls for figures that never
+cross the bus or that resume would double-count off the bus (HITs
+posted, stage runs, blocking-rule coverage, trees trained,
+entropy-pool sizes).  ``checkpoint_written`` events are
+deliberately *ignored*: the checkpoint counter must increment before
+the checkpoint document is serialized (see
+:meth:`RunTelemetry.record_checkpoint`), or a run killed at a
+checkpoint would resume with one count fewer than the uninterrupted
+run and break the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..engine.events import (
+    EVENT_BUDGET_SPENT,
+    EVENT_CIRCUIT_OPENED,
+    EVENT_FAULT_INJECTED,
+    EVENT_HIT_REPOSTED,
+    EVENT_LABELS_PURCHASED,
+    EVENT_RETRY_SCHEDULED,
+    Event,
+)
+from . import hooks, profiling
+from .registry import MetricsRegistry
+from .spans import SPANS_FILE, SpanTracer
+from .timing import platform_timing
+
+METRICS_FILE = "metrics.json"
+METRICS_FORMAT = "corleone-metrics"
+METRICS_VERSION = 1
+
+ENTROPY_POOL_BUCKETS = (5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+RULE_COVERAGE_BUCKETS = (10.0, 100.0, 1000.0, 10000.0, 100000.0)
+RETRY_DELAY_BUCKETS = (0.5, 1.0, 2.0, 5.0, 15.0, 60.0)
+
+
+def build_catalog(registry: MetricsRegistry) -> None:
+    """Pre-register the full metric catalog on ``registry``.
+
+    Registering everything up front (rather than on first touch) fixes
+    the snapshot's key set for every run, so an idle counter shows up
+    as an empty family instead of silently vanishing.
+    """
+    registry.counter(
+        "corleone_labels_purchased_total",
+        "Distinct pairs labelled by the crowd, by vote strength.",
+        label_names=("strong",))
+    registry.counter(
+        "corleone_answers_total",
+        "Paid single-worker answers consumed.")
+    registry.counter(
+        "corleone_dollars_spent_total",
+        "Crowd dollars spent.")
+    registry.counter(
+        "corleone_hits_posted_total",
+        "HITs posted to the platform (reposts included).")
+    registry.counter(
+        "corleone_hits_reposted_total",
+        "HITs reposted by the resilient gateway after expiry.")
+    registry.counter(
+        "corleone_stage_runs_total",
+        "Engine stage executions, by stage name.",
+        label_names=("stage",))
+    registry.counter(
+        "corleone_checkpoints_total",
+        "Checkpoints written to the run directory.")
+    registry.counter(
+        "corleone_faults_injected_total",
+        "Crowd faults injected, by fault kind.",
+        label_names=("kind",))
+    registry.counter(
+        "corleone_retries_scheduled_total",
+        "Gateway retries scheduled, by failure kind.",
+        label_names=("kind",))
+    registry.counter(
+        "corleone_circuit_opened_total",
+        "Circuit-breaker trips.")
+    registry.counter(
+        "corleone_trees_trained_total",
+        "Decision trees trained across every forest.")
+    registry.counter(
+        "corleone_matcher_iterations_total",
+        "Active-learning iterations completed by the engine matcher.")
+    registry.gauge(
+        "corleone_candidate_pairs",
+        "Size of the blocked (umbrella) candidate set.")
+    registry.gauge(
+        "corleone_cartesian_pairs",
+        "Size of the unblocked cross product A x B.")
+    registry.gauge(
+        "corleone_blocking_rules_applied",
+        "Blocking rules the crowd accepted and the blocker applied.")
+    registry.gauge(
+        "corleone_working_set_size",
+        "Pairs in the current training working set.")
+    registry.gauge(
+        "corleone_best_f1",
+        "Best estimated F1 reached so far.")
+    registry.gauge(
+        "corleone_budget_dollars",
+        "Configured run budget (absent series when unlimited).")
+    registry.histogram(
+        "corleone_entropy_pool_size", ENTROPY_POOL_BUCKETS,
+        "Entropy-pool sizes per active-learning batch selection.")
+    registry.histogram(
+        "corleone_blocking_rule_candidates", RULE_COVERAGE_BUCKETS,
+        "Pairs removed per evaluated blocking rule (coverage).")
+    registry.histogram(
+        "corleone_retry_delay_seconds", RETRY_DELAY_BUCKETS,
+        "Backoff delays of gateway-scheduled retries (simulated s).")
+
+
+class RunTelemetry:
+    """All telemetry instruments of one hands-off run."""
+
+    def __init__(self, clock: Any | None = None) -> None:
+        self.registry = MetricsRegistry()
+        build_catalog(self.registry)
+        self.tracer = SpanTracer(clock=clock)
+        self.profiler = profiling.Profiler()
+        self._activations = 0
+
+    # -- event-bus feed -------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """EventBus sink: fold one engine event into the metrics."""
+        reg = self.registry
+        payload = event.payload
+        if event.name == EVENT_LABELS_PURCHASED:
+            strong = "true" if payload.get("strong") else "false"
+            reg.get("corleone_labels_purchased_total").inc(strong=strong)
+        elif event.name == EVENT_BUDGET_SPENT:
+            reg.get("corleone_answers_total").inc(payload["answers"])
+            reg.get("corleone_dollars_spent_total").inc(payload["dollars"])
+        elif event.name == EVENT_FAULT_INJECTED:
+            reg.get("corleone_faults_injected_total").inc(
+                kind=str(payload["kind"]))
+        elif event.name == EVENT_RETRY_SCHEDULED:
+            reg.get("corleone_retries_scheduled_total").inc(
+                kind=str(payload["kind"]))
+            reg.get("corleone_retry_delay_seconds").observe(
+                payload["delay_seconds"])
+        elif event.name == EVENT_HIT_REPOSTED:
+            reg.get("corleone_hits_reposted_total").inc()
+        elif event.name == EVENT_CIRCUIT_OPENED:
+            reg.get("corleone_circuit_opened_total").inc()
+        # checkpoint_written is intentionally not handled here — see
+        # record_checkpoint for why.
+
+    # -- direct instrumentation ----------------------------------------
+
+    def record_hits(self, n_hits: int) -> None:
+        """Count HITs the cost tracker just metered."""
+        if n_hits > 0:
+            self.registry.get("corleone_hits_posted_total").inc(n_hits)
+
+    def record_checkpoint(self) -> None:
+        """Count a checkpoint *before* its document is written.
+
+        Incrementing pre-write puts the count inside the checkpoint's
+        own telemetry state, so a kill at exactly this checkpoint
+        resumes with the same count the uninterrupted run carries.
+        """
+        self.registry.get("corleone_checkpoints_total").inc()
+
+    def record_budget(self, budget: float | None) -> None:
+        """Record the configured dollar budget (if capped)."""
+        if budget is not None:
+            self.registry.get("corleone_budget_dollars").set(float(budget))
+
+    def record_blocker_result(self, result: Any) -> None:
+        """Fold a :class:`~repro.core.blocker.BlockerResult` in."""
+        reg = self.registry
+        reg.get("corleone_candidate_pairs").set(result.umbrella_size)
+        reg.get("corleone_cartesian_pairs").set(result.cartesian)
+        reg.get("corleone_blocking_rules_applied").set(
+            len(result.applied_rules))
+        coverage = reg.get("corleone_blocking_rule_candidates")
+        for evaluation in result.evaluations:
+            coverage.observe(evaluation.coverage)
+
+    def record_working_set(self, size: int) -> None:
+        """Record the current training working-set size."""
+        self.registry.get("corleone_working_set_size").set(int(size))
+
+    def record_best_f1(self, f1: float) -> None:
+        """Record a new best estimated F1."""
+        self.registry.get("corleone_best_f1").set(float(f1))
+
+    def record_matcher_iteration(self) -> None:
+        """Count one completed active-learning iteration."""
+        self.registry.get("corleone_matcher_iterations_total").inc()
+
+    def record_trees_trained(self, n_trees: int) -> None:
+        """Count trees trained (ambient hook target)."""
+        self.registry.get("corleone_trees_trained_total").inc(int(n_trees))
+
+    def record_entropy_pool(self, size: int) -> None:
+        """Observe one entropy-pool size (ambient hook target)."""
+        self.registry.get("corleone_entropy_pool_size").observe(int(size))
+
+    # -- activation -----------------------------------------------------
+
+    def activate(self) -> None:
+        """Route ambient hooks and wall-clock profiling to this run."""
+        self._activations += 1
+        if self._activations == 1:
+            hooks.activate(self)
+            profiling.activate(self.profiler)
+
+    def deactivate(self) -> None:
+        """Undo one :meth:`activate` (stack-scoped, exception-safe)."""
+        if self._activations > 0:
+            self._activations -= 1
+            if self._activations == 0:
+                hooks.deactivate(self)
+                profiling.deactivate(self.profiler)
+
+    # -- spans ----------------------------------------------------------
+
+    def open_run_span(self, mode: str) -> None:
+        """Open the root ``run`` span unless one is already open.
+
+        A resumed run restores its open root span from the checkpoint,
+        so this is a no-op on resume.
+        """
+        if self.tracer.open_depth == 0:
+            self.tracer.start("run", mode=mode)
+
+    def start_stage_span(self, stage_name: str, iteration: int) -> int:
+        """Open a ``stage`` span, counting the stage run — or adopt one.
+
+        A mid-stage checkpoint (a matcher-iteration checkpoint inside
+        ``train_matcher``) restores the tracer with the enclosing stage
+        span still *open*.  The resumed engine loop then re-enters that
+        stage from the top; starting a second span (and counting a
+        second stage run) would diverge from the uninterrupted run.  So
+        when the innermost open span is a ``stage`` span for the same
+        stage, it is adopted as-is — same id, original start time and
+        attributes — and the stage-run counter is left alone.
+        """
+        top = self.tracer.innermost_open
+        if (top is not None and top["name"] == "stage"
+                and top["attrs"].get("stage") == stage_name):
+            return int(top["id"])
+        self.registry.get("corleone_stage_runs_total").inc(stage=stage_name)
+        return self.tracer.start("stage", stage=stage_name,
+                                 iteration=iteration)
+
+    def close_run_span(self) -> None:
+        """Close the root span (and any stragglers) at run end."""
+        self.tracer.close_all_open()
+
+    # -- persistence ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Deterministic telemetry state for the engine checkpoint.
+
+        The wall-clock profiler is deliberately excluded: its numbers
+        are non-deterministic by definition and must never influence a
+        resumed run's artifacts.
+        """
+        return {
+            "metrics": self.registry.state_dict(),
+            "spans": self.tracer.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.registry.load_state(state["metrics"])
+        self.tracer.load_state(state["spans"])
+
+    def metrics_document(self) -> dict[str, Any]:
+        """The ``metrics.json`` document for the run directory."""
+        return {
+            "format": METRICS_FORMAT,
+            "version": METRICS_VERSION,
+            "metrics": self.registry.snapshot(),
+        }
+
+    def export(self, run_dir: str | Path,
+               include_profile: bool = False) -> None:
+        """Write ``metrics.json`` + ``spans.jsonl`` (atomically) and,
+        at run end, ``profile.json``."""
+        run_dir = Path(run_dir)
+        path = run_dir / METRICS_FILE
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.metrics_document(), indent=2,
+                                  sort_keys=True))
+        os.replace(tmp, path)
+        self.tracer.write(run_dir / SPANS_FILE)
+        if include_profile:
+            self.profiler.write(run_dir / profiling.PROFILE_FILE)
+
+    # -- timing ---------------------------------------------------------
+
+    def timing_snapshot(self, platform: Any) -> dict[str, Any] | None:
+        """The run's timing section (single source of truth).
+
+        Delegates to :func:`repro.obs.timing.platform_timing` — the same
+        implementation :func:`repro.persistence.result_report` uses — so
+        reports built from a live telemetry object and reports built
+        from a bare platform stack can never disagree.
+        """
+        return platform_timing(platform)

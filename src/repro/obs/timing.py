@@ -1,0 +1,59 @@
+"""The single source of run-timing truth.
+
+PR 4 left two independent implementations of "how long did the crowd
+take": the gateway/timed-wrapper counters and a private re-derivation
+inside :func:`repro.persistence.result_report`.  This module is now the
+only implementation — :func:`platform_timing` scrapes a platform
+decorator stack once, and both the report pipeline and
+:meth:`repro.obs.telemetry.RunTelemetry.timing_snapshot` call it, so
+elapsed/retry bookkeeping can never drift between the two again.
+
+All figures are *simulated* seconds from the stack's shared
+:class:`~repro.crowd.latency.SimulatedClock`; stacks that keep no time
+at all (plain simulated crowds) yield ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def platform_timing(platform: Any) -> dict[str, Any] | None:
+    """Timing telemetry scraped from a platform decorator stack.
+
+    Walks the ``_inner`` chain collecting whatever the wrappers expose:
+    ``elapsed_seconds``/``retry_seconds`` from
+    :class:`~repro.crowd.latency.TimedCrowd` and retry counters from
+    :class:`~repro.crowd.gateway.ResilientCrowd`.  Returns None when the
+    stack tracks no time at all (plain simulated platforms).
+    """
+    timing: dict[str, Any] = {}
+    retry_seconds = 0.0
+    saw_timer = False
+    node = platform
+    while node is not None:
+        if (hasattr(node, "elapsed_seconds")
+                and "elapsed_seconds" not in timing):
+            timing["elapsed_seconds"] = float(node.elapsed_seconds)
+            saw_timer = True
+        if hasattr(node, "retry_seconds"):
+            retry_seconds += float(node.retry_seconds)
+            saw_timer = True
+        for counter in ("retries_scheduled", "hits_reposted",
+                        "answers_recovered"):
+            if hasattr(node, counter) and counter not in timing:
+                timing[counter] = int(getattr(node, counter))
+        node = getattr(node, "_inner", None)
+    if not saw_timer:
+        return None
+    if "elapsed_seconds" not in timing:
+        # A gateway without a TimedCrowd below it still keeps a clock.
+        node = platform
+        while node is not None:
+            clock = getattr(node, "clock", None)
+            if clock is not None and hasattr(clock, "now"):
+                timing["elapsed_seconds"] = float(clock.now)
+                break
+            node = getattr(node, "_inner", None)
+    timing["retry_seconds"] = retry_seconds
+    return timing

@@ -35,6 +35,7 @@ from .data.table import AttrType, Record, Schema, Table
 from .exceptions import DataError
 from .forest.forest import RandomForest
 from .forest.tree import DecisionTree, Node
+from .obs import timing as _timing
 from .rules.evaluation import RuleEvaluation
 from .rules.predicates import Predicate
 from .rules.rule import Rule
@@ -602,8 +603,8 @@ def iteration_record_from_dict(data: dict[str, Any],
 # Run reports
 # ----------------------------------------------------------------------
 
-def result_report(result: CorleoneResult,
-                  platform: Any = None) -> dict[str, Any]:
+def result_report(result: CorleoneResult, platform: Any = None,
+                  telemetry: Any = None) -> dict[str, Any]:
     """A machine-readable summary of a pipeline run.
 
     Predicted matches are included as sorted (a_id, b_id) pairs;
@@ -612,7 +613,12 @@ def result_report(result: CorleoneResult,
     elapsed time plus the retry-time totals the gateway and the timed
     wrapper accrued (timeout waits, backoff sleeps, worker time burned
     by faults) — omitted when no wrapper in the stack tracks time, so
-    reports from plain platforms are unchanged.
+    reports from plain platforms are unchanged.  Pass the run's
+    :class:`~repro.obs.telemetry.RunTelemetry` to source the section
+    through its :meth:`~repro.obs.telemetry.RunTelemetry.timing_snapshot`
+    instead; both routes resolve to the same single implementation
+    (:func:`repro.obs.timing.platform_timing`), so the numbers cannot
+    drift.
     """
     report: dict[str, Any] = {
         "format": "corleone-report",
@@ -667,51 +673,24 @@ def result_report(result: CorleoneResult,
             "eps_recall": result.estimate.eps_recall,
             "converged": result.estimate.converged,
         }
-    if platform is not None:
+    timing = None
+    if telemetry is not None:
+        timing = telemetry.timing_snapshot(platform)
+    elif platform is not None:
         timing = platform_timing(platform)
-        if timing is not None:
-            report["timing"] = timing
+    if timing is not None:
+        report["timing"] = timing
     return report
 
 
 def platform_timing(platform: Any) -> dict[str, Any] | None:
     """Timing telemetry scraped from a platform decorator stack.
 
-    Walks the ``_inner`` chain collecting whatever the wrappers expose:
-    ``elapsed_seconds``/``retry_seconds`` from
-    :class:`~repro.crowd.latency.TimedCrowd` and retry counters from
-    :class:`~repro.crowd.gateway.ResilientCrowd`.  Returns None when the
-    stack tracks no time at all (plain simulated platforms).
+    Thin alias for :func:`repro.obs.timing.platform_timing` — the
+    observability package owns the one implementation of elapsed/retry
+    bookkeeping; this name survives for report-era callers.
     """
-    timing: dict[str, Any] = {}
-    retry_seconds = 0.0
-    saw_timer = False
-    node = platform
-    while node is not None:
-        if hasattr(node, "elapsed_seconds") and "elapsed_seconds" not in timing:
-            timing["elapsed_seconds"] = float(node.elapsed_seconds)
-            saw_timer = True
-        if hasattr(node, "retry_seconds"):
-            retry_seconds += float(node.retry_seconds)
-            saw_timer = True
-        for counter in ("retries_scheduled", "hits_reposted",
-                        "answers_recovered"):
-            if hasattr(node, counter) and counter not in timing:
-                timing[counter] = int(getattr(node, counter))
-        node = getattr(node, "_inner", None)
-    if not saw_timer:
-        return None
-    if "elapsed_seconds" not in timing:
-        # A gateway without a TimedCrowd below it still keeps a clock.
-        node = platform
-        while node is not None:
-            clock = getattr(node, "clock", None)
-            if clock is not None and hasattr(clock, "now"):
-                timing["elapsed_seconds"] = float(clock.now)
-                break
-            node = getattr(node, "_inner", None)
-    timing["retry_seconds"] = retry_seconds
-    return timing
+    return _timing.platform_timing(platform)
 
 
 def save_report(result: CorleoneResult, path: str | Path) -> None:

@@ -127,5 +127,6 @@ def test_order_constant_covers_known_artifacts():
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     for required in ("table2_overall", "figure3_confidence_real",
-                     "sec93_estimator_savings", "ext_money_time"):
+                     "sec93_estimator_savings", "ext_money_time",
+                     "engine_overhead", "fault_gateway", "obs_overhead"):
         assert required in module.ORDER

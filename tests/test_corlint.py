@@ -578,6 +578,100 @@ class TestSwallowedCrowdErrorRule:
         assert report.new_findings == []
 
 
+_EVENT_REGISTRY = (
+    "EVENT_STAGE_STARTED = \"stage_started\"\n"
+    "EVENT_STAGE_FINISHED = \"stage_finished\"\n"
+    "EVENT_NAMES = (\n"
+    "    EVENT_STAGE_STARTED,\n"
+    "    EVENT_STAGE_FINISHED,\n"
+    ")\n"
+)
+
+
+class TestEventRegistryRule:
+    def test_undeclared_literal_emit_flagged(self, tmp_path):
+        report = check({
+            "engine/events.py": _EVENT_REGISTRY,
+            "engine/mod.py": (
+                "def go(bus):\n"
+                "    bus.emit(\"stage_stated\", stage=\"block\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL009"}
+        assert len(report.new_findings) == 1
+        assert "stage_stated" in report.new_findings[0].message
+
+    def test_declared_literal_emit_ok(self, tmp_path):
+        report = check({
+            "engine/events.py": _EVENT_REGISTRY,
+            "engine/mod.py": (
+                "def go(bus):\n"
+                "    bus.emit(\"stage_started\", stage=\"block\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_emit_via_constant_ok(self, tmp_path):
+        report = check({
+            "engine/events.py": _EVENT_REGISTRY,
+            "engine/mod.py": (
+                "from .events import EVENT_STAGE_FINISHED\n"
+                "def go(bus):\n"
+                "    bus.emit(EVENT_STAGE_FINISHED, stage=\"block\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_constant_missing_from_tuple_flagged(self, tmp_path):
+        report = check({
+            "engine/events.py": (
+                _EVENT_REGISTRY
+                + "EVENT_ORPHANED = \"orphaned\"\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL009"}
+        assert "EVENT_ORPHANED" in report.new_findings[0].message
+
+    def test_non_event_constant_in_registry_module_ok(self, tmp_path):
+        report = check({
+            "engine/events.py": (
+                _EVENT_REGISTRY
+                + "TRACE_FILE = \"trace.jsonl\"\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_no_registry_in_scan_stays_silent(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "def go(bus):\n"
+                "    bus.emit(\"anything_at_all\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_test_modules_exempt(self, tmp_path):
+        report = check({
+            "engine/events.py": _EVENT_REGISTRY,
+            "test_mod.py": (
+                "def test_go(bus):\n"
+                "    bus.emit(\"made_up_event\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({
+            "engine/events.py": _EVENT_REGISTRY,
+            "engine/mod.py": (
+                "def go(bus):\n"
+                "    bus.emit(\"made_up\")"
+                "  # corlint: disable=CL009\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+
 # ----------------------------------------------------------------------
 # Baseline semantics
 # ----------------------------------------------------------------------

@@ -1,0 +1,586 @@
+"""The observability subsystem: registry, spans, exporters, CLI, identity.
+
+Four layers: unit tests for the metric registry and span tracer,
+golden tests for the Prometheus text exposition and the ``obs report``
+rendering, CLI contract tests for ``python -m repro.obs``, and the
+subsystem's headline property — a seeded run, its replay and a
+kill/resume at *every* checkpoint all leave byte-identical
+``metrics.json`` and ``spans.jsonl`` in the run directory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BlockerConfig,
+    CorleoneConfig,
+    EstimatorConfig,
+    ForestConfig,
+    LocatorConfig,
+    MatcherConfig,
+)
+from repro.core.pipeline import Corleone
+from repro.crowd.simulated import SimulatedCrowd
+from repro.engine.events import EVENT_CHECKPOINT_WRITTEN
+from repro.exceptions import DataError
+from repro.obs import MetricsRegistry, SpanTracer, render_prometheus
+from repro.obs import profiling
+from repro.obs.__main__ import main as obs_main
+from repro.obs.report import effective_trace, render_report
+from repro.obs.telemetry import (
+    METRICS_FORMAT,
+    METRICS_VERSION,
+    RunTelemetry,
+    build_catalog,
+)
+from repro.synth.restaurants import generate_restaurants
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total")
+        reg.get("c_total").inc()
+        reg.get("c_total").inc(4)
+        assert reg.snapshot()["c_total"]["series"][0]["value"] == 5
+        with pytest.raises(DataError):
+            reg.get("c_total").inc(-1)
+
+    def test_labelled_series_are_independent_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", label_names=("kind",))
+        reg.get("c_total").inc(kind="zz")
+        reg.get("c_total").inc(2, kind="aa")
+        series = reg.snapshot()["c_total"]["series"]
+        assert [s["labels"]["kind"] for s in series] == ["aa", "zz"]
+        assert [s["value"] for s in series] == [2, 1]
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", label_names=("kind",))
+        with pytest.raises(DataError):
+            reg.get("c_total").inc(flavour="x")
+
+    def test_histogram_buckets_render_cumulatively(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 5.0))
+        for value in (0.5, 3.0, 99.0):
+            reg.get("h").observe(value)
+        series = reg.snapshot()["h"]["series"][0]
+        assert series["buckets"] == [
+            {"le": "1", "count": 1},
+            {"le": "5", "count": 2},
+            {"le": "+Inf", "count": 3},
+        ]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(102.5)
+
+    def test_reregistering_same_kind_returns_family(self):
+        reg = MetricsRegistry()
+        family = reg.gauge("g")
+        assert reg.gauge("g") is family
+        with pytest.raises(DataError):
+            reg.counter("g")
+
+    def test_unknown_metric_errors(self):
+        with pytest.raises(DataError):
+            MetricsRegistry().get("nope")
+
+    def test_state_round_trip_preserves_snapshot(self):
+        reg = MetricsRegistry()
+        build_catalog(reg)
+        reg.get("corleone_labels_purchased_total").inc(3, strong="true")
+        reg.get("corleone_best_f1").set(0.91)
+        reg.get("corleone_entropy_pool_size").observe(40)
+        state = json.loads(json.dumps(reg.state_dict()))  # JSON round trip
+
+        other = MetricsRegistry()
+        build_catalog(other)
+        other.get("corleone_checkpoints_total").inc(99)  # must be reset
+        other.load_state(state)
+        assert other.snapshot() == reg.snapshot()
+
+    def test_load_state_rejects_unknown_metrics(self):
+        reg = MetricsRegistry()
+        build_catalog(reg)
+        with pytest.raises(DataError):
+            reg.load_state({"not_in_catalog": [[[], 1]]})
+
+
+# ----------------------------------------------------------------------
+# Span tracer
+# ----------------------------------------------------------------------
+
+
+class _TickClock:
+    """A fake simulated clock advancing 1.5s per read."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        self._now += 1.5
+        return self._now
+
+
+class TestSpanTracer:
+    def test_nesting_assigns_parents(self):
+        tracer = SpanTracer()
+        root = tracer.start("run", mode="full")
+        stage = tracer.start("stage", stage="block")
+        tracer.end(stage)
+        tracer.end(root)
+        spans = {span["name"]: span for span in tracer.completed}
+        assert spans["run"]["parent"] is None
+        assert spans["stage"]["parent"] == spans["run"]["id"]
+
+    def test_end_enforces_innermost(self):
+        tracer = SpanTracer()
+        root = tracer.start("run")
+        tracer.start("stage")
+        with pytest.raises(DataError):
+            tracer.end(root)
+
+    def test_durations_come_from_the_clock(self):
+        tracer = SpanTracer(clock=_TickClock())
+        with tracer.span("stage", stage="block"):
+            pass
+        (span,) = tracer.completed
+        assert span["start_time"] == pytest.approx(1.5)
+        assert span["end_time"] == pytest.approx(3.0)
+        assert span["duration"] == pytest.approx(1.5)
+
+    def test_close_all_open_unwinds_in_order(self):
+        tracer = SpanTracer()
+        tracer.start("run")
+        tracer.start("stage")
+        tracer.close_all_open()
+        assert [span["name"] for span in tracer.completed] == \
+            ["stage", "run"]
+        assert tracer.open_depth == 0
+
+    def test_state_round_trip_preserves_open_spans(self):
+        tracer = SpanTracer()
+        tracer.start("run")
+        stage = tracer.start("stage", stage="train_matcher")
+        state = json.loads(json.dumps(tracer.state_dict()))
+
+        other = SpanTracer()
+        other.load_state(state)
+        assert other.open_depth == 2
+        assert other.innermost_open["attrs"] == {"stage": "train_matcher"}
+        assert other.lines() == []
+        other.end(stage)  # the restored id is still the innermost
+        assert [json.loads(line)["id"] for line in other.lines()] == [stage]
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks
+# ----------------------------------------------------------------------
+
+
+class TestProfiling:
+    def test_inactive_section_is_a_pass_through(self):
+        with profiling.profile_section("anything"):
+            pass  # must not raise, must not need a profiler
+
+    def test_active_profiler_accumulates(self):
+        profiler = profiling.Profiler()
+        profiling.activate(profiler)
+        try:
+            with profiling.profile_section("s"):
+                pass
+            with profiling.profile_section("s"):
+                pass
+        finally:
+            profiling.deactivate(profiler)
+        document = profiler.to_dict()
+        assert document["deterministic"] is False
+        assert document["sections"]["s"]["calls"] == 2
+
+
+# ----------------------------------------------------------------------
+# Golden: Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_PROMETHEUS_GOLDEN = """\
+# HELP demo_gauge Level.
+# TYPE demo_gauge gauge
+demo_gauge 2.5
+# HELP demo_seconds Durations.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="1"} 1
+demo_seconds_bucket{le="5"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 102.5
+demo_seconds_count 3
+# HELP demo_total Things counted.
+# TYPE demo_total counter
+demo_total{kind="a"} 2
+demo_total{kind="b"} 3
+"""
+
+
+class TestPrometheusExposition:
+    def test_golden(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_total", "Things counted.", label_names=("kind",))
+        reg.gauge("demo_gauge", "Level.")
+        reg.histogram("demo_seconds", (1.0, 5.0), "Durations.")
+        reg.get("demo_total").inc(kind="a")
+        reg.get("demo_total").inc(kind="a")
+        reg.get("demo_total").inc(3, kind="b")
+        reg.get("demo_gauge").set(2.5)
+        for value in (0.5, 3.0, 99.0):
+            reg.get("demo_seconds").observe(value)
+        assert render_prometheus(reg.snapshot()) == _PROMETHEUS_GOLDEN
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", label_names=("kind",))
+        reg.get("c_total").inc(kind='a"b\\c')
+        rendered = render_prometheus(reg.snapshot())
+        assert 'c_total{kind="a\\"b\\\\c"} 1' in rendered
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+
+# ----------------------------------------------------------------------
+# Golden: obs report
+# ----------------------------------------------------------------------
+
+
+def _write_fixture_run(run_dir: Path) -> None:
+    """A hand-written run directory exercising every report section."""
+    run_dir.mkdir(parents=True, exist_ok=True)
+    reg = MetricsRegistry()
+    build_catalog(reg)
+    reg.get("corleone_budget_dollars").set(10.0)
+    reg.get("corleone_dollars_spent_total").inc(2.4)
+    reg.get("corleone_answers_total").inc(24)
+    reg.get("corleone_labels_purchased_total").inc(7, strong="true")
+    reg.get("corleone_labels_purchased_total").inc(1, strong="false")
+    reg.get("corleone_hits_posted_total").inc(9)
+    reg.get("corleone_hits_reposted_total").inc(1)
+    reg.get("corleone_faults_injected_total").inc(2, kind="timeout")
+    reg.get("corleone_retries_scheduled_total").inc(2, kind="timeout")
+    (run_dir / "metrics.json").write_text(json.dumps(
+        {"format": METRICS_FORMAT, "version": METRICS_VERSION,
+         "metrics": reg.snapshot()}, indent=2, sort_keys=True))
+
+    trace = [
+        {"event": "stage_started", "sequence": 0, "stage": "block",
+         "iteration": 0},
+        {"event": "labels_purchased", "sequence": 1, "pair": ["a", "b"],
+         "strong": True},
+        {"event": "budget_spent", "sequence": 2, "dollars": 0.4,
+         "answers": 4},
+        {"event": "fault_injected", "sequence": 3, "kind": "timeout"},
+        {"event": "stage_finished", "sequence": 4, "stage": "block",
+         "next_stage": "train_matcher", "dollars": 0.4},
+        {"event": "stage_started", "sequence": 5, "stage": "train_matcher",
+         "iteration": 0},
+        {"event": "budget_spent", "sequence": 6, "dollars": 2.0,
+         "answers": 20},
+        {"event": "stage_finished", "sequence": 7, "stage": "train_matcher",
+         "next_stage": None, "dollars": 2.4},
+    ]
+    (run_dir / "trace.jsonl").write_text(
+        "".join(json.dumps(event, sort_keys=True) + "\n"
+                for event in trace))
+
+    spans = [
+        {"id": 1, "parent": 0, "name": "stage",
+         "attrs": {"stage": "block", "iteration": 0},
+         "start_time": 0.0, "end_time": 12.5, "duration": 12.5},
+        {"id": 3, "parent": 2, "name": "matcher_iteration",
+         "attrs": {"iteration": 0, "al_step": 1},
+         "start_time": 12.5, "end_time": 20.0, "duration": 7.5},
+        {"id": 4, "parent": 2, "name": "matcher_iteration",
+         "attrs": {"iteration": 0, "al_step": 2},
+         "start_time": 20.0, "end_time": 30.0, "duration": 10.0},
+        {"id": 2, "parent": 0, "name": "stage",
+         "attrs": {"stage": "train_matcher", "iteration": 0},
+         "start_time": 12.5, "end_time": 32.5, "duration": 20.0},
+        {"id": 0, "parent": None, "name": "run",
+         "attrs": {"mode": "full"},
+         "start_time": 0.0, "end_time": 32.5, "duration": 32.5},
+    ]
+    (run_dir / "spans.jsonl").write_text(
+        "".join(json.dumps(span, sort_keys=True) + "\n" for span in spans))
+
+    (run_dir / "profile.json").write_text(json.dumps({
+        "format": "corleone-profile", "deterministic": False,
+        "note": "wall-clock", "sections": {
+            "forest.train_forest": {"calls": 12, "seconds": 0.345678}}},
+        indent=2, sort_keys=True))
+    (run_dir / "checkpoint.json").write_text(json.dumps({
+        "index": 3, "state": {"mode": "full", "stop_reason": "converged",
+                              "iteration": 2}}))
+
+
+_REPORT_GOLDEN = """\
+Corleone run report — golden_run
+mode: full | stop: converged | iterations: 2 | checkpoints: 4
+
+stages
+stage          runs  labels  dollars  faults  sim_s
+-------------  ----  ------  -------  ------  -----
+block             1       1     0.40       1   12.5
+train_matcher     1       0     2.00       0   20.0
+
+budget burn
+  spent $2.40 of $10.00 (24.0%) | answers 24 | pairs labelled 8 \
+| HITs 9 (1 reposted)
+
+faults and retries
+what   kind     count
+-----  -------  -----
+fault  timeout      2
+retry  timeout      2
+
+matcher iterations
+iteration  al_steps  sim_s
+---------  --------  -----
+0                 2   17.5
+
+wall-clock profile (non-deterministic)
+section              calls  seconds
+-------------------  -----  -------
+forest.train_forest     12    0.346
+"""
+
+
+class TestObsReport:
+    def test_golden(self, tmp_path):
+        run_dir = tmp_path / "golden_run"
+        _write_fixture_run(run_dir)
+        assert render_report(run_dir) == _REPORT_GOLDEN
+
+    def test_effective_trace_last_occurrence_wins(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"event": "stage_started", "sequence": 0,
+                        "stage": "killed_version"}) + "\n"
+            + json.dumps({"event": "stage_started", "sequence": 0,
+                          "stage": "resumed_version"}) + "\n")
+        (event,) = effective_trace(path)
+        assert event["stage"] == "resumed_version"
+
+    def test_empty_run_dir_still_renders(self, tmp_path):
+        text = render_report(tmp_path)
+        assert "budget burn" in text  # degrades, never crashes
+
+
+# ----------------------------------------------------------------------
+# CLI contract
+# ----------------------------------------------------------------------
+
+
+class TestObsCli:
+    def test_report_command(self, tmp_path, capsys):
+        run_dir = tmp_path / "golden_run"
+        _write_fixture_run(run_dir)
+        assert obs_main(["report", str(run_dir)]) == 0
+        assert capsys.readouterr().out == _REPORT_GOLDEN
+
+    def test_prom_command(self, tmp_path, capsys):
+        run_dir = tmp_path / "golden_run"
+        _write_fixture_run(run_dir)
+        assert obs_main(["prom", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE corleone_dollars_spent_total counter" in out
+        assert "corleone_dollars_spent_total 2.4" in out
+
+    def test_missing_run_dir_exits_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope")]) == 2
+        assert obs_main(["prom", str(tmp_path)]) == 2  # no metrics.json
+
+
+# ----------------------------------------------------------------------
+# The headline property: byte-identical telemetry across kill/resume
+# ----------------------------------------------------------------------
+
+
+def _identity_config() -> CorleoneConfig:
+    return CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=1500, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=12),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+
+class _Killed(Exception):
+    """Raised by the killer sink to simulate a crash at a checkpoint."""
+
+
+def _killer_sink(surviving_checkpoints: int):
+    seen = [0]
+
+    def sink(event):
+        if event.name == EVENT_CHECKPOINT_WRITTEN:
+            seen[0] += 1
+            if seen[0] > surviving_checkpoints:
+                raise _Killed()
+
+    return sink
+
+
+def _telemetry_bytes(run_dir: Path) -> tuple[bytes, bytes]:
+    return ((run_dir / "metrics.json").read_bytes(),
+            (run_dir / "spans.jsonl").read_bytes())
+
+
+@pytest.fixture(scope="module")
+def identity_scenario(tmp_path_factory):
+    """Dataset, config, crowd factory and one golden checkpointed run."""
+    dataset = generate_restaurants(n_a=60, n_b=40, n_matches=15, seed=7)
+    config = _identity_config()
+
+    def crowd():
+        return SimulatedCrowd(dataset.matches, error_rate=0.05,
+                              rng=np.random.default_rng(11))
+
+    golden_dir = tmp_path_factory.mktemp("obs_identity") / "golden"
+    Corleone(config, crowd(), seed=123, run_dir=golden_dir).run(
+        dataset.table_a, dataset.table_b, dataset.seed_labels)
+    return dataset, config, crowd, golden_dir
+
+
+class TestTelemetryByteIdentity:
+    def test_run_dir_has_all_telemetry_artifacts(self, identity_scenario):
+        _, _, _, golden_dir = identity_scenario
+        for name in ("metrics.json", "spans.jsonl", "profile.json"):
+            assert (golden_dir / name).is_file(), name
+        document = json.loads((golden_dir / "metrics.json").read_text())
+        assert document["format"] == METRICS_FORMAT
+        metrics = document["metrics"]
+        stages = {s["labels"]["stage"]: s["value"]
+                  for s in metrics["corleone_stage_runs_total"]["series"]}
+        assert stages["block"] == 1
+        assert stages["train_matcher"] >= 1
+        assert metrics["corleone_checkpoints_total"]["series"][0]["value"] \
+            == json.loads(
+                (golden_dir / "checkpoint.json").read_text())["index"] + 1
+        assert metrics["corleone_trees_trained_total"]["series"][0][
+            "value"] > 0
+
+    def test_spans_form_a_rooted_tree(self, identity_scenario):
+        from repro.obs import read_spans
+        _, _, _, golden_dir = identity_scenario
+        spans = read_spans(golden_dir / "spans.jsonl")
+        by_id = {span["id"]: span for span in spans}
+        roots = [span for span in spans if span["parent"] is None]
+        assert [root["name"] for root in roots] == ["run"]
+        for span in spans:
+            if span["parent"] is not None:
+                assert span["parent"] in by_id
+            assert span["duration"] >= 0
+
+    def test_replay_is_byte_identical(self, identity_scenario, tmp_path):
+        dataset, config, crowd, golden_dir = identity_scenario
+        replay_dir = tmp_path / "replay"
+        Corleone(config, crowd(), seed=123, run_dir=replay_dir).run(
+            dataset.table_a, dataset.table_b, dataset.seed_labels)
+        assert _telemetry_bytes(replay_dir) == _telemetry_bytes(golden_dir)
+
+    def test_kill_resume_is_byte_identical_at_every_checkpoint(
+            self, identity_scenario, tmp_path):
+        dataset, config, crowd, golden_dir = identity_scenario
+        golden = _telemetry_bytes(golden_dir)
+        n_checkpoints = json.loads(
+            (golden_dir / "checkpoint.json").read_text())["index"] + 1
+        assert n_checkpoints >= 5
+
+        for kill_at in range(n_checkpoints):
+            run_dir = tmp_path / f"kill{kill_at}"
+            pipeline = Corleone(config, crowd(), seed=123, run_dir=run_dir)
+            pipeline.bus.subscribe(_killer_sink(kill_at))
+            with pytest.raises(_Killed):
+                pipeline.run(dataset.table_a, dataset.table_b,
+                             dataset.seed_labels)
+            Corleone.resume(run_dir, crowd())
+            assert _telemetry_bytes(run_dir) == golden, (
+                f"telemetry diverged after a kill at checkpoint {kill_at}"
+            )
+
+    def test_report_smoke_on_a_real_run_dir(self, identity_scenario,
+                                            capsys):
+        _, _, _, golden_dir = identity_scenario
+        assert obs_main(["report", str(golden_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "stages" in out and "budget burn" in out
+        assert "matcher iterations" in out
+        assert "wall-clock profile" in out
+
+    def test_telemetry_can_be_disabled(self, tmp_path):
+        dataset = generate_restaurants(n_a=30, n_b=20, n_matches=8, seed=7)
+        config = _identity_config()
+        crowd = SimulatedCrowd(dataset.matches, error_rate=0.0,
+                               rng=np.random.default_rng(11))
+        run_dir = tmp_path / "untelemetered"
+        pipeline = Corleone(config, crowd, seed=123, run_dir=run_dir,
+                            telemetry=False)
+        pipeline.run(dataset.table_a, dataset.table_b, dataset.seed_labels)
+        assert pipeline.context.telemetry is None
+        assert not (run_dir / "metrics.json").exists()
+        assert not (run_dir / "spans.jsonl").exists()
+        assert (run_dir / "checkpoint.json").is_file()
+
+
+# ----------------------------------------------------------------------
+# Telemetry object plumbing
+# ----------------------------------------------------------------------
+
+
+class TestRunTelemetry:
+    def test_stage_span_adopted_after_mid_stage_restore(self):
+        telemetry = RunTelemetry()
+        telemetry.open_run_span("full")
+        first = telemetry.start_stage_span("train_matcher", 0)
+        state = telemetry.state_dict()
+
+        restored = RunTelemetry()
+        restored.load_state(state)
+        adopted = restored.start_stage_span("train_matcher", 1)
+        assert adopted == first  # reused, not restarted
+        runs = restored.registry.get("corleone_stage_runs_total")
+        assert runs.labels(stage="train_matcher").value == 1
+
+    def test_fresh_stage_span_counts_a_run(self):
+        telemetry = RunTelemetry()
+        telemetry.open_run_span("full")
+        span_id = telemetry.start_stage_span("block", 0)
+        telemetry.tracer.end(span_id)
+        second = telemetry.start_stage_span("block", 1)
+        assert second != span_id
+        runs = telemetry.registry.get("corleone_stage_runs_total")
+        assert runs.labels(stage="block").value == 2
+
+    def test_checkpoint_counts_ride_inside_the_checkpoint(self):
+        telemetry = RunTelemetry()
+        telemetry.record_checkpoint()
+        state = telemetry.state_dict()
+        restored = RunTelemetry()
+        restored.load_state(state)
+        counter = restored.registry.get("corleone_checkpoints_total")
+        assert counter.labels().value == 1

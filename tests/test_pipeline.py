@@ -150,7 +150,11 @@ class TestBudget:
         def exhausted(self, *args, **kwargs):
             raise BudgetExhaustedError(spent=1.0, budget=1.0)
 
-        monkeypatch.setattr(ActiveLearningMatcher, "train", exhausted)
+        # The engine drives the matcher's stepwise API, so exhaust the
+        # budget at the first active-learning step (`train` delegates to
+        # `start` too, so the monolithic path is covered by the same
+        # patch point).
+        monkeypatch.setattr(ActiveLearningMatcher, "start", exhausted)
         crowd = SimulatedCrowd(tiny_dataset.matches, error_rate=0.0,
                                rng=np.random.default_rng(1))
         pipeline = Corleone(fast_config, crowd)
