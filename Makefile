@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke trace-report results examples clean
+.PHONY: install lint test bench bench-smoke bench-shard trace-report results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,8 +21,9 @@ bench:
 # Quick substrate microbenches; refreshes the BENCH_substrates.json
 # baseline (scalar vs batched feature-evaluation throughput), the
 # BENCH_engine.json baseline (checkpoint overhead, event throughput),
-# BENCH_faults.json (gateway overhead/recovery) and BENCH_obs.json
-# (run-telemetry instrumentation overhead).
+# BENCH_faults.json (gateway overhead/recovery), BENCH_obs.json
+# (run-telemetry instrumentation overhead) and BENCH_shard.json
+# (sharded blocking worker-scaling curve).
 bench-smoke:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest \
@@ -33,6 +34,14 @@ bench-smoke:
 	$(PYTHON) benchmarks/collect_results.py --engine
 	$(PYTHON) benchmarks/collect_results.py --faults
 	$(PYTHON) benchmarks/collect_results.py --obs
+	$(PYTHON) benchmarks/collect_results.py --shard
+
+# The sharded blocking executor's 1/2/4/8-worker scaling curve and
+# merge-determinism check (docs/architecture.md); refreshes
+# BENCH_shard.json and benchmarks/results/shard_scaling.txt.
+bench-shard:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/collect_results.py --shard
 
 # Render the obs report (docs/observability.md) for the newest run
 # directory under the repo — any directory holding a run.json; `make

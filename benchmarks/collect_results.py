@@ -51,6 +51,15 @@ instrumented run directory is kept at ``benchmarks/results/obs_run``
 so ``make trace-report`` has a run to render:
 
     python benchmarks/collect_results.py --obs
+
+A seventh mode measures the sharded multi-core blocking executor
+(docs/architecture.md): the streaming baseline versus
+``repro.exec.apply_rules_sharded`` at 1/2/4/8 workers on a
+citations-shaped workload, checking that every worker count returns a
+candidate list bit-identical to the sequential path, recorded as
+``BENCH_shard.json`` plus a ``shard_scaling`` result table:
+
+    python benchmarks/collect_results.py --shard
 """
 
 from __future__ import annotations
@@ -68,6 +77,7 @@ LINT_OUTPUT = Path(__file__).parent / "BENCH_lint.json"
 ENGINE_OUTPUT = Path(__file__).parent / "BENCH_engine.json"
 FAULTS_OUTPUT = Path(__file__).parent / "BENCH_faults.json"
 OBS_OUTPUT = Path(__file__).parent / "BENCH_obs.json"
+SHARD_OUTPUT = Path(__file__).parent / "BENCH_shard.json"
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -100,6 +110,7 @@ ORDER = [
     "engine_overhead",
     "fault_gateway",
     "obs_overhead",
+    "shard_scaling",
 ]
 
 
@@ -644,6 +655,167 @@ def collect_obs(output: Path | None = None, repeats: int = 3) -> dict:
     return payload
 
 
+def collect_shard(output: Path | None = None, repeats: int = 2,
+                  n_a: int = 300, n_b: int = 1600,
+                  worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+                  full: bool = False) -> dict:
+    """Measure the sharded blocking executor's worker scaling curve.
+
+    Applies two blocking rules over a citations-shaped A x B workload
+    once through :func:`repro.core.blocker.apply_rules_streaming` (the
+    sequential baseline) and once per worker count through
+    :func:`repro.exec.apply_rules_sharded`, recording wall-clock best-of
+    ``repeats``, the speedup over streaming and — the contract that
+    makes the speedup meaningful — whether each worker count's survivor
+    list is bit-identical to the sequential one.  ``os.cpu_count()``
+    rides in the payload: speedups are bounded by physical cores, so a
+    flat curve on a 1-core container is expected, not a regression.
+    Writes ``BENCH_shard.json`` and a ``shard_scaling`` result table,
+    and returns the payload.
+
+    ``full=True`` (the ``--shard-full`` flag) additionally runs one
+    sharded pass over the *paper-size* Citations product (2616 x 64263
+    ~ 168M pairs — the workload the paper shipped to Hadoop) and
+    records its completion under a ``citations_full`` key.  Expect this
+    to take on the order of ten minutes on a laptop core.
+    """
+    import os
+    import time
+
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    from repro.core.blocker import apply_rules_streaming
+    from repro.exec import apply_rules_sharded
+    from repro.features.library import build_feature_library
+    from repro.rules.predicates import Predicate
+    from repro.rules.rule import Rule
+    from repro.synth.citations import generate_citations
+
+    dataset = generate_citations(n_a=n_a, n_b=n_b,
+                                 n_matches=max(4, n_a // 10), seed=7)
+    library = build_feature_library(dataset.table_a, dataset.table_b)
+    # One corpus-independent rule plus one TF/IDF rule: the latter is
+    # exactly the class the legacy parallel path had to run sequentially
+    # and the sharded executor parallelizes via the fork-shared caches.
+    rules = []
+    for name, threshold in (("title_jaccard_word", 0.3),
+                            ("title_cosine_tfidf", 0.3)):
+        if name in library.names:
+            rules.append(Rule(
+                [Predicate(library.names.index(name), name, True,
+                           threshold)],
+                predicts_match=False,
+            ))
+    assert rules, "citations library lost its title features"
+    pairs = len(dataset.table_a) * len(dataset.table_b)
+
+    def best_of(fn) -> tuple[float, list]:
+        times, result = [], None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - started)
+        return min(times), result
+
+    streaming_seconds, golden = best_of(lambda: apply_rules_streaming(
+        dataset.table_a, dataset.table_b, rules, library))
+
+    workers: dict[str, dict] = {}
+    for n_workers in worker_counts:
+        seconds, survivors = best_of(lambda n=n_workers: apply_rules_sharded(
+            dataset.table_a, dataset.table_b, rules, library, n_workers=n))
+        workers[str(n_workers)] = {
+            "seconds": round(seconds, 4),
+            "speedup_vs_streaming": round(streaming_seconds / seconds, 3),
+            "bit_identical": survivors == golden,
+        }
+
+    payload = {
+        "run": {
+            "dataset": f"citations {n_a}x{n_b}",
+            "pairs": pairs,
+            "rules": len(rules),
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "survivors": len(golden),
+        },
+        "streaming_seconds": round(streaming_seconds, 4),
+        "workers": workers,
+        "merge_determinism_ok": all(
+            entry["bit_identical"] for entry in workers.values()
+        ),
+    }
+
+    if full:
+        full_a, full_b = 2616, 64263  # the paper's Citations sizes
+        print(f"running full-scale citations blocking "
+              f"({full_a}x{full_b} = {full_a * full_b} pairs)...")
+        full_dataset = generate_citations(n_a=full_a, n_b=full_b, seed=7)
+        full_library = build_feature_library(full_dataset.table_a,
+                                             full_dataset.table_b)
+        full_rules = [
+            Rule([Predicate(full_library.names.index(name), name, True,
+                            threshold)], predicts_match=False)
+            for name, threshold in (("title_jaccard_word", 0.3),
+                                    ("title_cosine_tfidf", 0.3))
+        ]
+        n_workers = min(4, os.cpu_count() or 1)
+        started = time.perf_counter()
+        full_survivors = apply_rules_sharded(
+            full_dataset.table_a, full_dataset.table_b, full_rules,
+            full_library, n_workers=n_workers)
+        elapsed = time.perf_counter() - started
+        full_pairs = full_a * full_b
+        payload["citations_full"] = {
+            "dataset": f"citations {full_a}x{full_b}",
+            "pairs": full_pairs,
+            "n_workers": n_workers,
+            "seconds": round(elapsed, 1),
+            "pairs_per_second": round(full_pairs / elapsed, 1),
+            "survivors": len(full_survivors),
+            "reduction_ratio": round(len(full_survivors) / full_pairs, 6),
+        }
+
+    target = output if output is not None else SHARD_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} ({pairs} pairs, "
+          f"{payload['run']['cpu_count']} cores, determinism "
+          f"{'ok' if payload['merge_determinism_ok'] else 'BROKEN'})")
+
+    run = payload["run"]
+    lines = [
+        "Sharded blocking executor: worker scaling "
+        f"({run['dataset']}, {run['pairs']} pairs, "
+        f"{run['cpu_count']} cores, best of {repeats})",
+        "",
+        "workers  seconds  speedup  bit-identical",
+        "-------  -------  -------  -------------",
+        f"stream   {payload['streaming_seconds']:>7.3f}     1.00"
+        "  (baseline)",
+    ]
+    for n_workers in worker_counts:
+        entry = workers[str(n_workers)]
+        lines.append(
+            f"{n_workers:>7}  {entry['seconds']:>7.3f}  "
+            f"{entry['speedup_vs_streaming']:>7.2f}  "
+            f"{'yes' if entry['bit_identical'] else 'NO'}"
+        )
+    full_entry = payload.get("citations_full")
+    if full_entry is not None:
+        lines += [
+            "",
+            f"full-scale {full_entry['dataset']}: "
+            f"{full_entry['pairs']} pairs in {full_entry['seconds']:.0f} s"
+            f" ({full_entry['pairs_per_second']:.0f} pairs/s,"
+            f" {full_entry['n_workers']} workers,"
+            f" {full_entry['survivors']} survivors,"
+            f" reduction {full_entry['reduction_ratio']:.2%})",
+        ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "shard_scaling.txt").write_text("\n".join(lines) + "\n")
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -698,6 +870,18 @@ if __name__ == "__main__":
              "instrumented run at benchmarks/results/obs_run instead of "
              "collecting RESULTS.md",
     )
+    parser.add_argument(
+        "--shard", action="store_true",
+        help="measure the sharded blocking executor's 1/2/4/8-worker "
+             "scaling curve and merge determinism, recording "
+             "BENCH_shard.json instead of collecting RESULTS.md",
+    )
+    parser.add_argument(
+        "--shard-full", action="store_true",
+        help="like --shard, but additionally run one sharded blocking "
+             "pass over the paper-size Citations product (~168M pairs; "
+             "takes minutes) and record it under citations_full",
+    )
     args = parser.parse_args()
     if args.substrates is not None:
         distill_substrates(args.substrates)
@@ -709,5 +893,9 @@ if __name__ == "__main__":
         collect_faults()
     elif args.obs:
         collect_obs()
+    elif args.shard_full:
+        collect_shard(full=True)
+    elif args.shard:
+        collect_shard()
     else:
         main()

@@ -85,6 +85,21 @@ class BlockerConfig:
     max_labels_per_rule: int = 200
     """Safety cap on crowd labels spent evaluating a single rule."""
 
+    executor: str = "streaming"
+    """How chosen rules are applied over A x B: "streaming" (single
+    process, the PR 1 baseline), "parallel" (legacy per-job-pickling
+    worker pool), or "sharded" (fork copy-on-write shards with shared
+    prepared-column caches and per-shard resume — the Hadoop stand-in).
+    All three produce bit-identical candidate sets."""
+
+    n_workers: int = 1
+    """Worker processes for the parallel/sharded executors (1 runs the
+    sharded executor in-process; ignored by "streaming")."""
+
+    shard_size: int = 0
+    """Rows of A per shard for the sharded executor; 0 auto-sizes to
+    roughly four shards per worker."""
+
 
 @dataclass(frozen=True)
 class MatcherConfig:
@@ -274,6 +289,10 @@ def _validate(cfg: CorleoneConfig) -> None:
         (cfg.blocker.sampling_strategy in ("uniform", "weighted"),
          "blocker.sampling_strategy must be uniform or weighted"),
         (cfg.blocker.top_k_rules >= 1, "blocker.top_k_rules must be >= 1"),
+        (cfg.blocker.executor in ("streaming", "parallel", "sharded"),
+         "blocker.executor must be streaming, parallel or sharded"),
+        (cfg.blocker.n_workers >= 1, "blocker.n_workers must be >= 1"),
+        (cfg.blocker.shard_size >= 0, "blocker.shard_size must be >= 0"),
         (0 < cfg.blocker.min_precision < 1,
          "blocker.min_precision must be in (0, 1)"),
         (0 < cfg.blocker.max_error_margin < 1,

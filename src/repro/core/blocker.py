@@ -40,6 +40,88 @@ _STREAM_CHUNK = 8192
 """Pairs per chunk when applying rules over A x B."""
 
 
+class ChunkEvaluator:
+    """Evaluates blocking rules over aligned chunks of record pairs.
+
+    The shared core of every executor (streaming, parallel, sharded):
+    it owns the rule set, the needed-feature projection and the
+    per-table prepared-column caches, and turns a chunk of aligned
+    ``(records_a, records_b)`` pairs into a boolean *blocked* mask.
+    Because each batch kernel is bit-exact regardless of chunk
+    boundaries, any executor that feeds pairs through this class in A x B
+    stream order produces bit-identical survivors.
+
+    Missing-value semantics (the blocking NaN contract): a missing
+    attribute value surfaces as ``np.nan`` in the feature matrix, and a
+    predicate comparison against NaN evaluates **falsy** unless the
+    predicate was extracted with ``nan_satisfies`` — so *NaN never
+    blocks*: a pair with missing evidence survives to the matcher
+    rather than being silently discarded, matching the scalar
+    ``Feature.compute`` path.  ``blocked_mask`` enforces this with an
+    explicit guard instead of leaving it to the predicate kernels.
+    """
+
+    def __init__(self, table_a: Table, table_b: Table,
+                 rules: list[Rule], library: FeatureLibrary) -> None:
+        self.table_a = table_a
+        self.table_b = table_b
+        self.rules = rules
+        # Only the features the rules reference are computed — the
+        # per-pair cost the greedy selector optimized for.
+        self.needed = sorted({
+            index for rule in rules for index in rule.feature_indices
+        })
+        self.needed_features = [library.features[i] for i in self.needed]
+        self.width = len(library)
+        self.cache_a = table_cache(table_a)
+        self.cache_b = table_cache(table_b)
+        # A rule whose predicates ALL tolerate NaN can legitimately
+        # block a fully-missing row; any other rule cannot, and the
+        # guard below makes that invariant explicit.
+        self.nan_can_block = any(
+            all(p.nan_satisfies for p in rule.predicates)
+            for rule in rules
+        )
+
+    def blocked_mask(self, records_a: list, records_b: list) -> np.ndarray:
+        """Boolean mask: True where some rule blocks the aligned pair."""
+        # Fill only the needed columns of a full-width matrix so
+        # predicate indices line up; the rest stays NaN and is never
+        # read (no predicate references an unfilled column).
+        matrix = np.full((len(records_a), self.width), np.nan)
+        for index, feature in zip(self.needed, self.needed_features):
+            matrix[:, index] = feature.batch_value(
+                records_a, records_b, self.cache_a, self.cache_b
+            )
+        blocked = np.zeros(len(records_a), dtype=bool)
+        for rule in self.rules:
+            blocked |= rule.applies(matrix)
+            if blocked.all():
+                break
+        if not self.nan_can_block and self.needed and blocked.any():
+            # NaN-never-blocks guard: a pair whose needed features are
+            # all missing carries no blocking evidence, so it must
+            # survive.  Predicate.evaluate already returns False on NaN
+            # (absent nan_satisfies), making this a provable no-op —
+            # kept explicit so the missing-value contract is enforced
+            # here rather than implied by kernel internals.
+            all_missing = np.isnan(matrix[:, self.needed]).all(axis=1)
+            blocked &= ~all_missing
+        return blocked
+
+    def survivors(self, pairs: list[Pair]) -> list[Pair]:
+        """The subset of ``pairs`` no rule blocks, in input order."""
+        if not pairs:
+            return []
+        records_a = [self.table_a[pair.a_id] for pair in pairs]
+        records_b = [self.table_b[pair.b_id] for pair in pairs]
+        blocked = self.blocked_mask(records_a, records_b)
+        return [
+            pair for pair, is_blocked in zip(pairs, blocked)
+            if not is_blocked
+        ]
+
+
 @dataclass
 class BlockerResult:
     """The Blocker's output: the umbrella set plus full telemetry."""
@@ -75,10 +157,15 @@ class Blocker:
     """Generates, certifies and applies blocking rules with the crowd."""
 
     def __init__(self, config: CorleoneConfig, service: LabelingService,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator, bus=None,
+                 shard_dir=None) -> None:
         self.config = config
         self.service = service
         self.rng = rng
+        self.bus = bus
+        """Optional engine EventBus for shard-lifecycle/fallback events."""
+        self.shard_dir = shard_dir
+        """Optional directory for the sharded executor's resume files."""
 
     def run(self, table_a: Table, table_b: Table, library: FeatureLibrary,
             seed_labels: dict[Pair, bool]) -> BlockerResult:
@@ -143,9 +230,7 @@ class Blocker:
 
         chosen = self.select_rule_subset(accepted, sample, total)
         if chosen:
-            survivors = apply_rules_streaming(
-                table_a, table_b, chosen, library
-            )
+            survivors = self._apply_rules(table_a, table_b, chosen, library)
         else:
             survivors = list(iter_cartesian(table_a, table_b))
 
@@ -205,6 +290,42 @@ class Blocker:
             active_rows = active_rows[~best_mask]
         return chosen
 
+    def _apply_rules(self, table_a: Table, table_b: Table,
+                     rules: list[Rule],
+                     library: FeatureLibrary) -> list[Pair]:
+        """Apply chosen rules via the configured executor.
+
+        All three executors (``streaming``, ``parallel``, ``sharded``)
+        return bit-identical survivor lists; the config only chooses
+        the execution substrate.
+        """
+        blocker_cfg = self.config.blocker
+        if blocker_cfg.executor == "sharded":
+            from ..exec import apply_rules_sharded
+
+            return apply_rules_sharded(
+                table_a, table_b, rules, library,
+                n_workers=blocker_cfg.n_workers,
+                shard_size=blocker_cfg.shard_size,
+                shard_dir=self.shard_dir,
+                bus=self.bus,
+            )
+        if blocker_cfg.executor == "parallel":
+            return apply_rules_parallel(
+                table_a, table_b, rules, library,
+                n_workers=blocker_cfg.n_workers,
+                on_fallback=self._emit_fallback,
+            )
+        return apply_rules_streaming(table_a, table_b, rules, library)
+
+    def _emit_fallback(self, reason: str, detail: str) -> None:
+        """Surface lost parallelism on the engine bus (if attached)."""
+        if self.bus is None:
+            return
+        from ..engine.events import EVENT_BLOCKER_FALLBACK
+
+        self.bus.emit(EVENT_BLOCKER_FALLBACK, reason=reason, detail=detail)
+
     def _known_labels(self, sample: CandidateSet) -> dict[int, bool]:
         """Sample row -> crowd label, for rows the cache knows."""
         cached = self.service.labeled_pairs()
@@ -218,14 +339,21 @@ class Blocker:
 def apply_rules_parallel(table_a: Table, table_b: Table,
                          rules: list[Rule], library: FeatureLibrary,
                          n_workers: int = 2,
-                         chunk_size: int = _STREAM_CHUNK) -> list[Pair]:
-    """Apply blocking rules over A x B across worker processes.
+                         chunk_size: int = _STREAM_CHUNK,
+                         on_fallback=None) -> list[Pair]:
+    """Apply blocking rules over A x B across worker processes (legacy).
 
-    The multi-core stand-in for the paper's Hadoop job: A is broadcast
-    to every worker and the rows of A are sharded, each worker streaming
-    its shard's slice of A x B through :func:`apply_rules_streaming`.
-    Survivor order matches the sequential function (shards are
-    concatenated in A order), so the two are interchangeable.
+    The original multi-core stand-in for the paper's Hadoop job: A is
+    broadcast to every worker and the rows of A are sharded, each worker
+    streaming its shard's slice of A x B through
+    :func:`apply_rules_streaming`.  Survivor order matches the
+    sequential function (shards are concatenated in A order), so the
+    two are interchangeable.  :func:`repro.exec.apply_rules_sharded`
+    supersedes this path — it shares the prepared-column caches via
+    fork copy-on-write instead of pickling tables per job, shards TF/IDF
+    features safely, and can checkpoint/resume — but this function is
+    kept for its pickling workers, which also run under spawn-only
+    platforms.
 
     Feature closures cannot cross process boundaries, so workers rebuild
     the library from the tables (cheap relative to pair scoring).  That
@@ -237,21 +365,44 @@ def apply_rules_parallel(table_a: Table, table_b: Table,
     falls back to sequential application with a warning, since rule
     indices into a misaligned library would score the wrong features.
     Also falls back when ``n_workers <= 1`` or A is tiny.
+
+    Lost parallelism is no longer silent: ``on_fallback(reason,
+    detail)`` is invoked (when provided) with ``"corpus_dependent"`` or
+    ``"library_mismatch"`` before falling back, so callers can emit the
+    ``blocker_parallel_fallback`` engine event / obs counter.  The
+    ``n_workers <= 1`` and tiny-A cases are deliberate sizing choices,
+    not lost parallelism, and are not reported.
     """
     corpus_dependent = any(
         library.features[index].measure == "cosine_tfidf"
         for rule in rules for index in rule.feature_indices
     )
-    if corpus_dependent or n_workers <= 1 or len(table_a) < 2 * n_workers:
+    if corpus_dependent:
+        if on_fallback is not None:
+            on_fallback(
+                "corpus_dependent",
+                "rules reference cosine_tfidf features whose corpus "
+                "statistics cannot be rebuilt per shard; use the "
+                "sharded executor to parallelize them",
+            )
+        return apply_rules_streaming(table_a, table_b, rules, library,
+                                     chunk_size)
+    if n_workers <= 1 or len(table_a) < 2 * n_workers:
         return apply_rules_streaming(table_a, table_b, rules, library,
                                      chunk_size)
     import multiprocessing
 
+    from ..exec.sharding import plan_shards
+
     a_ids = table_a.record_ids
     shard_size = -(-len(a_ids) // n_workers)
+    # plan_shards partitions range(len(a_ids)) into non-empty slices by
+    # construction — the previous ceil-division slicing could enumerate
+    # an empty trailing shard, which would dispatch a no-op job whose
+    # empty subset table breaks library rebuilding in the worker.
     shards = [
-        a_ids[start:start + shard_size]
-        for start in range(0, len(a_ids), shard_size)
+        a_ids[shard.start:shard.stop]
+        for shard in plan_shards(len(a_ids), shard_size)
     ]
     rule_payload = [_rule_payload(rule) for rule in rules]
     jobs = [
@@ -269,6 +420,8 @@ def apply_rules_parallel(table_a: Table, table_b: Table,
         # the wrong columns.  Fall back to the (correct) sequential path.
         import warnings
 
+        if on_fallback is not None:
+            on_fallback("library_mismatch", str(error))
         warnings.warn(
             f"parallel blocking disabled: {error}; "
             "falling back to sequential rule application",
@@ -340,19 +493,13 @@ def apply_rules_streaming(table_a: Table, table_b: Table,
     """Apply blocking rules over A x B in chunks; return the survivors.
 
     Only the features the rules actually reference are computed — the
-    per-pair cost the greedy selector optimized for — and each one
-    evaluates a whole chunk at once through ``Feature.batch_value`` on
-    the shared per-table caches.  This is the laptop-scale stand-in for
-    the paper's Hadoop job.
+    per-pair cost the greedy selector optimized for — and each chunk is
+    evaluated through a shared :class:`ChunkEvaluator` (which also
+    defines the missing-value semantics: NaN never blocks).  This is
+    the single-process baseline; :func:`repro.exec.apply_rules_sharded`
+    is the multi-core equivalent and is bit-identical to it.
     """
-    needed = sorted({
-        index for rule in rules for index in rule.feature_indices
-    })
-    needed_features = [library.features[i] for i in needed]
-    width = len(library)
-    cache_a = table_cache(table_a)
-    cache_b = table_cache(table_b)
-
+    evaluator = ChunkEvaluator(table_a, table_b, rules, library)
     survivors: list[Pair] = []
     chunk: list[Pair] = []
 
@@ -360,25 +507,7 @@ def apply_rules_streaming(table_a: Table, table_b: Table,
         if not chunk:
             return
         with profile_section("blocker.stream_flush"):
-            records_a = [table_a[pair.a_id] for pair in chunk]
-            records_b = [table_b[pair.b_id] for pair in chunk]
-            # Fill only the needed columns of a full-width matrix so
-            # predicate indices line up; the rest stays NaN and is never
-            # read.
-            matrix = np.full((len(chunk), width), np.nan)
-            for index, feature in zip(needed, needed_features):
-                matrix[:, index] = feature.batch_value(
-                    records_a, records_b, cache_a, cache_b
-                )
-            blocked = np.zeros(len(chunk), dtype=bool)
-            for rule in rules:
-                blocked |= rule.applies(matrix)
-                if blocked.all():
-                    break
-            survivors.extend(
-                pair for pair, is_blocked in zip(chunk, blocked)
-                if not is_blocked
-            )
+            survivors.extend(evaluator.survivors(chunk))
             chunk.clear()
 
     for pair in iter_cartesian(table_a, table_b):

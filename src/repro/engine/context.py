@@ -101,6 +101,12 @@ class RunContext:
         call it to persist the run state mid-stage (e.g. after every
         matcher iteration)."""
 
+        self.run_dir: Any = None
+        """Set by the engine alongside :attr:`checkpoint`: the run's
+        directory (a :class:`~pathlib.Path`), which the sharded blocking
+        executor uses for its per-shard resume files (``shards/``).
+        None when the run is not persisted."""
+
         self.telemetry = None
         if telemetry:
             # Imported lazily: obs.telemetry pulls in engine.events, so

@@ -27,6 +27,9 @@ EVENT_FAULT_INJECTED = "fault_injected"
 EVENT_RETRY_SCHEDULED = "retry_scheduled"
 EVENT_HIT_REPOSTED = "hit_reposted"
 EVENT_CIRCUIT_OPENED = "circuit_opened"
+EVENT_SHARD_STARTED = "shard_started"
+EVENT_SHARD_COMPLETED = "shard_completed"
+EVENT_BLOCKER_FALLBACK = "blocker_parallel_fallback"
 
 EVENT_NAMES = (
     EVENT_STAGE_STARTED,
@@ -38,6 +41,9 @@ EVENT_NAMES = (
     EVENT_RETRY_SCHEDULED,
     EVENT_HIT_REPOSTED,
     EVENT_CIRCUIT_OPENED,
+    EVENT_SHARD_STARTED,
+    EVENT_SHARD_COMPLETED,
+    EVENT_BLOCKER_FALLBACK,
 )
 """Every event name the engine emits, in rough lifecycle order."""
 
@@ -185,8 +191,14 @@ class ProgressReporter:
                 f"[{event.sequence}] crowd circuit OPENED after "
                 f"{event.payload.get('failures')} consecutive failures"
             )
+        elif event.name == EVENT_BLOCKER_FALLBACK:
+            self._write(
+                f"[{event.sequence}] parallel blocking fell back "
+                f"({event.payload.get('reason')})"
+            )
         elif event.name in (EVENT_BUDGET_SPENT, EVENT_FAULT_INJECTED,
-                            EVENT_RETRY_SCHEDULED, EVENT_HIT_REPOSTED):
-            pass  # per-answer noise, too fine-grained for progress output
+                            EVENT_RETRY_SCHEDULED, EVENT_HIT_REPOSTED,
+                            EVENT_SHARD_STARTED, EVENT_SHARD_COMPLETED):
+            pass  # per-answer/per-shard noise, too fine for progress output
         else:
             self._write(f"[{event.sequence}] {event.name}")

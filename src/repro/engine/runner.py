@@ -44,6 +44,9 @@ class StagedEngine:
         if checkpointer is not None:
             # Stages call this mid-stage (e.g. per matcher iteration).
             ctx.checkpoint = self._write_checkpoint
+            # Finer-than-checkpoint durability (the sharded blocking
+            # executor's per-shard files) lives under the same directory.
+            ctx.run_dir = checkpointer.run_dir
 
     def _write_checkpoint(self, state: RunState) -> None:
         """Persist the state, then announce it on the bus.

@@ -41,7 +41,13 @@ class BlockStage:
 
     def run(self, state: RunState, ctx: RunContext) -> str | None:
         """Block, vectorize, and set up the first working set."""
-        blocker = Blocker(ctx.config, ctx.service, ctx.rng("blocker"))
+        # The sharded executor checkpoints per-shard progress under the
+        # run directory; unpersisted runs pass shard_dir=None and simply
+        # recompute on resume (there is nothing to resume from anyway).
+        shard_dir = (ctx.run_dir / "shards"
+                     if ctx.run_dir is not None else None)
+        blocker = Blocker(ctx.config, ctx.service, ctx.rng("blocker"),
+                          bus=ctx.bus, shard_dir=shard_dir)
         with ctx.span("section", section="blocker.run"):
             result = blocker.run(state.table_a, state.table_b,
                                  state.library, state.seed_labels)

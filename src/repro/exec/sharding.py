@@ -1,0 +1,171 @@
+"""Shard planning and durable per-shard results for blocking runs.
+
+A *shard* is a contiguous slice of table A's rows; its work unit is the
+slice crossed with all of B.  Planning is pure arithmetic and part of
+the determinism contract: the same ``(n_rows, shard_size)`` always
+yields the same shard list, shards partition ``range(n_rows)`` exactly,
+and no shard is ever empty — the legacy ``apply_rules_parallel``
+ceil-division sharding could in principle enumerate an empty trailing
+job, so :func:`plan_shards` is the single source of truth now.
+
+:class:`ShardStore` persists one ``shard-NNNNN.npz`` file per completed
+shard under a run's ``shards/`` directory, next to a ``plan.json``
+carrying a fingerprint of everything the shard results depend on
+(tables, feature names, rules, shard/chunk geometry).  A resumed run
+with the same fingerprint loads completed shards instead of recomputing
+them; a directory left by a *different* configuration is cleared, since
+its shard files would splice wrong survivors into the merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.table import Table
+    from ..features.library import FeatureLibrary
+    from ..rules.rule import Rule
+
+PLAN_FILE = "plan.json"
+"""Manifest written into every shard directory (fingerprint + geometry)."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of table A's row range."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def rows(self) -> int:
+        """Number of A rows in this shard."""
+        return self.stop - self.start
+
+
+def plan_shards(n_rows: int, shard_size: int) -> list[Shard]:
+    """Partition ``range(n_rows)`` into contiguous non-empty shards.
+
+    Every row belongs to exactly one shard, shards are returned in row
+    order, and the trailing shard simply holds the remainder — there is
+    no empty shard to skip, by construction (``range(0, n_rows,
+    shard_size)`` only yields starts strictly below ``n_rows``).
+    """
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    if n_rows <= 0:
+        return []
+    return [
+        Shard(index=index, start=start,
+              stop=min(start + shard_size, n_rows))
+        for index, start in enumerate(range(0, n_rows, shard_size))
+    ]
+
+
+def auto_shard_size(n_rows: int, n_workers: int) -> int:
+    """A shard size giving roughly four shards per worker.
+
+    Oversplitting (vs one shard per worker) keeps the pool busy when
+    shards finish unevenly, and bounds how much work a kill/resume
+    cycle has to redo; four per worker is the conventional balance.
+    """
+    slots = 4 * max(1, n_workers)
+    return max(1, -(-n_rows // slots))
+
+
+def shard_fingerprint(table_a: "Table", table_b: "Table",
+                      rules: "list[Rule]", library: "FeatureLibrary",
+                      shard_size: int, chunk_size: int) -> str:
+    """Hash of everything a shard result depends on.
+
+    Two runs with the same fingerprint produce byte-identical shard
+    files, so a resumed run may load them; anything else (different
+    rules, tables, feature order or geometry) must recompute.
+    """
+    from ..core.blocker import _rule_payload
+
+    document = {
+        "table_a": [table_a.name, list(table_a.record_ids)],
+        "table_b": [table_b.name, list(table_b.record_ids)],
+        "library": list(library.names),
+        "rules": [_rule_payload(rule) for rule in rules],
+        "shard_size": int(shard_size),
+        "chunk_size": int(chunk_size),
+    }
+    canonical = json.dumps(document, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+class ShardStore:
+    """Durable per-shard survivor lists under one directory.
+
+    Writes are atomic (tmp file + ``os.replace``), so a kill mid-write
+    never leaves a truncated shard file — a shard either exists
+    completely or not at all, which is what makes resume safe.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def shard_path(self, index: int) -> Path:
+        """The npz file of shard ``index``."""
+        return self.directory / f"shard-{index:05d}.npz"
+
+    def prepare(self, n_shards: int) -> set[int]:
+        """Ready the directory; return indices of completed shards.
+
+        A directory whose ``plan.json`` matches this store's
+        fingerprint is a resumable previous attempt of the *same* work:
+        its shard files are trusted.  Any other content (different
+        fingerprint, or shard files with no plan) is stale — loading it
+        would splice another configuration's survivors into this run —
+        so it is cleared and a fresh plan is written.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        plan_path = self.directory / PLAN_FILE
+        if plan_path.is_file():
+            plan = json.loads(plan_path.read_text())
+            if (plan.get("fingerprint") == self.fingerprint
+                    and plan.get("n_shards") == n_shards):
+                return {
+                    index for index in range(n_shards)
+                    if self.shard_path(index).is_file()
+                }
+        for stale in self.directory.glob("shard-*.npz"):
+            stale.unlink()
+        document = {"fingerprint": self.fingerprint,
+                    "n_shards": int(n_shards)}
+        tmp = plan_path.with_name(plan_path.name + ".tmp")
+        tmp.write_text(json.dumps(document, indent=2, sort_keys=True))
+        os.replace(tmp, plan_path)
+        return set()
+
+    def write(self, index: int, survivors: list[tuple[str, str]],
+              pairs_scanned: int) -> None:
+        """Persist one completed shard atomically."""
+        path = self.shard_path(index)
+        tmp = path.with_name(path.name + ".tmp")
+        a_ids = np.array([a_id for a_id, _ in survivors], dtype=np.str_)
+        b_ids = np.array([b_id for _, b_id in survivors], dtype=np.str_)
+        with open(tmp, "wb") as handle:
+            np.savez(handle, a_ids=a_ids, b_ids=b_ids,
+                     pairs_scanned=np.array([pairs_scanned],
+                                            dtype=np.int64))
+        os.replace(tmp, path)
+
+    def load(self, index: int) -> tuple[list[tuple[str, str]], int]:
+        """Load one completed shard's (survivors, pairs_scanned)."""
+        with np.load(self.shard_path(index), allow_pickle=False) as data:
+            survivors = list(zip(data["a_ids"].tolist(),
+                                 data["b_ids"].tolist()))
+            pairs_scanned = int(data["pairs_scanned"][0])
+        return survivors, pairs_scanned

@@ -202,6 +202,26 @@ def render_report(run_dir: str | Path) -> str:
                             align_left=2))
         lines.append("")
 
+    shards_started = _value(metrics, "corleone_shards_started_total")
+    shards_completed = _value(metrics, "corleone_shards_completed_total")
+    fallback_series = _series(
+        metrics, "corleone_blocker_parallel_fallback_total")
+    if shards_started or shards_completed or fallback_series:
+        lines.append("sharded blocking")
+        pairs_scanned = _value(
+            metrics, "corleone_shard_pairs_scanned_total")
+        lines.append(
+            f"  shards {int(shards_completed)}/{int(shards_started)}"
+            " completed"
+            f" | pairs scanned {int(pairs_scanned)}"
+        )
+        for series in fallback_series:
+            lines.append(
+                f"  fallback [{series['labels']['reason']}]"
+                f" x{int(series['value'])}"
+            )
+        lines.append("")
+
     iteration_spans = [s for s in spans
                        if s["name"] == "matcher_iteration"]
     if iteration_spans:

@@ -32,12 +32,15 @@ from pathlib import Path
 from typing import Any
 
 from ..engine.events import (
+    EVENT_BLOCKER_FALLBACK,
     EVENT_BUDGET_SPENT,
     EVENT_CIRCUIT_OPENED,
     EVENT_FAULT_INJECTED,
     EVENT_HIT_REPOSTED,
     EVENT_LABELS_PURCHASED,
     EVENT_RETRY_SCHEDULED,
+    EVENT_SHARD_COMPLETED,
+    EVENT_SHARD_STARTED,
     Event,
 )
 from . import hooks, profiling
@@ -125,6 +128,19 @@ def build_catalog(registry: MetricsRegistry) -> None:
     registry.histogram(
         "corleone_blocking_rule_candidates", RULE_COVERAGE_BUCKETS,
         "Pairs removed per evaluated blocking rule (coverage).")
+    registry.counter(
+        "corleone_shards_started_total",
+        "Blocking shards started (resume-loaded shards included).")
+    registry.counter(
+        "corleone_shards_completed_total",
+        "Blocking shards completed (resume-loaded shards included).")
+    registry.counter(
+        "corleone_shard_pairs_scanned_total",
+        "A x B pairs scanned by completed blocking shards.")
+    registry.counter(
+        "corleone_blocker_parallel_fallback_total",
+        "Parallel/sharded blocking fallbacks to fewer workers, by reason.",
+        label_names=("reason",))
     registry.histogram(
         "corleone_retry_delay_seconds", RETRY_DELAY_BUCKETS,
         "Backoff delays of gateway-scheduled retries (simulated s).")
@@ -164,6 +180,18 @@ class RunTelemetry:
             reg.get("corleone_hits_reposted_total").inc()
         elif event.name == EVENT_CIRCUIT_OPENED:
             reg.get("corleone_circuit_opened_total").inc()
+        elif event.name == EVENT_SHARD_STARTED:
+            reg.get("corleone_shards_started_total").inc()
+        elif event.name == EVENT_SHARD_COMPLETED:
+            # Resume-loaded shards re-emit both events with the same
+            # counts, so a resumed run's totals converge to exactly the
+            # uninterrupted run's values (the byte-identity contract).
+            reg.get("corleone_shards_completed_total").inc()
+            reg.get("corleone_shard_pairs_scanned_total").inc(
+                int(payload.get("pairs_scanned", 0)))
+        elif event.name == EVENT_BLOCKER_FALLBACK:
+            reg.get("corleone_blocker_parallel_fallback_total").inc(
+                reason=str(payload.get("reason")))
         # checkpoint_written is intentionally not handled here — see
         # record_checkpoint for why.
 

@@ -128,5 +128,28 @@ def test_order_constant_covers_known_artifacts():
     spec.loader.exec_module(module)
     for required in ("table2_overall", "figure3_confidence_real",
                      "sec93_estimator_savings", "ext_money_time",
-                     "engine_overhead", "fault_gateway", "obs_overhead"):
+                     "engine_overhead", "fault_gateway", "obs_overhead",
+                     "shard_scaling"):
         assert required in module.ORDER
+
+
+def test_collect_shard_scaling_curve(collector):
+    """--shard records the worker curve and the determinism check."""
+    import json
+    module, tmp_path = collector
+    output = tmp_path / "BENCH_shard.json"
+    payload = module.collect_shard(output=output, repeats=1,
+                                   n_a=20, n_b=40,
+                                   worker_counts=(1, 2))
+    assert payload["run"]["pairs"] == 20 * 40
+    assert payload["run"]["cpu_count"] >= 1
+    assert set(payload["workers"]) == {"1", "2"}
+    for entry in payload["workers"].values():
+        assert entry["bit_identical"]
+        assert entry["seconds"] > 0
+        assert entry["speedup_vs_streaming"] > 0
+    assert payload["merge_determinism_ok"]
+    assert json.loads(output.read_text()) == payload
+    table = (tmp_path / "results" / "shard_scaling.txt").read_text()
+    assert "workers" in table and "bit-identical" in table
+    assert "stream" in table
