@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-smoke bench-shard trace-report results examples clean
+.PHONY: install lint lint-fast test bench bench-smoke bench-shard trace-report results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -11,6 +11,12 @@ install:
 # docs/static_analysis.md).  Exits nonzero on any non-baselined finding.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --format text
+
+# Diff-aware lint: only files changed since LINT_REF (default HEAD).
+# Whole-program rules (CL012, CL014) are skipped on partial scans.
+LINT_REF ?= HEAD
+lint-fast:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --changed $(LINT_REF)
 
 test: lint
 	$(PYTHON) -m pytest tests/

@@ -20,8 +20,9 @@ microbenches into the checked-in ``BENCH_substrates.json`` baseline
 
 A third mode runs corlint (the repo's invariant analyzer, see
 docs/static_analysis.md) over ``src/repro`` and records the per-rule
-finding counts as ``BENCH_lint.json`` plus a ``lint_findings`` result
-table:
+finding counts, the cold (no cache) and warm (second cached run) wall
+times, and the per-rule/model-build timing breakdown as
+``BENCH_lint.json`` plus a ``lint_findings`` result table:
 
     python benchmarks/collect_results.py --lint
 
@@ -177,21 +178,30 @@ def distill_substrates(benchmark_json: Path,
 
 
 def collect_lint(output: Path | None = None) -> dict:
-    """Run corlint over src/repro and record per-rule finding counts.
+    """Run corlint over src/repro and record counts plus timings.
 
+    Three passes over the tree: one uncached (the cold wall time — full
+    AST walks plus semantic-model construction), one cached run to
+    populate ``.corlint_cache``, and one more cached run (the warm wall
+    time — findings and model facts served from the per-file caches).
     Writes ``BENCH_lint.json`` (per-rule new/baselined counts against
-    the checked-in baseline) and a ``lint_findings`` table alongside the
-    other result tables, then returns the payload.
+    the checked-in baseline, cold/warm wall seconds, and the cold run's
+    per-rule + model-build timing breakdown) and a ``lint_findings``
+    table alongside the other result tables, then returns the payload.
     """
     if str(ROOT / "src") not in sys.path:
         sys.path.insert(0, str(ROOT / "src"))
     from repro.analysis import run_analysis
 
     baseline_path = ROOT / "corlint-baseline.json"
-    report = run_analysis(
-        [ROOT / "src" / "repro"],
-        baseline_path=baseline_path if baseline_path.is_file() else None,
-    )
+    baseline = baseline_path if baseline_path.is_file() else None
+    targets = [ROOT / "src" / "repro"]
+
+    report = run_analysis(targets, baseline_path=baseline,
+                          use_cache=False)
+    run_analysis(targets, baseline_path=baseline, use_cache=True)
+    warm_report = run_analysis(targets, baseline_path=baseline,
+                               use_cache=True)
 
     rules = sorted(rule.rule_id for rule in report.rules)
     new_by_rule = report.counts_by_rule(baselined=False)
@@ -210,25 +220,43 @@ def collect_lint(output: Path | None = None) -> dict:
             "baselined": len(report.baselined_findings),
             "stale_baseline_entries": len(report.stale_entries),
         },
+        "wall_seconds": {
+            "cold": round(report.timings.get("total", 0.0), 4),
+            "warm": round(warm_report.timings.get("total", 0.0), 4),
+        },
+        "rule_seconds": {
+            key: round(value, 4)
+            for key, value in sorted(report.timings.items())
+            if key != "total"
+        },
     }
 
     target = output if output is not None else LINT_OUTPUT
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {target} ({report.files_scanned} files scanned)")
+    wall = payload["wall_seconds"]
+    print(f"wrote {target} ({report.files_scanned} files scanned, "
+          f"cold {wall['cold']:.2f}s, warm {wall['warm']:.2f}s)")
 
+    timings = payload["rule_seconds"]
     lines = [
         "corlint findings over src/repro "
-        f"({report.files_scanned} files)",
+        f"({report.files_scanned} files; "
+        f"cold {wall['cold']:.2f}s, warm {wall['warm']:.2f}s)",
         "",
-        "rule    new  baselined",
-        "-----  ----  ---------",
+        "rule    new  baselined  seconds",
+        "-----  ----  ---------  -------",
     ]
     for rule_id in rules:
         counts = payload["rules"][rule_id]
         lines.append(
             f"{rule_id}  {counts['new']:>4}  {counts['baselined']:>9}"
+            f"  {timings.get(rule_id, 0.0):>7.3f}"
         )
     totals = payload["totals"]
+    lines.append(
+        f"model  {'':>4}  {'':>9}"
+        f"  {timings.get('model_build', 0.0):>7.3f}"
+    )
     lines.append(
         f"total  {totals['new']:>4}  {totals['baselined']:>9}"
         f"  ({totals['stale_baseline_entries']} stale baseline entries)"
@@ -849,7 +877,8 @@ if __name__ == "__main__":
     parser.add_argument(
         "--lint", action="store_true",
         help="run corlint over src/repro and record per-rule finding "
-             "counts in BENCH_lint.json instead of collecting RESULTS.md",
+             "counts, cold/warm wall times and per-rule timings in "
+             "BENCH_lint.json instead of collecting RESULTS.md",
     )
     parser.add_argument(
         "--engine", action="store_true",

@@ -30,6 +30,7 @@ class FindingsCache:
     """Loads and stores per-file findings keyed by source digest."""
 
     def __init__(self, root: Path) -> None:
+        self.root = root
         self.directory = root / CACHE_DIR_NAME
         self.path = self.directory / "findings.json"
         self._entries: dict[str, dict] = {}
@@ -62,7 +63,16 @@ class FindingsCache:
         self._dirty = True
 
     def save(self) -> None:
-        """Persist the cache if anything changed this run."""
+        """Persist the cache if anything changed this run.
+
+        Entries whose file has left the tree are pruned first, so the
+        cache never grows monotonically across renames and deletions.
+        """
+        stale = [relpath for relpath in self._entries
+                 if not (self.root / relpath).is_file()]
+        for relpath in stale:
+            del self._entries[relpath]
+            self._dirty = True
         if not self._dirty:
             return
         self.directory.mkdir(parents=True, exist_ok=True)

@@ -2,11 +2,19 @@
 
 Exit codes: 0 — clean (every finding baselined, no stale entries);
 1 — new findings or stale baseline entries; 2 — usage error.
+
+``--changed [REF]`` turns corlint diff-aware: only Python files touched
+since ``REF`` (default HEAD) are scanned, and whole-program
+absence-of-reference rules (CL012, CL014) stay silent because a partial
+scan cannot prove absence.  ``--check-baseline`` audits the baseline
+itself: stale entries (fixed findings, or entries whose file left the
+tree) fail the run even when the tree is otherwise clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -22,14 +30,20 @@ def build_parser() -> argparse.ArgumentParser:
     """The corlint argument parser (exposed for --help tests)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description=("corlint: AST-based invariant analyzer for the "
-                     "Corleone reproduction (determinism, crowd "
-                     "accounting, kernel parity, numeric hygiene, "
-                     "picklability)"),
+        description=("corlint: AST- and call-graph-based invariant "
+                     "analyzer for the Corleone reproduction "
+                     "(determinism, crowd accounting, kernel parity, "
+                     "checkpoint completeness, observability "
+                     "consistency)"),
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to analyze "
                              "(default: src/repro)")
+    parser.add_argument("--changed", nargs="?", const="HEAD",
+                        default=None, metavar="REF",
+                        help="analyze only Python files changed since "
+                             "REF (default HEAD); whole-program rules "
+                             "are skipped")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="report format")
     parser.add_argument("--output", type=Path, default=None,
@@ -44,9 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rewrite the baseline to absorb all "
                              "current findings (preserves existing "
                              "justifications)")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="audit the baseline: exit non-zero iff "
+                             "it has stale entries")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RULE", dest="rule",
+                        help="run only this rule (repeatable; "
+                             "combines with --select)")
     parser.add_argument("--ignore", default=None, metavar="RULES",
                         help="comma-separated rule ids to skip")
     parser.add_argument("--show-baselined", action="store_true",
@@ -54,13 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(text format)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write .corlint_cache")
+    parser.add_argument("--model-stats", action="store_true",
+                        help="print semantic-model statistics and "
+                             "per-rule timings to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
 
 
 def _pick_rules(select: str | None, ignore: str | None) -> list:
-    """Resolve --select/--ignore into a rule instance list."""
+    """Resolve --select/--rule/--ignore into a rule instance list."""
     catalog = rules_by_id()
     chosen = dict(catalog)
     if select:
@@ -79,6 +103,41 @@ def _pick_rules(select: str | None, ignore: str | None) -> list:
     return list(chosen.values())
 
 
+def _changed_files(root: Path, ref: str) -> list[Path] | None:
+    """Python files changed since ``ref``, or None when git fails."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+            cwd=root, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed = []
+    for line in proc.stdout.splitlines():
+        candidate = root / line.strip()
+        if candidate.suffix == ".py" and candidate.is_file():
+            changed.append(candidate)
+    return changed
+
+
+def _print_model_stats(report, stream) -> None:
+    """Render --model-stats output (stderr; never in the report)."""
+    if report.model_stats is None:
+        print("corlint: no semantic model was built "
+              "(no semantic rules active)", file=stream)
+    else:
+        print("corlint: semantic model", file=stream)
+        for key, value in sorted(report.model_stats.items()):
+            print(f"  {key}: {value}", file=stream)
+    timed = {k: v for k, v in report.timings.items()
+             if k not in ("total",)}
+    print("corlint: timings (seconds)", file=stream)
+    for key in sorted(timed):
+        print(f"  {key}: {timed[key]:.4f}", file=stream)
+    print(f"  total: {report.timings.get('total', 0.0):.4f}",
+          file=stream)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run corlint; returns the process exit code."""
     parser = build_parser()
@@ -89,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.rule_id} [{rule.severity.label}] {rule.summary}")
         return 0
 
+    if args.changed is not None and args.paths:
+        print("corlint: --changed and explicit paths are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
     targets = args.paths or [Path("src") / "repro"]
     missing = [str(t) for t in targets if not t.exists()]
     if missing:
@@ -97,18 +161,39 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     root = find_repo_root(targets[0])
+    partial = False
+    if args.changed is not None:
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            print(f"corlint: git diff against {args.changed!r} failed",
+                  file=sys.stderr)
+            return 2
+        if not changed:
+            print(f"corlint: no Python files changed since "
+                  f"{args.changed}")
+            return 0
+        targets = changed
+        partial = True
+
     baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
     baseline = None if args.no_baseline else Baseline.load(baseline_path)
 
+    select = args.select
+    if args.rule:
+        picked = ",".join(args.rule)
+        select = f"{select},{picked}" if select else picked
     try:
-        rules = _pick_rules(args.select, args.ignore)
+        rules = _pick_rules(select, args.ignore)
     except SystemExit as error:
         print(error, file=sys.stderr)
         return 2
 
     analyzer = Analyzer(rules=rules, use_cache=not args.no_cache,
-                        root=root)
+                        root=root, partial=partial)
     report = analyzer.run(targets, baseline=baseline)
+
+    if args.model_stats:
+        _print_model_stats(report, sys.stderr)
 
     if args.update_baseline:
         updated = baseline_from_findings(
@@ -118,6 +203,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"corlint: wrote {len(updated.entries)} baseline "
               f"entr{'y' if len(updated.entries) == 1 else 'ies'} "
               f"to {target}")
+        return 0
+
+    if args.check_baseline:
+        if report.stale_entries:
+            for entry in report.stale_entries:
+                print(f"stale baseline entry: {entry.rule} "
+                      f"{entry.path} ({entry.fingerprint})")
+            print(f"corlint: {len(report.stale_entries)} stale "
+                  f"baseline entr"
+                  f"{'y' if len(report.stale_entries) == 1 else 'ies'}"
+                  f" — regenerate with --update-baseline")
+            return 1
+        print("corlint: baseline is tight (no stale entries)")
         return 0
 
     if args.format == "json":

@@ -4,22 +4,32 @@
 :class:`~repro.analysis.source.SourceModule`, and walks its tree
 exactly once while dispatching every node to the ``visit_<NodeType>``
 handlers of every applicable :class:`ModuleRule`.  Project rules then
-see the whole module set for cross-file invariants.  Inline
-suppressions are applied per finding, the baseline splits the survivors
-into new vs grandfathered, and everything is deterministic — same tree
-in, same report out.
+see the whole module set for cross-file invariants; when any
+:class:`SemanticRule` is active the engine first compiles the
+whole-program semantic model (import graph, symbol tables, approximate
+call graph — cached per file like findings) and exposes it through the
+:class:`ProjectContext`.  Inline suppressions are applied per finding,
+the baseline splits the survivors into new vs grandfathered (entries
+whose file has left the tree are *always* reported stale, and entries
+for files outside the scanned targets are ignored rather than
+misreported), and everything is deterministic — same tree in, same
+report out.  Wall-clock timings (per rule, model build, total) ride on
+the report for the benchmarks but never enter the rendered output.
 """
 
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .baseline import Baseline, BaselineEntry, BaselineMatch
 from .cache import FindingsCache, file_digest
 from .findings import Finding, Severity
-from .rules import ModuleRule, ProjectRule, Rule, default_rules
+from .model import SemanticModel, build_model
+from .rules import ModuleRule, ProjectRule, Rule, SemanticRule, \
+    default_rules
 from .rules.base import ModuleContext, ProjectContext
 from .source import SourceModule, collect_files, find_repo_root, load_module
 
@@ -35,6 +45,12 @@ class AnalysisReport:
     stale_entries: list[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
     rules: list[Rule] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    """Per-rule wall seconds plus ``model_build`` and ``total`` — for
+    the benchmarks only; never rendered into reports (which must stay
+    byte-identical across runs)."""
+    model_stats: dict | None = None
+    """Semantic-model shape statistics when a model was built."""
 
     @property
     def all_findings(self) -> list[Finding]:
@@ -61,10 +77,15 @@ class Analyzer:
 
     def __init__(self, rules: list[Rule] | None = None,
                  use_cache: bool = False,
-                 root: Path | None = None) -> None:
+                 root: Path | None = None,
+                 partial: bool = False) -> None:
         self.rules = rules if rules is not None else default_rules()
         self.use_cache = use_cache
         self.root = root
+        self.partial = partial
+        """True for diff-aware (``--changed``) or other explicit-file
+        scans: the semantic model is marked non-whole-program so
+        absence-of-reference rules stay silent."""
         self._module_rules = [r for r in self.rules
                               if isinstance(r, ModuleRule)]
         self._project_rules = [r for r in self.rules
@@ -72,10 +93,13 @@ class Analyzer:
         self._signature = ",".join(
             sorted(rule.rule_id for rule in self.rules)
         )
+        self._timings: dict[str, float] = {}
 
     def run(self, targets: list[Path],
             baseline: Baseline | None = None) -> AnalysisReport:
         """Analyze ``targets`` and split findings against ``baseline``."""
+        started = time.perf_counter()
+        self._timings = {}
         files = collect_files(targets)
         root = self.root or (find_repo_root(targets[0]) if targets
                              else Path.cwd())
@@ -92,9 +116,13 @@ class Analyzer:
             modules.append(module)
             findings.extend(self._module_findings(module, cache))
 
-        project_ctx = ProjectContext()
+        model = self._build_model(modules, root)
+        project_ctx = ProjectContext(model=model)
         for rule in self._project_rules:
+            rule_started = time.perf_counter()
             rule.check_project(modules, project_ctx)
+            self._charge(rule.rule_id,
+                         time.perf_counter() - rule_started)
         by_relpath = {module.relpath: module for module in modules}
         for finding in project_ctx.findings:
             module = by_relpath.get(finding.path)
@@ -108,28 +136,82 @@ class Analyzer:
 
         findings.sort()
         if baseline is not None:
-            # Entries for rules not in this run (e.g. under --select)
-            # cannot match anything; drop them so a restricted run does
-            # not report the rest of the baseline as stale.
-            active = {rule.rule_id for rule in self.rules}
-            scoped = Baseline(entries=[
-                entry for entry in baseline.entries
-                if entry.rule in active
-            ])
-            match = scoped.match(findings)
+            match = self._match_baseline(baseline, findings, root,
+                                         targets, model)
         else:
             match = BaselineMatch(new=findings)
-        return AnalysisReport(
+        report = AnalysisReport(
             new_findings=match.new,
             baselined_findings=match.baselined,
             stale_entries=match.stale,
             files_scanned=len(files),
             rules=list(self.rules),
+            timings=dict(self._timings),
+            model_stats=model.stats() if model is not None else None,
         )
+        report.timings["total"] = time.perf_counter() - started
+        return report
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _charge(self, rule_id: str, seconds: float) -> None:
+        """Accumulate wall time against one rule's bucket."""
+        self._timings[rule_id] = self._timings.get(rule_id, 0.0) + seconds
+
+    def _build_model(self, modules: list[SourceModule],
+                     root: Path) -> SemanticModel | None:
+        """Compile the semantic model if any active rule needs it."""
+        if not any(isinstance(rule, SemanticRule)
+                   for rule in self._project_rules):
+            return None
+        model = build_model(modules, root=root,
+                            use_cache=self.use_cache,
+                            whole_program=not self.partial)
+        self._timings["model_build"] = model.build_seconds
+        return model
+
+    def _match_baseline(self, baseline: Baseline,
+                        findings: list[Finding], root: Path,
+                        targets: list[Path],
+                        model: SemanticModel | None) -> BaselineMatch:
+        """Split findings against the baseline, path- and rule-scoped.
+
+        Three entry populations: entries whose file no longer exists
+        are stale unconditionally (the finding can never fire again);
+        entries for existing files *outside* the scanned targets are
+        ignored (a subtree scan proves nothing about them); the rest
+        participate in normal fingerprint matching, restricted to the
+        rules that *effectively ran* — ``--select`` runs and partial
+        scans (where whole-program rules stay silent) must not mark
+        the remainder of the baseline stale.
+        """
+        resolved = [t.resolve() for t in targets]
+        active = {
+            rule.rule_id for rule in self.rules
+            if not (isinstance(rule, SemanticRule)
+                    and (model is None
+                         or (rule.requires_whole_program
+                             and not model.whole_program)))
+        }
+        missing: list[BaselineEntry] = []
+        scoped: list[BaselineEntry] = []
+        for entry in baseline.entries:
+            target = root / entry.path
+            if not target.is_file():
+                missing.append(entry)
+                continue
+            target = target.resolve()
+            in_scope = any(
+                target == t or t in target.parents for t in resolved
+            )
+            if in_scope and entry.rule in active:
+                scoped.append(entry)
+        match = Baseline(entries=scoped).match(findings)
+        match.stale.extend(missing)
+        match.stale.sort(key=lambda e: (e.path, e.rule, e.fingerprint))
+        return match
 
     def _module_findings(self, module: SourceModule,
                          cache: FindingsCache | None) -> list[Finding]:
@@ -149,7 +231,8 @@ class Analyzer:
             for rule in applicable:
                 rule.begin_module(module, ctx)
                 for node_type, handler in rule.handlers().items():
-                    dispatch.setdefault(node_type, []).append(handler)
+                    dispatch.setdefault(node_type, []).append(
+                        (rule.rule_id, handler))
             self._walk(module.tree, ctx, dispatch)
             for rule in applicable:
                 rule.finish_module(module, ctx)
@@ -168,8 +251,11 @@ class Analyzer:
         """Depth-first dispatch walk maintaining the ancestor stack."""
         handlers = dispatch.get(type(node).__name__)
         if handlers:
-            for handler in handlers:
+            for rule_id, handler in handlers:
+                handler_started = time.perf_counter()
                 handler(node, ctx)
+                self._charge(rule_id,
+                             time.perf_counter() - handler_started)
         ctx.ancestors.append(node)
         for child in ast.iter_child_nodes(node):
             self._walk(child, ctx, dispatch)
@@ -197,7 +283,8 @@ class Analyzer:
 def run_analysis(targets: list[Path],
                  baseline_path: Path | None = None,
                  rules: list[Rule] | None = None,
-                 use_cache: bool = False) -> AnalysisReport:
+                 use_cache: bool = False,
+                 partial: bool = False) -> AnalysisReport:
     """One-call API: analyze ``targets`` against an optional baseline.
 
     This is what the test gate and ``collect_results.py --lint`` use;
@@ -205,5 +292,6 @@ def run_analysis(targets: list[Path],
     """
     baseline = (Baseline.load(baseline_path)
                 if baseline_path is not None else None)
-    analyzer = Analyzer(rules=rules, use_cache=use_cache)
+    analyzer = Analyzer(rules=rules, use_cache=use_cache,
+                        partial=partial)
     return analyzer.run([Path(t) for t in targets], baseline=baseline)

@@ -1,0 +1,40 @@
+"""The corlint v2 semantic model: a compiled whole-program view.
+
+Per-file AST rules catch local violations; the bugs that actually bite
+are cross-module flows (a stream seeded in one stage consumed in
+another, an attribute mutated here but never checkpointed there, an
+event emitted that nothing consumes).  This package parses the scanned
+tree once into per-module facts, links them into import/symbol tables
+and an approximate call graph, and hands the result to
+:class:`~repro.analysis.rules.base.SemanticRule`s via the engine.
+"""
+
+from __future__ import annotations
+
+from .builder import (
+    CallEdge,
+    ModelFactsCache,
+    SemanticModel,
+    bind_arguments,
+    build_model,
+)
+from .facts import (
+    ClassFacts,
+    FunctionFacts,
+    ModuleFacts,
+    extract_facts,
+    module_dotted_name,
+)
+
+__all__ = [
+    "CallEdge",
+    "ClassFacts",
+    "FunctionFacts",
+    "ModelFactsCache",
+    "ModuleFacts",
+    "SemanticModel",
+    "bind_arguments",
+    "build_model",
+    "extract_facts",
+    "module_dotted_name",
+]

@@ -1,0 +1,472 @@
+"""The whole-program semantic model: linking, call graph, cache.
+
+:func:`build_model` turns a set of parsed :class:`SourceModule`s into a
+:class:`SemanticModel`: per-module facts (cached per file, keyed on a
+digest of the source and the model version — exactly like per-file
+findings), a resolved import graph, global symbol tables, and an
+approximate call graph.  The call graph resolves direct calls, imported
+calls, constructor calls (edges land on ``__init__``), ``self.method``
+dispatch (following declared base classes), and method calls on
+receivers whose class is known from a parameter annotation or a local
+``x = ClassName(...)`` assignment.  It is deliberately approximate —
+no edge is ever invented, some are missed — which is the right polarity
+for the flow rules built on top (missed edges can only underreport).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cache import CACHE_DIR_NAME, file_digest
+from ..source import SourceModule
+from .facts import (
+    ArgValue,
+    CallSite,
+    ClassFacts,
+    FunctionFacts,
+    ModuleFacts,
+    extract_facts,
+)
+
+MODEL_VERSION = 1
+"""Bump when fact extraction changes so cached facts self-invalidate."""
+
+MODEL_CACHE_NAME = "model.json"
+
+
+def _function_key(dotted: str, qualname: str) -> str:
+    """The call-graph node key for one function or method."""
+    return f"{dotted}::{qualname}"
+
+
+@dataclass
+class CallEdge:
+    """One resolved call-graph edge."""
+
+    caller: str
+    callee: str
+    site: CallSite
+    module: str
+    """Relpath of the module containing the call site."""
+
+
+@dataclass
+class SemanticModel:
+    """The compiled whole-program view rules query."""
+
+    modules: dict[str, ModuleFacts]
+    """relpath -> facts, for every scanned module."""
+    by_dotted: dict[str, ModuleFacts] = field(default_factory=dict)
+    functions: dict[str, tuple[ModuleFacts, FunctionFacts]] = \
+        field(default_factory=dict)
+    """node key -> (owning module, function facts)."""
+    classes: dict[str, tuple[ModuleFacts, ClassFacts]] = \
+        field(default_factory=dict)
+    """"dotted:ClassName" -> (owning module, class facts)."""
+    edges: list[CallEdge] = field(default_factory=list)
+    callers: dict[str, list[CallEdge]] = field(default_factory=dict)
+    callees: dict[str, list[CallEdge]] = field(default_factory=dict)
+    whole_program: bool = False
+    """True when the scan covered the full package tree — the gate for
+    rules whose absence-of-reference reasoning needs every module."""
+    build_seconds: float = 0.0
+    cached_modules: int = 0
+
+    def module_of(self, key: str) -> ModuleFacts | None:
+        """The module owning a call-graph node key."""
+        entry = self.functions.get(key)
+        return entry[0] if entry else None
+
+    def resolve_class(self, facts: ModuleFacts,
+                      chain: tuple[str, ...]) -> str | None:
+        """Resolve a dotted chain to a "dotted:Class" key, if a class."""
+        return _resolve_class_chain(self, facts, chain)
+
+    def resolve_export(self, module: str,
+                       symbol: str) -> tuple[str, str] | None:
+        """Chase ``from module import symbol`` to its defining module.
+
+        Returns ``(module, symbol)`` for a def/class, ``(module, "")``
+        when the symbol is itself a submodule, None when external.
+        """
+        return _resolve_symbol(self, module, symbol)
+
+    def class_method_key(self, class_key: str,
+                         method: str) -> str | None:
+        """The node key of ``method`` on a class or its declared bases."""
+        seen: set[str] = set()
+        stack = [class_key]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self.classes.get(current)
+            if entry is None:
+                continue
+            owner, cls = entry
+            if method in cls.methods:
+                return _function_key(owner.dotted,
+                                     f"{cls.name}.{method}")
+            for base in cls.bases:
+                base_key = _resolve_class_chain(self, owner, base)
+                if base_key is not None:
+                    stack.append(base_key)
+        return None
+
+    def stats(self) -> dict:
+        """Shape statistics for ``--model-stats`` and the benchmarks."""
+        import_edges = 0
+        internal = {facts.dotted for facts in self.modules.values()}
+        for facts in self.modules.values():
+            import_edges += sum(
+                1 for b in facts.imports
+                if b.module in internal
+                or any(b.module.startswith(d + ".") or b.module == d
+                       for d in internal)
+            )
+        return {
+            "modules": len(self.modules),
+            "classes": len(self.classes),
+            "functions": len(self.functions),
+            "import_edges": import_edges,
+            "call_edges": len(self.edges),
+            "whole_program": self.whole_program,
+            "cached_modules": self.cached_modules,
+            "build_seconds": round(self.build_seconds, 4),
+        }
+
+
+class ModelFactsCache:
+    """Per-file :class:`ModuleFacts` cache (``.corlint_cache/model.json``).
+
+    Mirrors :class:`~repro.analysis.cache.FindingsCache`: entries are
+    keyed by a digest of the file's source and the model version, and
+    entries whose file vanished from the tree are pruned on save.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.path = root / CACHE_DIR_NAME / MODEL_CACHE_NAME
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.path.is_file():
+            try:
+                payload = json.loads(self.path.read_text(
+                    encoding="utf-8"))
+                if payload.get("version") == MODEL_VERSION:
+                    self._entries = payload.get("entries", {})
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, relpath: str, digest: str) -> ModuleFacts | None:
+        """Cached facts for ``relpath`` when its digest still matches."""
+        entry = self._entries.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return ModuleFacts.from_dict(entry["facts"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, relpath: str, digest: str,
+            facts: ModuleFacts) -> None:
+        """Record freshly extracted facts for ``relpath``."""
+        self._entries[relpath] = {"digest": digest,
+                                  "facts": facts.to_dict()}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist, dropping entries whose file left the tree."""
+        known = {
+            relpath for relpath in self._entries
+            if (self.root / relpath).is_file()
+        }
+        if len(known) != len(self._entries):
+            self._entries = {rel: entry
+                             for rel, entry in self._entries.items()
+                             if rel in known}
+            self._dirty = True
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": MODEL_VERSION, "entries": self._entries}
+        self.path.write_text(json.dumps(payload, sort_keys=True),
+                             encoding="utf-8")
+        self._dirty = False
+
+
+# ----------------------------------------------------------------------
+# Linking
+# ----------------------------------------------------------------------
+
+
+def _import_map(facts: ModuleFacts) -> dict[str, tuple[str, str | None]]:
+    """alias -> (module, symbol|None) for one module's bindings."""
+    return {b.alias: (b.module, b.symbol) for b in facts.imports}
+
+
+def _resolve_symbol(model: SemanticModel, module: str,
+                    symbol: str) -> tuple[str, str] | None:
+    """Chase ``from m import s`` through re-exports to a definition.
+
+    Returns ``(dotted module, symbol)`` of the defining module, or None
+    when the target is external or unresolvable.
+    """
+    seen: set[tuple[str, str]] = set()
+    while (module, symbol) not in seen:
+        seen.add((module, symbol))
+        facts = model.by_dotted.get(module)
+        if facts is None:
+            # `from repro import engine`-style submodule import.
+            sub = model.by_dotted.get(f"{module}.{symbol}")
+            if sub is not None:
+                return (sub.dotted, "")
+            return None
+        if symbol in facts.functions or symbol in facts.classes:
+            return (module, symbol)
+        bound = _import_map(facts).get(symbol)
+        if bound is None:
+            sub = model.by_dotted.get(f"{module}.{symbol}")
+            if sub is not None:
+                return (sub.dotted, "")
+            return None
+        next_module, next_symbol = bound
+        if next_symbol is None:
+            return (next_module, "")
+        module, symbol = next_module, next_symbol
+    # Cycle: typically a package __init__ doing `from . import sub`,
+    # which binds the submodule under its own name.
+    sub = model.by_dotted.get(f"{module}.{symbol}")
+    if sub is not None:
+        return (sub.dotted, "")
+    return None
+
+
+def _resolve_class_chain(model: SemanticModel, facts: ModuleFacts,
+                         chain: tuple[str, ...]) -> str | None:
+    """Resolve a dotted chain (as written in ``facts``) to a class key."""
+    if len(chain) == 1:
+        name = chain[0]
+        if name in facts.classes:
+            return f"{facts.dotted}:{name}"
+        bound = _import_map(facts).get(name)
+        if bound is not None and bound[1] is not None:
+            resolved = _resolve_symbol(model, bound[0], bound[1])
+            if resolved is not None and resolved[1]:
+                owner = model.by_dotted.get(resolved[0])
+                if owner is not None and resolved[1] in owner.classes:
+                    return f"{resolved[0]}:{resolved[1]}"
+        return None
+    # module.Class / package.module.Class
+    head, rest = chain[0], chain[1:]
+    bound = _import_map(facts).get(head)
+    if bound is None:
+        return None
+    module, symbol = bound
+    if symbol is not None:
+        resolved = _resolve_symbol(model, module, symbol)
+        if resolved is None or resolved[1]:
+            return None
+        module = resolved[0]
+    while len(rest) > 1:
+        module = f"{module}.{rest[0]}"
+        rest = rest[1:]
+    owner = model.by_dotted.get(module)
+    if owner is not None and rest[0] in owner.classes:
+        return f"{module}:{rest[0]}"
+    return None
+
+
+def _callee_key(model: SemanticModel, facts: ModuleFacts,
+                caller: FunctionFacts, enclosing_class: str | None,
+                site: CallSite) -> str | None:
+    """Resolve one call site to a call-graph node key, if possible."""
+    chain = site.chain
+    imports = _import_map(facts)
+
+    if len(chain) == 1:
+        name = chain[0]
+        if name in facts.functions:
+            return _function_key(facts.dotted, name)
+        if name in facts.classes:
+            return model.class_method_key(f"{facts.dotted}:{name}",
+                                          "__init__")
+        bound = imports.get(name)
+        if bound is not None and bound[1] is not None:
+            resolved = _resolve_symbol(model, bound[0], bound[1])
+            if resolved is not None and resolved[1]:
+                owner = model.by_dotted[resolved[0]]
+                if resolved[1] in owner.functions:
+                    return _function_key(resolved[0], resolved[1])
+                if resolved[1] in owner.classes:
+                    return model.class_method_key(
+                        f"{resolved[0]}:{resolved[1]}", "__init__")
+        return None
+
+    head, method = chain[0], chain[-1]
+    if len(chain) == 2:
+        if head == "self" and enclosing_class is not None:
+            return model.class_method_key(
+                f"{facts.dotted}:{enclosing_class}", method)
+        receiver_class = _receiver_class(model, facts, caller, head)
+        if receiver_class is not None:
+            return model.class_method_key(receiver_class, method)
+        bound = imports.get(head)
+        if bound is not None:
+            module, symbol = bound
+            if symbol is None:
+                owner = model.by_dotted.get(module)
+                if owner is not None:
+                    if method in owner.functions:
+                        return _function_key(module, method)
+                    if method in owner.classes:
+                        return model.class_method_key(
+                            f"{module}:{method}", "__init__")
+            else:
+                resolved = _resolve_symbol(model, module, symbol)
+                if resolved is not None and not resolved[1]:
+                    owner = model.by_dotted.get(resolved[0])
+                    if owner is not None and method in owner.functions:
+                        return _function_key(resolved[0], method)
+        return None
+
+    # package.module.func / module.Class(...): resolve the prefix as a
+    # module chain, the last element as a symbol.
+    prefix = _resolve_class_chain(model, facts, chain)
+    if prefix is not None:
+        return model.class_method_key(prefix, "__init__")
+    bound = imports.get(head)
+    if bound is not None and bound[1] is None:
+        module = bound[0] + "." + ".".join(chain[1:-1])
+        owner = model.by_dotted.get(module)
+        if owner is not None:
+            if method in owner.functions:
+                return _function_key(module, method)
+            if method in owner.classes:
+                return model.class_method_key(f"{module}:{method}",
+                                              "__init__")
+    return None
+
+
+def _receiver_class(model: SemanticModel, facts: ModuleFacts,
+                    caller: FunctionFacts, name: str) -> str | None:
+    """The class key of a local/parameter receiver, if inferable."""
+    for param, annotation in caller.params:
+        if param == name and annotation is not None:
+            return _resolve_class_chain(model, facts, annotation)
+    chain = caller.local_types.get(name)
+    if chain is not None:
+        return _resolve_class_chain(model, facts, chain)
+    return None
+
+
+def build_model(modules: list[SourceModule], root: Path | None = None,
+                use_cache: bool = False,
+                whole_program: bool = True) -> SemanticModel:
+    """Compile ``modules`` into a linked :class:`SemanticModel`."""
+    import time as _time  # wall time for --model-stats only
+
+    started = _time.perf_counter()
+    cache = (ModelFactsCache(root)
+             if use_cache and root is not None else None)
+
+    model = SemanticModel(modules={})
+    cached = 0
+    for module in modules:
+        facts = None
+        digest = None
+        if cache is not None:
+            digest = file_digest(module.source, f"model:{MODEL_VERSION}")
+            facts = cache.get(module.relpath, digest)
+            if facts is not None:
+                cached += 1
+        if facts is None:
+            facts = extract_facts(module)
+            if cache is not None and digest is not None:
+                cache.put(module.relpath, digest, facts)
+        model.modules[module.relpath] = facts
+    if cache is not None:
+        cache.save()
+    model.cached_modules = cached
+
+    model.by_dotted = {facts.dotted: facts
+                       for facts in model.modules.values()}
+
+    # Whole-program iff every top-level package present in the scan has
+    # its root __init__ in the scan too (a subtree or changed-files run
+    # does not, so absence-of-reference rules stay silent there).
+    tops = {facts.dotted.split(".")[0]
+            for facts in model.modules.values() if facts.dotted}
+    roots_present = {facts.dotted for facts in model.modules.values()
+                     if facts.is_package}
+    model.whole_program = whole_program and bool(tops) and all(
+        top in roots_present or model.by_dotted.get(top) is not None
+        for top in tops
+    )
+
+    for facts in model.modules.values():
+        for func in facts.functions.values():
+            model.functions[_function_key(facts.dotted,
+                                          func.qualname)] = (facts, func)
+        for cls in facts.classes.values():
+            model.classes[f"{facts.dotted}:{cls.name}"] = (facts, cls)
+            for method in cls.methods.values():
+                model.functions[_function_key(
+                    facts.dotted, method.qualname)] = (facts, method)
+
+    for facts in model.modules.values():
+        for func in facts.functions.values():
+            _link_function(model, facts, func, None)
+        for cls in facts.classes.values():
+            for method in cls.methods.values():
+                _link_function(model, facts, method, cls.name)
+
+    for edge in model.edges:
+        model.callers.setdefault(edge.callee, []).append(edge)
+        model.callees.setdefault(edge.caller, []).append(edge)
+
+    model.build_seconds = _time.perf_counter() - started
+    return model
+
+
+def _link_function(model: SemanticModel, facts: ModuleFacts,
+                   func: FunctionFacts,
+                   enclosing_class: str | None) -> None:
+    """Add the resolved outgoing edges of one function."""
+    caller_key = _function_key(facts.dotted, func.qualname)
+    for site in func.calls:
+        callee = _callee_key(model, facts, func, enclosing_class, site)
+        if callee is None:
+            continue
+        model.edges.append(CallEdge(caller=caller_key, callee=callee,
+                                    site=site, module=facts.relpath))
+
+
+def bind_arguments(model: SemanticModel, edge: CallEdge) \
+        -> list[tuple[str, ArgValue]]:
+    """Map an edge's arguments onto the callee's parameter names.
+
+    Methods (including ``__init__``) consume their leading ``self``
+    parameter before positionals are assigned.
+    """
+    entry = model.functions.get(edge.callee)
+    if entry is None:
+        return []
+    _, callee = entry
+    names = callee.param_names()
+    if names and names[0] == "self" and "." in callee.qualname:
+        names = names[1:]
+    bound: list[tuple[str, ArgValue]] = []
+    position = 0
+    for arg in edge.site.args:
+        if arg.keyword is not None:
+            if arg.keyword in names:
+                bound.append((arg.keyword, arg))
+        else:
+            if position < len(names):
+                bound.append((names[position], arg))
+            position += 1
+    return bound

@@ -1,0 +1,722 @@
+"""Per-module fact extraction for the semantic model.
+
+One AST walk per file distills everything the whole-program layer
+needs into plain, JSON-serializable :class:`ModuleFacts`: import
+bindings, top-level symbols, per-function call sites (with just enough
+argument structure to trace RNG streams), per-class ``__init__``
+attribute inventories, event/metric declarations and uses, and every
+name/attribute reference.  Facts depend only on the file's bytes, so
+the model builder caches them per file exactly like per-file findings
+(see :mod:`repro.analysis.model.builder`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..source import SourceModule
+
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+})
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+_METRIC_REG_METHODS = frozenset({"counter", "gauge", "histogram"})
+_METRIC_GET_RECEIVERS = frozenset({"reg", "registry"})
+
+
+def dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """The dotted parts of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def module_dotted_name(relpath: str) -> tuple[str, bool]:
+    """``(dotted module name, is_package)`` for a repo-relative path.
+
+    A leading ``src/`` component is stripped so that
+    ``src/repro/engine/stages.py`` names the importable module
+    ``repro.engine.stages``.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    elif parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    return ".".join(parts), is_package
+
+
+@dataclass
+class ImportBinding:
+    """One name bound by an import statement.
+
+    ``symbol`` is None for whole-module imports (``import repro.obs``
+    binds the alias to a module, not a symbol).
+    """
+
+    alias: str
+    module: str
+    symbol: str | None
+    line: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {"alias": self.alias, "module": self.module,
+                "symbol": self.symbol, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ImportBinding":
+        return cls(alias=d["alias"], module=d["module"],
+                   symbol=d["symbol"], line=int(d["line"]))
+
+
+@dataclass
+class ArgValue:
+    """One argument at a call site, reduced to what flow rules need.
+
+    ``kind`` is ``"stream"`` for a direct ``*.rng("name")`` expression
+    (``detail`` is the stream name), ``"name"`` for a bare local
+    variable or parameter (``detail`` is the variable), or ``"other"``.
+    """
+
+    keyword: str | None
+    kind: str
+    detail: str
+    line: int
+    column: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {"keyword": self.keyword, "kind": self.kind,
+                "detail": self.detail, "line": self.line,
+                "column": self.column}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArgValue":
+        return cls(keyword=d["keyword"], kind=d["kind"],
+                   detail=d["detail"], line=int(d["line"]),
+                   column=int(d["column"]))
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    chain: tuple[str, ...]
+    line: int
+    column: int
+    args: list[ArgValue] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {"chain": list(self.chain), "line": self.line,
+                "column": self.column,
+                "args": [a.to_dict() for a in self.args]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallSite":
+        return cls(chain=tuple(d["chain"]), line=int(d["line"]),
+                   column=int(d["column"]),
+                   args=[ArgValue.from_dict(a) for a in d["args"]])
+
+
+@dataclass
+class FunctionFacts:
+    """One function or method, reduced to its flow-relevant surface."""
+
+    name: str
+    qualname: str
+    line: int
+    params: list[tuple[str, tuple[str, ...] | None]]
+    """Parameter names with their (dotted) annotation chains."""
+    calls: list[CallSite] = field(default_factory=list)
+    clock_calls: list[tuple[int, int, str]] = field(default_factory=list)
+    """Direct wall-clock reads: (line, column, call text)."""
+    local_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    """Locals assigned from a constructor-looking call: var -> chain."""
+    stream_locals: dict[str, tuple[str, int, int]] = field(
+        default_factory=dict)
+    """Locals assigned from ``*.rng("name")``: var -> (stream, ln, col)."""
+
+    def param_names(self) -> list[str]:
+        """Positional parameter names, in signature order."""
+        return [name for name, _ in self.params]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {
+            "name": self.name, "qualname": self.qualname,
+            "line": self.line,
+            "params": [[n, list(a) if a else None]
+                       for n, a in self.params],
+            "calls": [c.to_dict() for c in self.calls],
+            "clock_calls": [list(c) for c in self.clock_calls],
+            "local_types": {k: list(v)
+                            for k, v in self.local_types.items()},
+            "stream_locals": {k: list(v)
+                              for k, v in self.stream_locals.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionFacts":
+        return cls(
+            name=d["name"], qualname=d["qualname"], line=int(d["line"]),
+            params=[(n, tuple(a) if a else None) for n, a in d["params"]],
+            calls=[CallSite.from_dict(c) for c in d["calls"]],
+            clock_calls=[(int(a), int(b), str(c))
+                         for a, b, c in d["clock_calls"]],
+            local_types={k: tuple(v)
+                         for k, v in d["local_types"].items()},
+            stream_locals={k: (str(v[0]), int(v[1]), int(v[2]))
+                           for k, v in d["stream_locals"].items()},
+        )
+
+
+@dataclass
+class AttrFacts:
+    """One ``self.<attr>`` assigned in ``__init__``."""
+
+    name: str
+    line: int
+    column: int
+    derived: bool
+    """True when the assignment carries a ``# corlint: derived`` pragma."""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {"name": self.name, "line": self.line,
+                "column": self.column, "derived": self.derived}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AttrFacts":
+        return cls(name=d["name"], line=int(d["line"]),
+                   column=int(d["column"]), derived=bool(d["derived"]))
+
+
+@dataclass
+class ClassFacts:
+    """One class: bases, methods and checkpoint-relevant attributes."""
+
+    name: str
+    line: int
+    bases: list[tuple[str, ...]]
+    methods: dict[str, FunctionFacts] = field(default_factory=dict)
+    init_attrs: list[AttrFacts] = field(default_factory=list)
+    mutated_attrs: dict[str, str] = field(default_factory=dict)
+    """attr -> first non-__init__ method that reassigns it."""
+    state_refs: set[str] = field(default_factory=set)
+    """Attr names / string keys referenced in state_dict/load_state."""
+
+    @property
+    def has_state_protocol(self) -> bool:
+        return ("state_dict" in self.methods
+                and "load_state" in self.methods)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {
+            "name": self.name, "line": self.line,
+            "bases": [list(b) for b in self.bases],
+            "methods": {k: v.to_dict() for k, v in self.methods.items()},
+            "init_attrs": [a.to_dict() for a in self.init_attrs],
+            "mutated_attrs": dict(self.mutated_attrs),
+            "state_refs": sorted(self.state_refs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassFacts":
+        return cls(
+            name=d["name"], line=int(d["line"]),
+            bases=[tuple(b) for b in d["bases"]],
+            methods={k: FunctionFacts.from_dict(v)
+                     for k, v in d["methods"].items()},
+            init_attrs=[AttrFacts.from_dict(a) for a in d["init_attrs"]],
+            mutated_attrs=dict(d["mutated_attrs"]),
+            state_refs=set(d["state_refs"]),
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the whole-program layer keeps about one module."""
+
+    relpath: str
+    dotted: str
+    is_package: bool
+    imports: list[ImportBinding] = field(default_factory=list)
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: dict[str, ClassFacts] = field(default_factory=dict)
+    exports: list[str] | None = None
+    """The literal ``__all__`` list, when one is declared."""
+    public_defs: dict[str, int] = field(default_factory=dict)
+    """Public top-level def/class names -> definition line."""
+    module_assigns: set[str] = field(default_factory=set)
+    """Names bound by module-level assignments (constants, tables)."""
+    name_loads: set[str] = field(default_factory=set)
+    attr_refs: set[tuple[str, str]] = field(default_factory=set)
+    """(root name, first attribute) pairs of every attribute access."""
+    emits: list[tuple[str, str, int, int]] = field(default_factory=list)
+    """emit() producers: (kind 'literal'|'const', value, line, col)."""
+    event_constants: dict[str, str] = field(default_factory=dict)
+    event_registry: list[tuple[str, str, int, int]] | None = None
+    """EVENT_NAMES elements: (kind, value, line, col); None if absent."""
+    metric_regs: list[tuple[str, str, int, int]] = field(
+        default_factory=list)
+    """Catalog registrations: (kind, metric name, line, col)."""
+    metric_gets: list[tuple[str, int, int]] = field(default_factory=list)
+    dispatch_literals: set[str] = field(default_factory=set)
+    """String literals used in comparisons or as dict keys."""
+    const_ref_counts: dict[str, int] = field(default_factory=dict)
+    """Name-load counts (for emit-vs-consume accounting of constants)."""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for the on-disk facts cache)."""
+        return {
+            "relpath": self.relpath, "dotted": self.dotted,
+            "is_package": self.is_package,
+            "imports": [b.to_dict() for b in self.imports],
+            "functions": {k: v.to_dict()
+                          for k, v in self.functions.items()},
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "exports": self.exports,
+            "public_defs": dict(self.public_defs),
+            "module_assigns": sorted(self.module_assigns),
+            "name_loads": sorted(self.name_loads),
+            "attr_refs": sorted(list(pair) for pair in self.attr_refs),
+            "emits": [list(e) for e in self.emits],
+            "event_constants": dict(self.event_constants),
+            "event_registry": ([list(e) for e in self.event_registry]
+                               if self.event_registry is not None
+                               else None),
+            "metric_regs": [list(m) for m in self.metric_regs],
+            "metric_gets": [list(m) for m in self.metric_gets],
+            "dispatch_literals": sorted(self.dispatch_literals),
+            "const_ref_counts": dict(self.const_ref_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleFacts":
+        return cls(
+            relpath=d["relpath"], dotted=d["dotted"],
+            is_package=bool(d["is_package"]),
+            imports=[ImportBinding.from_dict(b) for b in d["imports"]],
+            functions={k: FunctionFacts.from_dict(v)
+                       for k, v in d["functions"].items()},
+            classes={k: ClassFacts.from_dict(v)
+                     for k, v in d["classes"].items()},
+            exports=d["exports"],
+            public_defs={k: int(v) for k, v in d["public_defs"].items()},
+            module_assigns=set(d["module_assigns"]),
+            name_loads=set(d["name_loads"]),
+            attr_refs={(a, b) for a, b in d["attr_refs"]},
+            emits=[(e[0], e[1], int(e[2]), int(e[3]))
+                   for e in d["emits"]],
+            event_constants=dict(d["event_constants"]),
+            event_registry=([(e[0], e[1], int(e[2]), int(e[3]))
+                             for e in d["event_registry"]]
+                            if d["event_registry"] is not None else None),
+            metric_regs=[(m[0], m[1], int(m[2]), int(m[3]))
+                         for m in d["metric_regs"]],
+            metric_gets=[(m[0], int(m[1]), int(m[2]))
+                         for m in d["metric_gets"]],
+            dispatch_literals=set(d["dispatch_literals"]),
+            const_ref_counts={k: int(v)
+                              for k, v in d["const_ref_counts"].items()},
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def _is_stream_call(node: ast.AST) -> tuple[str, int, int] | None:
+    """``*.rng("name")`` -> (name, line, col); anything else -> None."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "rng" and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        return node.args[0].value, node.lineno, node.col_offset
+    return None
+
+
+def _arg_value(keyword: str | None, node: ast.expr) -> ArgValue:
+    """Classify one call argument for the flow rules."""
+    stream = _is_stream_call(node)
+    if stream is not None:
+        name, line, col = stream
+        return ArgValue(keyword, "stream", name, line, col)
+    if isinstance(node, ast.Name):
+        return ArgValue(keyword, "name", node.id,
+                        node.lineno, node.col_offset)
+    return ArgValue(keyword, "other", "",
+                    getattr(node, "lineno", 0),
+                    getattr(node, "col_offset", 0))
+
+
+def _annotation_chain(node: ast.expr | None) -> tuple[str, ...] | None:
+    """A parameter annotation as a dotted chain, unwrapping Optional."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        parts = node.value.strip().split(".")
+        if all(part.isidentifier() for part in parts):
+            return tuple(parts)
+        return None
+    # X | None and Optional[X] both reduce to X for resolution purposes.
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_chain(node.left)
+        return left or _annotation_chain(node.right)
+    if isinstance(node, ast.Subscript):
+        chain = dotted(node.value)
+        if chain is not None and chain[-1] == "Optional":
+            return _annotation_chain(node.slice)
+        return None
+    return dotted(node)
+
+
+class _ClockAliases:
+    """The module's import aliases for wall-clock sources."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time_mods: set[str] = set()
+        self.clock_funcs: set[str] = set()
+        self.datetime_mods: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "time":
+                        if alias.name in _CLOCK_FUNCS:
+                            self.clock_funcs.add(bound)
+                    elif node.module == "datetime":
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_classes.add(bound)
+
+    def classify(self, chain: tuple[str, ...]) -> str | None:
+        """The wall-clock call text if ``chain`` reads a clock."""
+        head, tail = chain[0], chain[1:]
+        if ((head in self.time_mods and len(chain) == 2
+                and tail[0] in _CLOCK_FUNCS)
+                or (len(chain) == 1 and head in self.clock_funcs)):
+            return ".".join(chain)
+        if ((head in self.datetime_mods and len(chain) == 3
+                and tail[0] in ("datetime", "date")
+                and tail[1] in _DATETIME_METHODS)
+                or (head in self.datetime_classes and len(chain) == 2
+                    and tail[0] in _DATETIME_METHODS)):
+            return ".".join(chain)
+        return None
+
+
+def _extract_function(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      qualname: str,
+                      clocks: _ClockAliases) -> FunctionFacts:
+    """Distill one function body into :class:`FunctionFacts`."""
+    params: list[tuple[str, tuple[str, ...] | None]] = []
+    arg_spec = node.args
+    for arg in (*arg_spec.posonlyargs, *arg_spec.args,
+                *arg_spec.kwonlyargs):
+        params.append((arg.arg, _annotation_chain(arg.annotation)))
+    facts = FunctionFacts(name=node.name, qualname=qualname,
+                          line=node.lineno, params=params)
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and len(child.targets) == 1 \
+                and isinstance(child.targets[0], ast.Name):
+            target = child.targets[0].id
+            stream = _is_stream_call(child.value)
+            if stream is not None:
+                facts.stream_locals[target] = stream
+            elif isinstance(child.value, ast.Call):
+                chain = dotted(child.value.func)
+                if chain is not None and chain[-1][:1].isupper():
+                    facts.local_types[target] = chain
+        if not isinstance(child, ast.Call):
+            continue
+        chain = dotted(child.func)
+        if chain is None:
+            continue
+        clock = clocks.classify(chain)
+        if clock is not None:
+            facts.clock_calls.append(
+                (child.lineno, child.col_offset, clock))
+        args = [_arg_value(None, a) for a in child.args
+                if not isinstance(a, ast.Starred)]
+        args += [_arg_value(kw.arg, kw.value) for kw in child.keywords
+                 if kw.arg is not None]
+        facts.calls.append(CallSite(chain=chain, line=child.lineno,
+                                    column=child.col_offset, args=args))
+    return facts
+
+
+def _extract_class(node: ast.ClassDef, module: SourceModule,
+                   clocks: _ClockAliases) -> ClassFacts:
+    """Distill one class body into :class:`ClassFacts`."""
+    bases = [chain for chain in (dotted(b) for b in node.bases)
+             if chain is not None]
+    facts = ClassFacts(name=node.name, line=node.lineno, bases=bases)
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        method = _extract_function(
+            item, f"{node.name}.{item.name}", clocks)
+        facts.methods[item.name] = method
+        if item.name == "__init__":
+            _collect_init_attrs(item, module, facts)
+        elif item.name in ("state_dict", "load_state"):
+            _collect_state_refs(item, facts)
+            _collect_mutations(item, facts)
+        else:
+            _collect_mutations(item, facts)
+    return facts
+
+
+def _self_attr_targets(node: ast.AST) -> list[ast.Attribute]:
+    """``self.<attr>`` targets of an assignment-like statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    out = []
+    for target in targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            out.append(target)
+    return out
+
+
+def _collect_init_attrs(init: ast.AST, module: SourceModule,
+                        facts: ClassFacts) -> None:
+    """Record every ``self.x = ...`` in ``__init__``."""
+    seen: set[str] = set()
+    for node in ast.walk(init):
+        for target in _self_attr_targets(node):
+            if target.attr in seen:
+                continue
+            seen.add(target.attr)
+            facts.init_attrs.append(AttrFacts(
+                name=target.attr, line=target.lineno,
+                column=target.col_offset,
+                derived=module.is_derived(target.lineno),
+            ))
+
+
+def _collect_mutations(method: ast.FunctionDef | ast.AsyncFunctionDef,
+                       facts: ClassFacts) -> None:
+    """Record ``self.x = / += ...`` writes outside ``__init__``."""
+    if method.name in ("__init__", "load_state"):
+        return
+    for node in ast.walk(method):
+        for target in _self_attr_targets(node):
+            facts.mutated_attrs.setdefault(target.attr, method.name)
+
+
+def _collect_state_refs(method: ast.FunctionDef | ast.AsyncFunctionDef,
+                        facts: ClassFacts) -> None:
+    """Attr names and string keys touched by state_dict/load_state."""
+    for node in ast.walk(method):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            facts.state_refs.add(node.attr)
+        elif (isinstance(node, ast.Constant)
+              and isinstance(node.value, str)):
+            facts.state_refs.add(node.value)
+
+
+def _collect_imports(tree: ast.Module, dotted_name: str,
+                     is_package: bool) -> list[ImportBinding]:
+    """Every import binding, with relative imports made absolute."""
+    package_parts = dotted_name.split(".") if dotted_name else []
+    if not is_package:
+        package_parts = package_parts[:-1]
+    bindings: list[ImportBinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                module = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                bindings.append(ImportBinding(
+                    alias=bound, module=module, symbol=None,
+                    line=node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                hops = node.level - 1
+                anchor = (package_parts[:-hops] if hops
+                          else package_parts)
+                base = ".".join(
+                    anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings.append(ImportBinding(
+                    alias=alias.asname or alias.name, module=base,
+                    symbol=alias.name, line=node.lineno))
+    return bindings
+
+
+def _collect_exports(tree: ast.Module) -> list[str] | None:
+    """The literal ``__all__`` list, when present."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (isinstance(target, ast.Name) and target.id == "__all__"
+                    and isinstance(value, (ast.List, ast.Tuple))):
+                return [
+                    el.value for el in value.elts
+                    if isinstance(el, ast.Constant)
+                    and isinstance(el.value, str)
+                ]
+    return None
+
+
+def _collect_registry(tree: ast.Module, facts: ModuleFacts) -> None:
+    """Module-level string constants and the EVENT_NAMES tuple."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if (isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)):
+                facts.event_constants[target.id] = value.value
+            elif (target.id == "EVENT_NAMES"
+                    and isinstance(value, ast.Tuple)):
+                registry: list[tuple[str, str, int, int]] = []
+                for el in value.elts:
+                    if (isinstance(el, ast.Constant)
+                            and isinstance(el.value, str)):
+                        registry.append(("literal", el.value,
+                                         el.lineno, el.col_offset))
+                    elif isinstance(el, ast.Name):
+                        registry.append(("const", el.id,
+                                         el.lineno, el.col_offset))
+                facts.event_registry = registry
+
+
+def _collect_references(tree: ast.Module, facts: ModuleFacts) -> None:
+    """Name loads, attribute pairs, dispatch literals, emit/metric uses."""
+    counts: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            facts.name_loads.add(node.id)
+            counts[node.id] = counts.get(node.id, 0) + 1
+        elif isinstance(node, ast.Attribute):
+            chain = dotted(node)
+            if chain is not None and len(chain) >= 2:
+                facts.attr_refs.add((chain[0], chain[1]))
+        elif isinstance(node, ast.Compare):
+            for comp in (node.left, *node.comparators):
+                if (isinstance(comp, ast.Constant)
+                        and isinstance(comp.value, str)):
+                    facts.dispatch_literals.add(comp.value)
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    facts.dispatch_literals.add(key.value)
+        elif isinstance(node, ast.Call):
+            _collect_call_uses(node, facts)
+    facts.const_ref_counts = counts
+
+
+def _collect_call_uses(node: ast.Call, facts: ModuleFacts) -> None:
+    """emit() producers and metric registrations/lookups."""
+    if isinstance(node.func, ast.Name) and \
+            node.func.id in ("emit", "_emit"):
+        # Helper-style producers (``_emit(bus, EVENT_X, ...)``): any
+        # ALL_CAPS positional arg is the event constant being emitted.
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id.isupper():
+                facts.emits.append(("const", arg.id,
+                                    arg.lineno, arg.col_offset))
+        return
+    if not isinstance(node.func, ast.Attribute):
+        return
+    attr = node.func.attr
+    first = node.args[0] if node.args else None
+    if attr == "emit" and first is not None:
+        if isinstance(first, ast.Constant) and isinstance(first.value,
+                                                         str):
+            facts.emits.append(("literal", first.value,
+                                first.lineno, first.col_offset))
+        elif isinstance(first, ast.Name):
+            facts.emits.append(("const", first.id,
+                                first.lineno, first.col_offset))
+    elif attr in _METRIC_REG_METHODS and isinstance(first, ast.Constant) \
+            and isinstance(first.value, str):
+        facts.metric_regs.append((attr, first.value,
+                                  first.lineno, first.col_offset))
+    elif attr == "get" and isinstance(first, ast.Constant) \
+            and isinstance(first.value, str):
+        receiver = dotted(node.func.value)
+        if receiver is not None and \
+                receiver[-1] in _METRIC_GET_RECEIVERS:
+            facts.metric_gets.append((first.value, first.lineno,
+                                      first.col_offset))
+
+
+def extract_facts(module: SourceModule) -> ModuleFacts:
+    """One walk over ``module`` producing its :class:`ModuleFacts`."""
+    dotted_name, is_package = module_dotted_name(module.relpath)
+    facts = ModuleFacts(relpath=module.relpath, dotted=dotted_name,
+                        is_package=is_package)
+    clocks = _ClockAliases(module.tree)
+    facts.imports = _collect_imports(module.tree, dotted_name,
+                                     is_package)
+    facts.exports = _collect_exports(module.tree)
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            facts.functions[node.name] = _extract_function(
+                node, node.name, clocks)
+            if not node.name.startswith("_"):
+                facts.public_defs[node.name] = node.lineno
+        elif isinstance(node, ast.ClassDef):
+            facts.classes[node.name] = _extract_class(
+                node, module, clocks)
+            if not node.name.startswith("_"):
+                facts.public_defs[node.name] = node.lineno
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    facts.module_assigns.add(target.id)
+    _collect_registry(module.tree, facts)
+    _collect_references(module.tree, facts)
+    return facts

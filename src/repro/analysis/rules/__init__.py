@@ -4,23 +4,30 @@ Each rule lives in its own module; :func:`default_rules` instantiates
 the full shipped set, and :func:`rules_by_id` gives the CLI's
 ``--select``/``--ignore`` a name index.  To add a rule, subclass
 :class:`~repro.analysis.rules.base.ModuleRule` (per-file, AST-visitor
-handlers) or :class:`~repro.analysis.rules.base.ProjectRule`
-(cross-file) and append it to :data:`DEFAULT_RULE_CLASSES`.
+handlers), :class:`~repro.analysis.rules.base.ProjectRule`
+(cross-file) or :class:`~repro.analysis.rules.base.SemanticRule`
+(whole-program, driven by the compiled semantic model) and append it
+to :data:`DEFAULT_RULE_CLASSES`.
 """
 
 from __future__ import annotations
 
 from .accounting import AccountingRule
 from .base import ModuleContext, ModuleRule, ProjectContext, ProjectRule, \
-    Rule
+    Rule, SemanticRule
+from .checkpoint_state import CheckpointStateRule
+from .dead_api import DeadApiRule
 from .determinism import DeterminismRule
 from .events import EventRegistryRule
 from .hygiene import GenericHygieneRule
 from .kernel_parity import KernelParityRule
 from .numeric import NumericHygieneRule
+from .obs_consistency import ObsConsistencyRule
 from .picklability import PicklabilityRule
 from .resilience import SwallowedCrowdErrorRule
+from .rng_flow import RngFlowRule
 from .rng_sharing import RngSharingRule
+from .wallclock import WallClockPurityRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     DeterminismRule,
@@ -32,6 +39,11 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     RngSharingRule,
     SwallowedCrowdErrorRule,
     EventRegistryRule,
+    RngFlowRule,
+    CheckpointStateRule,
+    ObsConsistencyRule,
+    WallClockPurityRule,
+    DeadApiRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -48,7 +60,9 @@ def rules_by_id(rules: list[Rule] | None = None) -> dict[str, Rule]:
 
 __all__ = [
     "AccountingRule",
+    "CheckpointStateRule",
     "DEFAULT_RULE_CLASSES",
+    "DeadApiRule",
     "DeterminismRule",
     "EventRegistryRule",
     "GenericHygieneRule",
@@ -56,12 +70,16 @@ __all__ = [
     "ModuleContext",
     "ModuleRule",
     "NumericHygieneRule",
+    "ObsConsistencyRule",
     "PicklabilityRule",
     "ProjectContext",
     "ProjectRule",
+    "RngFlowRule",
     "RngSharingRule",
+    "SemanticRule",
     "SwallowedCrowdErrorRule",
     "Rule",
+    "WallClockPurityRule",
     "default_rules",
     "rules_by_id",
 ]

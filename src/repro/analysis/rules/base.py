@@ -94,16 +94,29 @@ class ModuleContext:
 
 
 class ProjectContext:
-    """Finding collector for cross-module (project) rules."""
+    """Finding collector for cross-module (project) rules.
 
-    def __init__(self) -> None:
+    When the engine has built the whole-program semantic model (any
+    :class:`SemanticRule` active), it is exposed here as :attr:`model`.
+    """
+
+    def __init__(self, model=None) -> None:
         self.findings: list[Finding] = []
+        self.model = model
 
     def report(self, rule: "Rule", module: SourceModule, node: ast.AST,
                message: str) -> None:
         """Record a finding for ``rule`` in ``module`` at ``node``."""
-        line = getattr(node, "lineno", 1)
-        column = getattr(node, "col_offset", 0) + 1
+        self.report_location(rule, module, getattr(node, "lineno", 1),
+                             getattr(node, "col_offset", 0) + 1, message)
+
+    def report_location(self, rule: "Rule", module: SourceModule,
+                        line: int, column: int, message: str) -> None:
+        """Record a finding at an explicit (line, column) location.
+
+        Semantic rules work from serialized model facts rather than
+        live AST nodes, so they carry plain coordinates.
+        """
         self.findings.append(Finding(
             path=module.relpath,
             line=line,
@@ -158,6 +171,35 @@ class ProjectRule(Rule):
     def check_project(self, modules: Sequence[SourceModule],
                       ctx: ProjectContext) -> None:
         """Inspect all modules at once, reporting into ``ctx``."""
+        raise NotImplementedError
+
+
+class SemanticRule(ProjectRule):
+    """A rule driven by the compiled whole-program semantic model.
+
+    The engine builds one :class:`~repro.analysis.model.SemanticModel`
+    per run (cached per file, like findings) whenever at least one
+    semantic rule is active, and hands it to :meth:`check_model`.
+    Rules whose reasoning is *absence of reference* across the tree
+    (dead API, unconsumed events) set :attr:`requires_whole_program`;
+    the engine then skips them on partial scans (``--changed``, single
+    files) where a missing reference proves nothing.
+    """
+
+    requires_whole_program: bool = False
+
+    def check_project(self, modules: Sequence[SourceModule],
+                      ctx: ProjectContext) -> None:
+        """Dispatch to :meth:`check_model` when a model is available."""
+        if ctx.model is None:
+            return
+        if self.requires_whole_program and not ctx.model.whole_program:
+            return
+        self.check_model(ctx.model, modules, ctx)
+
+    def check_model(self, model, modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """Inspect the semantic model, reporting into ``ctx``."""
         raise NotImplementedError
 
 

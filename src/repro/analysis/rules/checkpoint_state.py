@@ -1,0 +1,76 @@
+"""CL011 — checkpoint completeness: mutable state must be serialized.
+
+Kill/resume bit-identity (the staged engine's headline contract) only
+holds if every piece of state that *changes during a run* rides inside
+``state_dict()``.  The failure mode is silent: a counter assigned in
+``__init__`` and incremented in some method but missing from
+``state_dict``/``load_state`` simply restarts at its initial value
+after resume, and nothing crashes — the resumed run just diverges.
+
+For every class implementing the checkpoint protocol (both
+``state_dict`` and ``load_state``), every attribute assigned in
+``__init__`` *and reassigned in any other method* must be referenced in
+``state_dict`` or ``load_state`` (as ``self.<attr>`` or as a string
+key, with or without a leading underscore), or be annotated
+``# corlint: derived`` on its ``__init__`` assignment line — the
+declared escape hatch for state that is recomputed on resume
+(injected callbacks, caches rebuilt from config).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..model import SemanticModel
+from ..source import SourceModule
+from .base import ProjectContext, SemanticRule, is_test_module
+
+
+def _matches(attr: str, refs: set[str]) -> bool:
+    """Does ``refs`` cover ``attr`` (modulo a leading underscore)?"""
+    candidates = {attr, attr.lstrip("_"), "_" + attr}
+    return bool(candidates & refs)
+
+
+class CheckpointStateRule(SemanticRule):
+    """Flags mutable ``__init__`` attributes absent from state_dict."""
+
+    rule_id = "CL011"
+    severity = Severity.ERROR
+    summary = ("every attribute a checkpointable class (state_dict + "
+               "load_state) assigns in __init__ and mutates elsewhere "
+               "must be serialized in state_dict/load_state or marked "
+               "`# corlint: derived` — unserialized mutable state "
+               "silently resets on resume")
+
+    def check_model(self, model: SemanticModel,
+                    modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """Audit every checkpoint-protocol class in the scanned tree."""
+        by_relpath = {m.relpath: m for m in modules}
+        for facts in model.modules.values():
+            module = by_relpath.get(facts.relpath)
+            if module is None or is_test_module(module):
+                continue
+            for cls in facts.classes.values():
+                if not cls.has_state_protocol:
+                    continue
+                refs = cls.state_refs
+                for attr in cls.init_attrs:
+                    if attr.derived:
+                        continue
+                    mutator = cls.mutated_attrs.get(attr.name)
+                    if mutator is None:
+                        continue
+                    if _matches(attr.name, refs):
+                        continue
+                    ctx.report_location(
+                        self, module, attr.line, attr.column + 1,
+                        f"{cls.name}.{attr.name} is reassigned in "
+                        f"{mutator}() but never serialized by "
+                        f"state_dict/load_state — a resumed run "
+                        f"silently resets it; serialize it or mark "
+                        f"this line `# corlint: derived` if it is "
+                        f"recomputed on resume",
+                    )

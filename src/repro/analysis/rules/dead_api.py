@@ -1,0 +1,132 @@
+"""CL014 — dead public API: exported names someone actually uses.
+
+A public top-level function or class that nothing in the tree imports,
+references, or re-exports is untested surface area that silently rots
+(the next refactor breaks it and no gate notices).  Working from the
+import graph, this rule flags public module-level defs that are:
+
+* never imported by any other scanned module (directly or via a
+  re-export chain),
+* never referenced as ``module.name`` through a whole-module import,
+* never used inside their own module either,
+* not re-exported by any package ``__init__`` (that is the deliberate
+  external API surface — tests and downstream users consume it), and
+* not listed in their own module's ``__all__`` (an explicit export is
+  a statement of intent; keeping it honest is ``__init__``'s job).
+
+It also flags ``__all__`` entries that do not resolve to anything
+defined or imported in the module — a typo there breaks
+``from m import *`` and API docs silently.
+
+Absence-of-reference reasoning: whole-program scans only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..model import SemanticModel
+from ..source import SourceModule
+from .base import ProjectContext, SemanticRule, is_test_module
+
+
+class DeadApiRule(SemanticRule):
+    """Flags unreferenced public defs and dangling __all__ entries."""
+
+    rule_id = "CL014"
+    severity = Severity.WARNING
+    requires_whole_program = True
+    summary = ("a public top-level def/class that no scanned module "
+               "imports, references or re-exports (and its own module "
+               "never uses) is dead API surface — delete it, make it "
+               "private, or export it deliberately via __all__/"
+               "__init__; __all__ entries must resolve to real names")
+
+    def check_model(self, model: SemanticModel,
+                    modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """Resolve every cross-module reference, then diff the exports."""
+        by_relpath = {m.relpath: m for m in modules}
+        scanned = {
+            facts.relpath: facts for facts in model.modules.values()
+            if (m := by_relpath.get(facts.relpath)) is not None
+            and not is_test_module(m)
+        }
+
+        referenced: set[tuple[str, str]] = set()
+        reexported: set[tuple[str, str]] = set()
+        for facts in model.modules.values():
+            # Aliases that name a *module* (``import a.b as x`` or
+            # ``from a import b`` where ``b`` is a submodule): their
+            # attribute accesses are cross-module references too.
+            module_aliases: dict[str, str] = {}
+            for binding in facts.imports:
+                if binding.symbol is None:
+                    module_aliases[binding.alias] = binding.module
+                    continue
+                target = self._chase(model, binding.module,
+                                     binding.symbol)
+                if target is None:
+                    continue
+                if target[1] == "":
+                    module_aliases[binding.alias] = target[0]
+                    continue
+                referenced.add(target)
+                if facts.is_package:
+                    reexported.add(target)
+            for root, attr in facts.attr_refs:
+                bound = module_aliases.get(root)
+                if bound is None:
+                    continue
+                target = self._chase(model, bound, attr)
+                if target is not None and target[1] != "":
+                    referenced.add(target)
+
+        for relpath, facts in sorted(scanned.items()):
+            module = by_relpath[relpath]
+            self._check_all_entries(facts, module, ctx)
+            if facts.is_package or facts.dotted.endswith("__main__"):
+                continue
+            exported = set(facts.exports or ())
+            for name, line in sorted(facts.public_defs.items()):
+                if name in exported:
+                    continue
+                key = (facts.dotted, name)
+                if key in referenced or key in reexported:
+                    continue
+                if name in facts.name_loads:
+                    continue
+                ctx.report_location(
+                    self, module, line, 1,
+                    f"public {name!r} is never imported, referenced or "
+                    f"re-exported anywhere in the scanned tree — "
+                    f"delete it, prefix it with '_', or export it "
+                    f"deliberately (__all__ here, or a package "
+                    f"__init__)",
+                )
+
+    def _check_all_entries(self, facts, module: SourceModule,
+                           ctx: ProjectContext) -> None:
+        """Every ``__all__`` entry must resolve to a local definition."""
+        if facts.exports is None:
+            return
+        defined = (set(facts.functions) | set(facts.classes)
+                   | set(facts.public_defs)
+                   | {b.alias for b in facts.imports}
+                   | facts.module_assigns)
+        for name in facts.exports:
+            if name in defined:
+                continue
+            ctx.report_location(
+                self, module, 1, 1,
+                f"__all__ lists {name!r} but the module neither "
+                f"defines nor imports it — `from {facts.dotted} "
+                f"import *` and API docs are silently broken",
+            )
+
+    @staticmethod
+    def _chase(model: SemanticModel, module: str,
+               symbol: str) -> tuple[str, str] | None:
+        """Follow re-export chains to the defining (module, symbol)."""
+        return model.resolve_export(module, symbol)

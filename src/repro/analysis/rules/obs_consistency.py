@@ -1,0 +1,152 @@
+"""CL012 — obs consistency: events and metrics form a closed loop.
+
+CL009 checks one direction (every emit uses a declared name).  The
+observability contract has three more edges this rule closes, using
+the whole-program model:
+
+* every name in ``EVENT_NAMES`` must actually be **emitted** somewhere
+  — a declared-but-never-produced event is a dead registry entry that
+  consumers will wait on forever;
+* every name in ``EVENT_NAMES`` must have a **consumer** — a module
+  (other than the registry itself) that references the ``EVENT_*``
+  constant beyond just emitting it, or dispatches on the literal name
+  in a comparison or dict key.  An event only the generic trace sink
+  sees moves no metric and shows in no report;
+* every metric registered in the catalog (``registry.counter/gauge/``
+  ``histogram("name", ...)``) must have a **producer** — a
+  ``reg.get("name")`` / ``registry.get("name")`` call site — and every
+  such lookup must name a registered metric (the registry raises at
+  runtime for unknown names, but only on paths a test happens to hit).
+
+Because the reasoning is absence-of-reference, the rule only runs on
+whole-program scans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..model import SemanticModel
+from ..source import SourceModule
+from .base import ProjectContext, SemanticRule, is_test_module
+
+
+class ObsConsistencyRule(SemanticRule):
+    """Cross-checks event and metric producers against consumers."""
+
+    rule_id = "CL012"
+    severity = Severity.ERROR
+    requires_whole_program = True
+    summary = ("every EVENT_NAMES entry must be emitted and consumed "
+               "(dispatched on) somewhere, every catalog metric must "
+               "have a reg.get() producer, and every reg.get() must "
+               "name a cataloged metric — unwired telemetry is silent "
+               "data loss")
+
+    def check_model(self, model: SemanticModel,
+                    modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """Audit the event registry and the metric catalog."""
+        by_relpath = {m.relpath: m for m in modules}
+        scanned = [
+            facts for facts in model.modules.values()
+            if (m := by_relpath.get(facts.relpath)) is not None
+            and not is_test_module(m)
+        ]
+        self._check_events(scanned, by_relpath, ctx)
+        self._check_metrics(scanned, by_relpath, ctx)
+
+    # -- events ---------------------------------------------------------
+
+    def _check_events(self, scanned, by_relpath, ctx) -> None:
+        registry = next(
+            (f for f in scanned if f.event_registry is not None), None)
+        if registry is None:
+            return
+        module = by_relpath[registry.relpath]
+
+        # Resolve each tuple element to its literal event name.
+        entries: list[tuple[str, str, int, int]] = []
+        for kind, value, line, col in registry.event_registry:
+            if kind == "literal":
+                entries.append((value, value, line, col))
+            else:
+                literal = registry.event_constants.get(value)
+                if literal is not None:
+                    entries.append((value, literal, line, col))
+
+        for const, literal, line, col in entries:
+            emitted = False
+            consumed = False
+            for facts in scanned:
+                emit_consts = sum(
+                    1 for kind, v, _l, _c in facts.emits
+                    if (kind == "const" and v == const)
+                    or (kind == "literal" and v == literal))
+                if emit_consts:
+                    emitted = True
+                if facts.relpath == registry.relpath:
+                    continue
+                refs = facts.const_ref_counts.get(const, 0)
+                if refs > emit_consts:
+                    consumed = True
+                if literal in facts.dispatch_literals:
+                    consumed = True
+            if not emitted:
+                ctx.report_location(
+                    self, module, line, col + 1,
+                    f'event "{literal}" is declared in EVENT_NAMES but '
+                    f"never emitted anywhere in the tree — remove the "
+                    f"entry or wire up the producer",
+                )
+            elif not consumed:
+                ctx.report_location(
+                    self, module, line, col + 1,
+                    f'event "{literal}" is emitted but no module '
+                    f"consumes it (no reference to {const} beyond "
+                    f"emits, no dispatch on the literal) — it lands in "
+                    f"the trace but moves no metric and no report row",
+                )
+
+    # -- metrics --------------------------------------------------------
+
+    def _check_metrics(self, scanned, by_relpath, ctx) -> None:
+        catalog: dict[str, tuple[str, int, int]] = {}
+        for facts in scanned:
+            for _kind, name, line, col in facts.metric_regs:
+                catalog.setdefault(name, (facts.relpath, line, col))
+        if not catalog:
+            return
+        produced: set[str] = set()
+        for facts in scanned:
+            for name, _line, _col in facts.metric_gets:
+                produced.add(name)
+
+        for name, (relpath, line, col) in sorted(catalog.items()):
+            if name in produced:
+                continue
+            module = by_relpath.get(relpath)
+            if module is None:
+                continue
+            ctx.report_location(
+                self, module, line, col + 1,
+                f'metric "{name}" is registered in the catalog but no '
+                f"code ever looks it up (reg.get(...)) — it will "
+                f"render as a permanently empty series; instrument a "
+                f"producer or drop the registration",
+            )
+
+        for facts in scanned:
+            module = by_relpath.get(facts.relpath)
+            if module is None:
+                continue
+            for name, line, col in facts.metric_gets:
+                if name in catalog:
+                    continue
+                ctx.report_location(
+                    self, module, line, col + 1,
+                    f'metric "{name}" is produced here but never '
+                    f"registered in the catalog — the registry will "
+                    f"raise on this path at runtime",
+                )

@@ -1,0 +1,146 @@
+"""CL010 — RNG-stream flow: a named stage stream stays in its stage.
+
+CL007 catches one ``self.rng`` shared across two constructors in the
+*same function*; the staged engine's real invariant is stronger: the
+generator created as ``ctx.rng("blocker")`` must never be drawn from by
+matcher/estimator/locator code, no matter how many helper calls it
+passes through (every draw one stage makes from another stage's stream
+reorders that stage's numbers — exactly the coupling the named streams
+of :class:`~repro.engine.context.RunContext` exist to remove).  This
+rule tags every ``*.rng("<name>")`` value at its creation site and
+propagates the tag through the call graph wherever the value is handed
+on as a plain argument; a tag arriving at a function or constructor
+whose name places it in a *different* stage is a finding, anchored at
+the stream's creation site.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..model import SemanticModel, bind_arguments
+from ..source import SourceModule
+from .base import ProjectContext, SemanticRule, is_test_module
+
+_STAGE_TOKENS = {
+    "block": "blocker", "blocker": "blocker", "blocking": "blocker",
+    "matcher": "matcher", "matching": "matcher",
+    "estimate": "estimator", "estimator": "estimator",
+    "locate": "locator", "locator": "locator",
+}
+
+_TOKEN_SPLIT = re.compile(r"[^A-Za-z0-9]+|(?<=[a-z0-9])(?=[A-Z])")
+
+
+def _stage_of(name: str) -> str | None:
+    """The stage a symbol name belongs to, by token match, or None."""
+    for token in _TOKEN_SPLIT.split(name):
+        stage = _STAGE_TOKENS.get(token.lower())
+        if stage is not None:
+            return stage
+    return None
+
+
+class RngFlowRule(SemanticRule):
+    """Traces named RNG streams through the call graph across stages."""
+
+    rule_id = "CL010"
+    severity = Severity.ERROR
+    summary = ("a named per-stage RNG stream (ctx.rng(\"<stage>\")) must "
+               "not flow — directly or through helpers — into another "
+               "stage's functions or constructors; draws from a foreign "
+               "stream couple the two stages' sequences")
+
+    def check_model(self, model: SemanticModel,
+                    modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """Seed stream tags at creation sites and propagate to fixpoint."""
+        by_relpath = {m.relpath: m for m in modules}
+        # node key -> param name -> {(stream, origin relpath, line, col)}
+        tagged: dict[str, dict[str, set[tuple[str, str, int, int]]]] = {}
+        reported: set[tuple] = set()
+        worklist: list[str] = []
+
+        def tag(callee: str, param: str,
+                flows: set[tuple[str, str, int, int]]) -> None:
+            params = tagged.setdefault(callee, {})
+            known = params.setdefault(param, set())
+            fresh = flows - known
+            if not fresh:
+                return
+            known |= fresh
+            worklist.append(callee)
+            self._check_consumer(model, by_relpath, callee, fresh,
+                                 reported, ctx)
+
+        for edge in model.edges:
+            caller_entry = model.functions.get(edge.caller)
+            if caller_entry is None:
+                continue
+            caller = caller_entry[1]
+            origin_module = by_relpath.get(edge.module)
+            if origin_module is None or is_test_module(origin_module):
+                continue
+            for param, arg in bind_arguments(model, edge):
+                if arg.kind == "stream":
+                    stage = _stage_of(arg.detail)
+                    if stage is None:
+                        continue
+                    tag(edge.callee, param,
+                        {(arg.detail, edge.module, arg.line,
+                          arg.column)})
+                elif arg.kind == "name":
+                    local = caller.stream_locals.get(arg.detail)
+                    if local is not None:
+                        stream, line, col = local
+                        if _stage_of(stream) is None:
+                            continue
+                        tag(edge.callee, param,
+                            {(stream, edge.module, line, col)})
+
+        while worklist:
+            current = worklist.pop()
+            params = tagged.get(current, {})
+            for edge in model.callees.get(current, []):
+                for param, arg in bind_arguments(model, edge):
+                    if arg.kind != "name":
+                        continue
+                    flows = params.get(arg.detail)
+                    if flows:
+                        tag(edge.callee, param, set(flows))
+
+    def _check_consumer(self, model: SemanticModel,
+                        by_relpath: dict, callee: str,
+                        flows: set[tuple[str, str, int, int]],
+                        reported: set, ctx: ProjectContext) -> None:
+        """Flag flows whose stream stage differs from the consumer's."""
+        entry = model.functions.get(callee)
+        if entry is None:
+            return
+        facts, func = entry
+        owner = (func.qualname.split(".")[0] if "." in func.qualname
+                 else func.name)
+        consumer_stage = _stage_of(owner)
+        if consumer_stage is None:
+            return
+        for stream, origin_rel, line, col in flows:
+            stream_stage = _stage_of(stream)
+            if stream_stage is None or stream_stage == consumer_stage:
+                continue
+            key = (stream, origin_rel, line, col, func.qualname)
+            if key in reported:
+                continue
+            reported.add(key)
+            module = by_relpath.get(origin_rel)
+            if module is None:
+                continue
+            ctx.report_location(
+                self, module, line, col + 1,
+                f'RNG stream "{stream}" created here flows into '
+                f'{facts.dotted}.{func.qualname} (stage '
+                f'"{consumer_stage}"); per-stage streams must not cross '
+                f'stages — that code should draw from its own '
+                f'ctx.rng("{consumer_stage}") stream instead',
+            )

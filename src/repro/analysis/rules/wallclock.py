@@ -1,0 +1,99 @@
+"""CL013 — wall-clock purity: stages never transitively read clocks.
+
+CL001 bans direct wall-clock reads inside the algorithmic subsystems,
+but its scope is per-file: a stage can still reach ``perf_counter``
+through a helper living in ``data/``, ``exec/`` or anywhere else CL001
+does not look.  This rule works from the call graph instead: starting
+from every engine stage entry point (a class whose name ends in
+``Stage`` exposing a ``run`` method), it walks the transitive callee
+set; reaching a function that reads the wall clock (``time.time``,
+``perf_counter``, ``datetime.now``, …) is a finding — anchored at the
+offending call, with the stage-to-clock chain in the message.
+
+The wall-clock profiler is the one sanctioned exception: modules whose
+path contains ``profiling`` are the allowlist (their output is
+explicitly excluded from checkpoints and replay comparisons — see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..model import SemanticModel
+from ..source import SourceModule
+from .base import ProjectContext, SemanticRule, is_test_module
+
+_ALLOWLIST_SEGMENT = "profiling"
+
+
+def _allowlisted(relpath: str) -> bool:
+    """Profiler modules may read the wall clock by design."""
+    return _ALLOWLIST_SEGMENT in relpath.rsplit("/", 1)[-1]
+
+
+class WallClockPurityRule(SemanticRule):
+    """Flags wall-clock reads reachable from deterministic stages."""
+
+    rule_id = "CL013"
+    severity = Severity.ERROR
+    summary = ("no time.time/perf_counter/datetime.now reachable "
+               "through the call graph from a deterministic engine "
+               "stage (*Stage.run), outside the profiler allowlist — "
+               "replay and kill/resume byte-identity depend on it")
+
+    def check_model(self, model: SemanticModel,
+                    modules: Sequence[SourceModule],
+                    ctx: ProjectContext) -> None:
+        """BFS from stage entry points; report reachable clock reads."""
+        by_relpath = {m.relpath: m for m in modules}
+
+        entries: list[str] = []
+        for key, (facts, func) in model.functions.items():
+            module = by_relpath.get(facts.relpath)
+            if module is None or is_test_module(module):
+                continue
+            if "." not in func.qualname:
+                continue
+            owner, method = func.qualname.rsplit(".", 1)
+            if owner.endswith("Stage") and method == "run":
+                entries.append(key)
+        if not entries:
+            return
+
+        reported: set[tuple[str, int, int]] = set()
+        for entry in sorted(entries):
+            seen: set[str] = set()
+            # (node, path-so-far) — path kept short for the message.
+            stack: list[tuple[str, tuple[str, ...]]] = [(entry, ())]
+            while stack:
+                node, path = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                found = model.functions.get(node)
+                if found is None:
+                    continue
+                facts, func = found
+                if _allowlisted(facts.relpath):
+                    continue
+                chain = (*path, func.qualname)
+                for line, col, what in func.clock_calls:
+                    key = (facts.relpath, line, col)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    module = by_relpath.get(facts.relpath)
+                    if module is None:
+                        continue
+                    ctx.report_location(
+                        self, module, line, col + 1,
+                        f"{what}() is reachable from the deterministic "
+                        f"stage entry {chain[0]} (via "
+                        f"{' -> '.join(chain)}) — wall-clock reads "
+                        f"break replay byte-identity; pass timings in, "
+                        f"or move this into the profiler",
+                    )
+                for edge in model.callees.get(node, []):
+                    stack.append((edge.callee, chain))

@@ -20,6 +20,8 @@ _PRAGMA = re.compile(
     r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
 )
 
+_DERIVED_PRAGMA = re.compile(r"#\s*corlint:\s*derived\b")
+
 _EXCLUDED_DIRS = {
     "__pycache__", ".git", ".corlint_cache", ".pytest_cache", ".hypothesis",
 }
@@ -41,6 +43,10 @@ class SourceModule:
     lines: list[str] = field(repr=False)
     suppressions: dict[int, frozenset[str]] = field(repr=False)
     """Line number -> rule ids disabled there (``*`` disables all)."""
+    derived_lines: frozenset[int] = field(default=frozenset(),
+                                          repr=False)
+    """Lines carrying ``# corlint: derived`` (checkpoint-exempt state:
+    the attribute is recomputed on resume rather than serialized)."""
 
     def line_content(self, line: int) -> str:
         """The stripped source text of a 1-based line ("" if absent)."""
@@ -55,23 +61,32 @@ class SourceModule:
             rule_id in disabled or SUPPRESS_ALL in disabled
         )
 
+    def is_derived(self, line: int) -> bool:
+        """Does ``line`` carry a ``# corlint: derived`` annotation?"""
+        return line in self.derived_lines
 
-def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
-    """Extract the per-line suppression map from pragma comments.
+
+def parse_suppressions(source: str) \
+        -> tuple[dict[int, frozenset[str]], frozenset[int]]:
+    """Extract the per-line suppression map and derived-line set.
 
     ``# corlint: disable=CL001[,CL004]`` disables the named rules on the
     comment's own line; ``disable-next-line=`` targets the line below.
-    ``all`` and ``*`` disable every rule.
+    ``all`` and ``*`` disable every rule.  ``# corlint: derived`` marks
+    its line's attribute assignment as derived state (CL011).
     """
     suppressed: dict[int, set[str]] = {}
+    derived: set[int] = set()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [
             token for token in tokens if token.type == tokenize.COMMENT
         ]
     except (tokenize.TokenError, SyntaxError, IndentationError):
-        return {}
+        return {}, frozenset()
     for token in comments:
+        if _DERIVED_PRAGMA.search(token.string):
+            derived.add(token.start[0])
         match = _PRAGMA.search(token.string)
         if match is None:
             continue
@@ -82,7 +97,8 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
             for item in re.split(r"\s*,\s*", rule_list.strip())
         }
         suppressed.setdefault(line, set()).update(rules)
-    return {line: frozenset(rules) for line, rules in suppressed.items()}
+    return ({line: frozenset(rules)
+             for line, rules in suppressed.items()}, frozenset(derived))
 
 
 def find_repo_root(start: Path) -> Path:
@@ -132,11 +148,13 @@ def load_module(path: Path, root: Path) -> SourceModule:
     except ValueError:
         relpath = path.name
     tree = ast.parse(source, filename=str(path))
+    suppressions, derived_lines = parse_suppressions(source)
     return SourceModule(
         path=path,
         relpath=relpath,
         source=source,
         tree=tree,
         lines=source.splitlines(),
-        suppressions=parse_suppressions(source),
+        suppressions=suppressions,
+        derived_lines=derived_lines,
     )

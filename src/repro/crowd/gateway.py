@@ -264,9 +264,10 @@ class ResilientCrowd(CrowdPlatform):
             breaker.clock = self.clock
         self.breaker = breaker
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self.tracker = tracker
+        self.tracker = tracker  # corlint: derived
         """Bound by :class:`~repro.engine.context.RunContext` so reposted
-        HITs are metered in the run's cost ledger."""
+        HITs are metered in the run's cost ledger — a rebindable
+        dependency, re-injected on resume rather than serialized."""
         self.retries_scheduled = 0
         self.hits_reposted = 0
         self.answers_recovered = 0

@@ -18,6 +18,14 @@ from ..exceptions import DataError
 from .pairs import Pair
 from .table import Table
 
+__all__ = [
+    "blocker_sample",
+    "cartesian_size",
+    "iter_cartesian",
+    "random_pairs",
+    "weighted_blocker_sample",
+]
+
 
 def cartesian_size(table_a: Table, table_b: Table) -> int:
     """|A x B|: the number of pairs before any blocking."""

@@ -18,6 +18,27 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, TextIO
 
+__all__ = [
+    "EVENT_BLOCKER_FALLBACK",
+    "EVENT_BUDGET_SPENT",
+    "EVENT_CHECKPOINT_WRITTEN",
+    "EVENT_CIRCUIT_OPENED",
+    "EVENT_FAULT_INJECTED",
+    "EVENT_HIT_REPOSTED",
+    "EVENT_LABELS_PURCHASED",
+    "EVENT_NAMES",
+    "EVENT_RETRY_SCHEDULED",
+    "EVENT_SHARD_COMPLETED",
+    "EVENT_SHARD_STARTED",
+    "EVENT_STAGE_FINISHED",
+    "EVENT_STAGE_STARTED",
+    "Event",
+    "EventBus",
+    "JsonlTraceSink",
+    "ProgressReporter",
+    "read_trace",
+]
+
 EVENT_STAGE_STARTED = "stage_started"
 EVENT_STAGE_FINISHED = "stage_finished"
 EVENT_LABELS_PURCHASED = "labels_purchased"

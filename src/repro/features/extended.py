@@ -16,6 +16,16 @@ import numpy as np
 
 from .tokenize import normalize, word_tokens
 
+__all__ = [
+    "batch_smith_waterman",
+    "containment",
+    "longest_common_substring_ratio",
+    "prefix_similarity",
+    "smith_waterman",
+    "soundex",
+    "soundex_similarity",
+]
+
 
 def containment(tokens_a: list[str] | tuple[str, ...],
                 tokens_b: list[str] | tuple[str, ...]) -> float:

@@ -11,6 +11,16 @@ from collections.abc import Collection, Iterable, Mapping
 from dataclasses import dataclass
 from typing import Hashable
 
+__all__ = [
+    "Confusion",
+    "blocking_recall",
+    "confusion_from_labels",
+    "confusion_from_sets",
+    "density",
+    "prf1",
+    "summarize",
+]
+
 
 @dataclass(frozen=True)
 class Confusion:

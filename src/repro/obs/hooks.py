@@ -38,11 +38,6 @@ def deactivate(telemetry: "RunTelemetry") -> None:
         _ACTIVE.remove(telemetry)
 
 
-def active() -> "RunTelemetry | None":
-    """The innermost active telemetry, if any."""
-    return _ACTIVE[-1] if _ACTIVE else None
-
-
 def record_trees_trained(n_trees: int) -> None:
     """Report ``n_trees`` freshly trained decision trees."""
     if _ACTIVE:

@@ -154,7 +154,8 @@ class RunTelemetry:
         build_catalog(self.registry)
         self.tracer = SpanTracer(clock=clock)
         self.profiler = profiling.Profiler()
-        self._activations = 0
+        self._activations = 0  # corlint: derived — hook-stack depth,
+        # an activation-scoped runtime counter, not checkpoint state
 
     # -- event-bus feed -------------------------------------------------
 

@@ -40,6 +40,46 @@ from .rules.evaluation import RuleEvaluation
 from .rules.predicates import Predicate
 from .rules.rule import Rule
 
+__all__ = [
+    "FORMAT_VERSION",
+    "blocker_result_from_dict",
+    "blocker_result_to_dict",
+    "budget_plan_from_dict",
+    "budget_plan_to_dict",
+    "config_from_dict",
+    "config_to_dict",
+    "estimate_from_dict",
+    "estimate_to_dict",
+    "forest_from_dict",
+    "forest_to_dict",
+    "iteration_record_from_dict",
+    "iteration_record_to_dict",
+    "load_candidates",
+    "load_forest",
+    "load_report",
+    "load_rules",
+    "locator_result_from_dict",
+    "locator_result_to_dict",
+    "matcher_result_from_dict",
+    "matcher_result_to_dict",
+    "matcher_train_state_from_dict",
+    "matcher_train_state_to_dict",
+    "platform_timing",
+    "result_report",
+    "rule_evaluation_from_dict",
+    "rule_evaluation_to_dict",
+    "rule_from_dict",
+    "rule_to_dict",
+    "save_candidates",
+    "save_forest",
+    "save_report",
+    "save_rules",
+    "table_from_dict",
+    "table_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+]
+
 FORMAT_VERSION = 1
 
 

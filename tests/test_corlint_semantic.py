@@ -1,0 +1,762 @@
+"""corlint v2: semantic-model and interprocedural-rule tests.
+
+Fixture trees exercise the whole-program layer added on top of the
+per-file rules: the semantic model itself (import resolution, call
+graph, facts cache), the five interprocedural rules CL010–CL014
+(positive and negative fixtures each), and the CLI/baseline behaviors
+that ride along (``--changed``, ``--check-baseline``, ``--model-stats``,
+``--rule``, cache pruning, missing-file baseline staleness).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, baseline_from_findings
+from repro.analysis.cli import main as corlint_main
+from repro.analysis.model import build_model
+from repro.analysis.source import collect_files, load_module
+
+
+def check(tree: dict[str, str], tmp_path: Path,
+          baseline: Baseline | None = None, partial: bool = False):
+    """Write ``relpath -> source`` fixtures and analyze the tree."""
+    for relpath, source in tree.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    analyzer = Analyzer(use_cache=False, root=tmp_path, partial=partial)
+    return analyzer.run([tmp_path], baseline=baseline)
+
+
+def model_for(tree: dict[str, str], tmp_path: Path,
+              use_cache: bool = False):
+    """Write fixtures and compile just the semantic model."""
+    for relpath, source in tree.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    modules = [load_module(p, tmp_path)
+               for p in collect_files([tmp_path])]
+    return build_model(modules, root=tmp_path, use_cache=use_cache)
+
+
+def findings_of(report, rule_id: str):
+    """New findings of one rule, in report order."""
+    return [f for f in report.new_findings if f.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# The semantic model
+# ----------------------------------------------------------------------
+
+
+class TestSemanticModel:
+    def test_resolves_reexport_chain(self, tmp_path):
+        model = model_for({
+            "pkg/__init__.py": "from .impl import thing\n",
+            "pkg/impl.py": "def thing():\n    return 1\n",
+            "pkg/user.py": "from pkg import thing\n\n"
+                           "def use():\n    return thing()\n",
+        }, tmp_path)
+        assert model.resolve_export("pkg", "thing") == \
+            ("pkg.impl", "thing")
+
+    def test_resolves_submodule_import_through_init_cycle(self, tmp_path):
+        # `from . import sub` inside pkg/__init__ binds the submodule
+        # under its own name — resolution must not loop forever.
+        model = model_for({
+            "pkg/__init__.py": "from . import sub\n",
+            "pkg/sub.py": "def f():\n    return 1\n",
+        }, tmp_path)
+        assert model.resolve_export("pkg", "sub") == ("pkg.sub", "")
+
+    def test_call_graph_links_direct_and_imported_calls(self, tmp_path):
+        model = model_for({
+            "pkg/__init__.py": "",
+            "pkg/a.py": "from pkg.b import helper\n\n"
+                        "def caller():\n    return helper()\n",
+            "pkg/b.py": "def helper():\n    return 1\n",
+        }, tmp_path)
+        callees = {e.callee for e in
+                   model.callees.get("pkg.a::caller", [])}
+        assert "pkg.b::helper" in callees
+
+    def test_whole_program_requires_package_root(self, tmp_path):
+        partial = model_for({
+            "pkg/sub.py": "def f():\n    return 1\n",
+        }, tmp_path)
+        assert not partial.whole_program
+
+    def test_facts_cache_round_trip(self, tmp_path):
+        tree = {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def f():\n    return 1\n",
+        }
+        cold = model_for(tree, tmp_path, use_cache=True)
+        assert cold.cached_modules == 0
+        assert (tmp_path / ".corlint_cache" / "model.json").is_file()
+        warm = model_for(tree, tmp_path, use_cache=True)
+        assert warm.cached_modules == len(tree)
+        assert set(warm.functions) == set(cold.functions)
+
+    def test_model_cache_prunes_deleted_files(self, tmp_path):
+        tree = {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def f():\n    return 1\n",
+            "pkg/b.py": "def g():\n    return 2\n",
+        }
+        model_for(tree, tmp_path, use_cache=True)
+        (tmp_path / "pkg" / "b.py").unlink()
+        modules = [load_module(p, tmp_path)
+                   for p in collect_files([tmp_path])]
+        build_model(modules, root=tmp_path, use_cache=True)
+        payload = json.loads(
+            (tmp_path / ".corlint_cache" / "model.json").read_text())
+        assert "pkg/b.py" not in payload["entries"]
+
+
+# ----------------------------------------------------------------------
+# CL010 — RNG-stream flow
+# ----------------------------------------------------------------------
+
+
+_CROSS_STAGE_RNG = {
+    "pkg/__init__.py": "",
+    "pkg/stages.py": (
+        "def train_matcher(state, rng):\n"
+        "    return rng.random()\n"
+        "\n"
+        "class BlockStage:\n"
+        "    def run(self, state, ctx):\n"
+        "        rng = ctx.rng(\"blocker\")\n"
+        "        return train_matcher(state, rng)\n"
+    ),
+}
+
+
+class TestRngFlowRule:
+    def test_stream_crossing_stages_is_flagged(self, tmp_path):
+        report = check(_CROSS_STAGE_RNG, tmp_path)
+        found = findings_of(report, "CL010")
+        assert len(found) == 1
+        assert "blocker" in found[0].message
+        assert "matcher" in found[0].message
+
+    def test_flows_through_intermediate_helper(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/stages.py": (
+                "def relay(state, generator):\n"
+                "    return train_matcher(state, generator)\n"
+                "\n"
+                "def train_matcher(state, rng):\n"
+                "    return rng.random()\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        rng = ctx.rng(\"blocker\")\n"
+                "        return relay(state, rng)\n"
+            ),
+        }, tmp_path)
+        assert len(findings_of(report, "CL010")) == 1
+
+    def test_stream_staying_in_its_stage_is_clean(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/stages.py": (
+                "def block_sample(state, rng):\n"
+                "    return rng.random()\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        rng = ctx.rng(\"blocker\")\n"
+                "        return block_sample(state, rng)\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL010") == []
+
+    def test_unstaged_helper_is_clean(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/stages.py": (
+                "def shuffle(items, rng):\n"
+                "    return rng.permutation(items)\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        return shuffle(state, ctx.rng(\"blocker\"))\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL010") == []
+
+
+# ----------------------------------------------------------------------
+# CL011 — checkpoint completeness
+# ----------------------------------------------------------------------
+
+
+_LEAKY_CHECKPOINT = {
+    "pkg/__init__.py": "",
+    "pkg/tracker.py": (
+        "class Tracker:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "        self.missing = 0\n"
+        "\n"
+        "    def bump(self):\n"
+        "        self.count += 1\n"
+        "        self.missing += 1\n"
+        "\n"
+        "    def state_dict(self):\n"
+        "        return {\"count\": self.count}\n"
+        "\n"
+        "    def load_state(self, payload):\n"
+        "        self.count = payload[\"count\"]\n"
+    ),
+}
+
+
+class TestCheckpointStateRule:
+    def test_unserialized_mutable_attr_is_flagged(self, tmp_path):
+        report = check(_LEAKY_CHECKPOINT, tmp_path)
+        found = findings_of(report, "CL011")
+        assert len(found) == 1
+        assert "Tracker.missing" in found[0].message
+
+    def test_derived_pragma_exempts_attr(self, tmp_path):
+        tree = dict(_LEAKY_CHECKPOINT)
+        tree["pkg/tracker.py"] = tree["pkg/tracker.py"].replace(
+            "        self.missing = 0\n",
+            "        self.missing = 0  # corlint: derived\n",
+        )
+        report = check(tree, tmp_path)
+        assert findings_of(report, "CL011") == []
+
+    def test_string_key_reference_counts_as_serialized(self, tmp_path):
+        tree = dict(_LEAKY_CHECKPOINT)
+        tree["pkg/tracker.py"] = tree["pkg/tracker.py"].replace(
+            "return {\"count\": self.count}",
+            "return {\"count\": self.count, \"missing\": self.missing}",
+        )
+        report = check(tree, tmp_path)
+        assert findings_of(report, "CL011") == []
+
+    def test_unmutated_attr_is_clean(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/tracker.py": (
+                "class Tracker:\n"
+                "    def __init__(self, config):\n"
+                "        self.config = config\n"
+                "        self.count = 0\n"
+                "\n"
+                "    def bump(self):\n"
+                "        self.count += 1\n"
+                "\n"
+                "    def state_dict(self):\n"
+                "        return {\"count\": self.count}\n"
+                "\n"
+                "    def load_state(self, payload):\n"
+                "        self.count = payload[\"count\"]\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL011") == []
+
+    def test_non_checkpoint_class_is_ignored(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/plain.py": (
+                "class Plain:\n"
+                "    def __init__(self):\n"
+                "        self.count = 0\n"
+                "\n"
+                "    def bump(self):\n"
+                "        self.count += 1\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL011") == []
+
+
+# ----------------------------------------------------------------------
+# CL012 — obs consistency
+# ----------------------------------------------------------------------
+
+
+_OBS_BASE = {
+    "pkg/__init__.py": "",
+    "pkg/events.py": (
+        "EVENT_DONE = \"done\"\n"
+        "EVENT_NAMES = (\n"
+        "    EVENT_DONE,\n"
+        ")\n"
+        "\n"
+        "class Bus:\n"
+        "    def emit(self, name):\n"
+        "        return name\n"
+    ),
+    "pkg/producer.py": (
+        "from pkg.events import EVENT_DONE\n"
+        "\n"
+        "def produce(bus):\n"
+        "    bus.emit(EVENT_DONE)\n"
+    ),
+    "pkg/consumer.py": (
+        "from pkg.events import EVENT_DONE\n"
+        "\n"
+        "def on_event(name, reg):\n"
+        "    if name == EVENT_DONE:\n"
+        "        reg.get(\"pkg_done_total\").inc()\n"
+    ),
+    "pkg/catalog.py": (
+        "def build_catalog(registry):\n"
+        "    registry.counter(\"pkg_done_total\", \"done events\")\n"
+    ),
+}
+
+
+class TestObsConsistencyRule:
+    def test_closed_loop_is_clean(self, tmp_path):
+        report = check(_OBS_BASE, tmp_path)
+        assert findings_of(report, "CL012") == []
+
+    def test_declared_but_never_emitted_event(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/producer.py"] = "def produce(bus):\n    return None\n"
+        report = check(tree, tmp_path)
+        found = findings_of(report, "CL012")
+        assert any("never emitted" in f.message for f in found)
+
+    def test_emitted_but_never_consumed_event(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/consumer.py"] = (
+            "def on_event(name, reg):\n"
+            "    reg.get(\"pkg_done_total\").inc()\n"
+        )
+        report = check(tree, tmp_path)
+        found = findings_of(report, "CL012")
+        assert any("no module consumes it" in f.message for f in found)
+
+    def test_helper_style_emit_counts_as_producer(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/producer.py"] = (
+            "from pkg.events import EVENT_DONE\n"
+            "\n"
+            "def _emit(bus, name):\n"
+            "    if bus is not None:\n"
+            "        bus.emit(name)\n"
+            "\n"
+            "def produce(bus):\n"
+            "    _emit(bus, EVENT_DONE)\n"
+        )
+        report = check(tree, tmp_path)
+        assert not any("never emitted" in f.message
+                       for f in findings_of(report, "CL012"))
+
+    def test_metric_registered_but_never_produced(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/catalog.py"] = (
+            "def build_catalog(registry):\n"
+            "    registry.counter(\"pkg_done_total\", \"done events\")\n"
+            "    registry.gauge(\"pkg_orphan\", \"nobody writes this\")\n"
+        )
+        report = check(tree, tmp_path)
+        found = findings_of(report, "CL012")
+        assert any("pkg_orphan" in f.message
+                   and "looks it up" in f.message for f in found)
+
+    def test_metric_produced_but_never_registered(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/consumer.py"] = (
+            "from pkg.events import EVENT_DONE\n"
+            "\n"
+            "def on_event(name, reg):\n"
+            "    if name == EVENT_DONE:\n"
+            "        reg.get(\"pkg_done_total\").inc()\n"
+            "        reg.get(\"pkg_unknown_total\").inc()\n"
+        )
+        report = check(tree, tmp_path)
+        found = findings_of(report, "CL012")
+        assert any("pkg_unknown_total" in f.message for f in found)
+
+    def test_skipped_on_partial_scans(self, tmp_path):
+        tree = dict(_OBS_BASE)
+        tree["pkg/producer.py"] = "def produce(bus):\n    return None\n"
+        report = check(tree, tmp_path, partial=True)
+        assert findings_of(report, "CL012") == []
+
+
+# ----------------------------------------------------------------------
+# CL013 — wall-clock purity
+# ----------------------------------------------------------------------
+
+
+class TestWallClockPurityRule:
+    def test_transitive_clock_read_is_flagged(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/helpers.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "pkg/stages.py": (
+                "from pkg.helpers import stamp\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        return stamp()\n"
+            ),
+        }, tmp_path)
+        found = findings_of(report, "CL013")
+        assert len(found) == 1
+        assert found[0].path == "pkg/helpers.py"
+        assert "BlockStage.run" in found[0].message
+
+    def test_direct_clock_read_in_stage_is_flagged(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/stages.py": (
+                "from time import perf_counter\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        return perf_counter()\n"
+            ),
+        }, tmp_path)
+        assert len(findings_of(report, "CL013")) == 1
+
+    def test_profiling_module_is_allowlisted(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/profiling.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "pkg/stages.py": (
+                "from pkg.profiling import stamp\n"
+                "\n"
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        return stamp()\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL013") == []
+
+    def test_clock_unreachable_from_stages_is_clean(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/cli.py": (
+                "import time\n"
+                "\n"
+                "def banner():\n"
+                "    return time.time()\n"
+            ),
+            "pkg/stages.py": (
+                "class BlockStage:\n"
+                "    def run(self, state, ctx):\n"
+                "        return state\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL013") == []
+
+
+# ----------------------------------------------------------------------
+# CL014 — dead public API
+# ----------------------------------------------------------------------
+
+
+class TestDeadApiRule:
+    def test_unreferenced_public_def_is_flagged(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "from .used import api\n",
+            "pkg/used.py": "def api():\n    return 1\n",
+            "pkg/dead.py": "def orphan():\n    return 2\n",
+        }, tmp_path)
+        found = findings_of(report, "CL014")
+        assert len(found) == 1
+        assert "orphan" in found[0].message
+
+    def test_reexported_def_is_clean(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "from .used import api\n",
+            "pkg/used.py": "def api():\n    return 1\n",
+        }, tmp_path)
+        assert findings_of(report, "CL014") == []
+
+    def test_all_export_is_deliberate(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/mod.py": (
+                "__all__ = [\"api\"]\n"
+                "\n"
+                "def api():\n"
+                "    return 1\n"
+            ),
+        }, tmp_path)
+        assert findings_of(report, "CL014") == []
+
+    def test_module_attr_reference_counts(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/hooks.py": "def record(x):\n    return x\n",
+            "pkg/core.py": (
+                "from pkg import hooks\n"
+                "\n"
+                "def work():\n"
+                "    return hooks.record(1)\n"
+            ),
+        }, tmp_path)
+        assert not any("record" in f.message
+                       for f in findings_of(report, "CL014"))
+
+    def test_dangling_all_entry_is_flagged(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/mod.py": (
+                "__all__ = [\"ghost\"]\n"
+                "\n"
+                "def api():\n"
+                "    return 1\n"
+            ),
+        }, tmp_path)
+        found = findings_of(report, "CL014")
+        assert any("ghost" in f.message for f in found)
+
+    def test_skipped_on_partial_scans(self, tmp_path):
+        report = check({
+            "pkg/__init__.py": "",
+            "pkg/dead.py": "def orphan():\n    return 2\n",
+        }, tmp_path, partial=True)
+        assert findings_of(report, "CL014") == []
+
+
+# ----------------------------------------------------------------------
+# Baseline staleness and scoping
+# ----------------------------------------------------------------------
+
+
+_BAD_RNG_MOD = (
+    "import numpy as np\n"
+    "\n"
+    "def f():\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+class TestBaselineStaleness:
+    def test_deleted_file_entry_is_stale(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "mod.py").write_text(_BAD_RNG_MOD)
+        analyzer = Analyzer(use_cache=False, root=tmp_path)
+        first = analyzer.run([tmp_path])
+        baseline = baseline_from_findings(first.new_findings)
+        (tmp_path / "core" / "mod.py").unlink()
+        (tmp_path / "core" / "other.py").write_text("X = 1\n")
+        report = Analyzer(use_cache=False, root=tmp_path).run(
+            [tmp_path], baseline=baseline)
+        assert len(report.stale_entries) == 1
+        assert report.stale_entries[0].path == "core/mod.py"
+
+    def test_out_of_scope_entries_are_not_stale(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "other").mkdir()
+        (tmp_path / "core" / "mod.py").write_text(_BAD_RNG_MOD)
+        (tmp_path / "other" / "clean.py").write_text("X = 1\n")
+        analyzer = Analyzer(use_cache=False, root=tmp_path)
+        baseline = baseline_from_findings(
+            analyzer.run([tmp_path]).new_findings)
+        report = Analyzer(use_cache=False, root=tmp_path).run(
+            [tmp_path / "other"], baseline=baseline)
+        assert report.stale_entries == []
+        assert report.new_findings == []
+
+    def test_deleted_file_is_stale_even_out_of_scope(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "other").mkdir()
+        (tmp_path / "core" / "mod.py").write_text(_BAD_RNG_MOD)
+        (tmp_path / "other" / "clean.py").write_text("X = 1\n")
+        analyzer = Analyzer(use_cache=False, root=tmp_path)
+        baseline = baseline_from_findings(
+            analyzer.run([tmp_path]).new_findings)
+        (tmp_path / "core" / "mod.py").unlink()
+        report = Analyzer(use_cache=False, root=tmp_path).run(
+            [tmp_path / "other"], baseline=baseline)
+        assert len(report.stale_entries) == 1
+
+
+# ----------------------------------------------------------------------
+# Cache pruning
+# ----------------------------------------------------------------------
+
+
+class TestCachePruning:
+    def test_findings_cache_drops_deleted_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("X = 1\n")
+        (tmp_path / "b.py").write_text("Y = 2\n")
+        Analyzer(use_cache=True, root=tmp_path).run([tmp_path])
+        cache_path = tmp_path / ".corlint_cache" / "findings.json"
+        entries = json.loads(cache_path.read_text())["entries"]
+        assert set(entries) == {"a.py", "b.py"}
+        (tmp_path / "b.py").unlink()
+        Analyzer(use_cache=True, root=tmp_path).run([tmp_path])
+        entries = json.loads(cache_path.read_text())["entries"]
+        assert set(entries) == {"a.py"}
+
+
+# ----------------------------------------------------------------------
+# CLI: --changed, --check-baseline, --model-stats, --rule
+# ----------------------------------------------------------------------
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(["git", *args], cwd=repo, check=True,
+                   capture_output=True)
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A committed git repo with src/repro/mod.py, cwd inside it."""
+    repo = tmp_path / "repo"
+    (repo / "src" / "repro").mkdir(parents=True)
+    (repo / "src" / "repro" / "mod.py").write_text("X = 1\n")
+    _git(repo, "init", "-q")
+    _git(repo, "config", "user.email", "test@example.com")
+    _git(repo, "config", "user.name", "test")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-qm", "seed")
+    monkeypatch.chdir(repo)
+    return repo
+
+
+class TestCliChanged:
+    def test_no_changes_exits_0(self, git_repo, capsys):
+        code = corlint_main(["--changed", "HEAD", "--no-cache",
+                             "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no Python files changed" in out
+
+    def test_changed_file_with_finding_exits_1(self, git_repo, capsys):
+        # mod.py lives outside the CL001 components; a changed file
+        # under core/ trips the determinism rule.
+        target = git_repo / "src" / "repro" / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(_BAD_RNG_MOD)
+        _git(git_repo, "add", "-A")
+        code = corlint_main(["--changed", "HEAD", "--no-cache",
+                             "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "CL001" in out
+
+    def test_changed_conflicts_with_paths(self, git_repo, capsys):
+        code = corlint_main(["src", "--changed", "HEAD"])
+        assert code == 2
+
+    def test_changed_skips_whole_program_rules(self, git_repo, capsys):
+        # An orphan public def would trip CL014 on a full scan; a
+        # diff-aware scan must not pretend to know the whole tree.
+        (git_repo / "src" / "repro" / "mod.py").write_text(
+            "def orphan():\n    return 1\n")
+        code = corlint_main(["--changed", "HEAD", "--no-cache",
+                             "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+
+class TestCliCheckBaseline:
+    def test_tight_baseline_exits_0(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_BAD_RNG_MOD)
+        baseline_path = tmp_path / "baseline.json"
+        assert corlint_main([str(tmp_path), "--no-cache",
+                             "--baseline", str(baseline_path),
+                             "--update-baseline"]) == 0
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--baseline", str(baseline_path),
+                             "--check-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tight" in out
+
+    def test_stale_baseline_exits_1(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(_BAD_RNG_MOD)
+        (tmp_path / "keep.py").write_text("X = 1\n")
+        baseline_path = tmp_path / "baseline.json"
+        assert corlint_main([str(tmp_path), "--no-cache",
+                             "--baseline", str(baseline_path),
+                             "--update-baseline"]) == 0
+        (tmp_path / "mod.py").unlink()
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--baseline", str(baseline_path),
+                             "--check-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale baseline entry" in out
+
+
+class TestCliModelStatsAndRule:
+    def test_model_stats_prints_shape(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "mod.py").write_text(
+            "def f():\n    return 1\n\n\ndef g():\n    return f()\n")
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--no-baseline", "--model-stats"])
+        err = capsys.readouterr().err
+        assert code in (0, 1)
+        assert "semantic model" in err
+        assert "modules: " in err
+        assert "timings" in err
+
+    def test_rule_flag_restricts_rules(self, tmp_path, capsys):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "mod.py").write_text(_BAD_RNG_MOD)
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--no-baseline", "--rule", "CL013"])
+        assert code == 0
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--no-baseline", "--rule", "CL001"])
+        assert code == 1
+
+    def test_unknown_rule_flag_is_usage_error(self, tmp_path, capsys):
+        code = corlint_main([str(tmp_path), "--no-cache",
+                             "--rule", "CL999"])
+        assert code == 2
+
+
+# ----------------------------------------------------------------------
+# JSON reporter schema (golden)
+# ----------------------------------------------------------------------
+
+
+class TestJsonSchemaGolden:
+    def test_report_schema_is_stable(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "mod.py").write_text(_BAD_RNG_MOD)
+        out_path = tmp_path / "report.json"
+        corlint_main([str(tmp_path), "--no-cache", "--no-baseline",
+                      "--format", "json", "--output", str(out_path)])
+        payload = json.loads(out_path.read_text())
+        assert sorted(payload) == sorted(
+            ["tool", "version", "files_scanned", "findings",
+             "stale_baseline_entries", "summary"])
+        finding = payload["findings"][0]
+        assert sorted(finding) == sorted(
+            ["path", "line", "column", "rule", "severity", "message",
+             "fingerprint", "line_content", "baselined"])
+        assert finding["rule"] == "CL001"
+        assert sorted(payload["summary"]) == sorted(
+            ["new", "baselined", "stale", "new_by_rule",
+             "baselined_by_rule"])
+        second = tmp_path / "second.json"
+        corlint_main([str(tmp_path), "--no-cache", "--no-baseline",
+                      "--format", "json", "--output", str(second)])
+        assert second.read_text() == out_path.read_text()
