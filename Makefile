@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-fast test bench bench-smoke bench-shard trace-report results examples clean
+.PHONY: install lint lint-fast test bench bench-smoke bench-shard bench-plan trace-report results examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,8 +28,9 @@ bench:
 # baseline (scalar vs batched feature-evaluation throughput), the
 # BENCH_engine.json baseline (checkpoint overhead, event throughput),
 # BENCH_faults.json (gateway overhead/recovery), BENCH_obs.json
-# (run-telemetry instrumentation overhead) and BENCH_shard.json
-# (sharded blocking worker-scaling curve).
+# (run-telemetry instrumentation overhead), BENCH_shard.json
+# (sharded blocking worker-scaling curve) and BENCH_plan.json
+# (plan-compiler fused blocking + memmap spill).
 bench-smoke:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest \
@@ -41,6 +42,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/collect_results.py --faults
 	$(PYTHON) benchmarks/collect_results.py --obs
 	$(PYTHON) benchmarks/collect_results.py --shard
+	$(PYTHON) benchmarks/collect_results.py --plan
 
 # The sharded blocking executor's 1/2/4/8-worker scaling curve and
 # merge-determinism check (docs/architecture.md); refreshes
@@ -48,6 +50,14 @@ bench-smoke:
 bench-shard:
 	mkdir -p benchmarks/results
 	$(PYTHON) benchmarks/collect_results.py --shard
+
+# The plan compiler's fused-blocking speedup and memmap spill
+# behaviour, one fresh subprocess per variant for honest peak RSS
+# (docs/architecture.md, "The plan compiler"); refreshes
+# BENCH_plan.json and benchmarks/results/plan_compiler.txt.
+bench-plan:
+	mkdir -p benchmarks/results
+	$(PYTHON) benchmarks/collect_results.py --plan
 
 # Render the obs report (docs/observability.md) for the newest run
 # directory under the repo — any directory holding a run.json; `make

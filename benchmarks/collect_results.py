@@ -61,6 +61,16 @@ candidate list bit-identical to the sequential path, recorded as
 ``BENCH_shard.json`` plus a ``shard_scaling`` result table:
 
     python benchmarks/collect_results.py --shard
+
+An eighth mode measures the columnar plan compiler
+(docs/architecture.md, "The plan compiler"): full-matrix streaming
+blocking versus the fused plan executor on a citations-shaped
+workload, and in-RAM versus memmap-spilled candidate vectorization —
+each variant in its own fresh subprocess so the recorded peak RSS is
+honest, with survivor/matrix checksums proving bit-identity.  Recorded
+as ``BENCH_plan.json`` plus a ``plan_compiler`` result table:
+
+    python benchmarks/collect_results.py --plan
 """
 
 from __future__ import annotations
@@ -79,6 +89,16 @@ ENGINE_OUTPUT = Path(__file__).parent / "BENCH_engine.json"
 FAULTS_OUTPUT = Path(__file__).parent / "BENCH_faults.json"
 OBS_OUTPUT = Path(__file__).parent / "BENCH_obs.json"
 SHARD_OUTPUT = Path(__file__).parent / "BENCH_shard.json"
+PLAN_OUTPUT = Path(__file__).parent / "BENCH_plan.json"
+
+
+def _peak_rss_kb() -> int | None:
+    """This process's peak resident set size in KiB (None off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 # Display order: paper tables, figures, section studies, extensions.
 ORDER = [
@@ -112,6 +132,7 @@ ORDER = [
     "fault_gateway",
     "obs_overhead",
     "shard_scaling",
+    "plan_compiler",
 ]
 
 
@@ -346,6 +367,7 @@ def collect_engine(output: Path | None = None, repeats: int = 3) -> dict:
             "checkpoint_overhead_fraction": round(overhead / plain, 4),
             "checkpoints_written": checkpoints,
             "events_emitted": events,
+            "peak_rss_kb": _peak_rss_kb(),
         },
         "checkpoint": {
             "mean_write_overhead_seconds": round(
@@ -492,6 +514,7 @@ def collect_faults(output: Path | None = None, repeats: int = 3) -> dict:
                 max(0.0, clean - direct) / direct, 4
             ),
             "direct_f1": round(direct_f1, 4),
+            "peak_rss_kb": _peak_rss_kb(),
         },
         "recovery_at_10pct": {
             "faults_injected": dict(faulty.counts),
@@ -642,6 +665,7 @@ def collect_obs(output: Path | None = None, repeats: int = 3) -> dict:
             "instrumentation_overhead_fraction": overhead,
             "acceptance_bar_fraction": 0.05,
             "within_bar": overhead < 0.05,
+            "peak_rss_kb": _peak_rss_kb(),
         },
         "artifacts": {
             "run_dir": str(kept_run_dir.relative_to(ROOT)),
@@ -766,6 +790,7 @@ def collect_shard(output: Path | None = None, repeats: int = 2,
             "repeats": repeats,
             "cpu_count": os.cpu_count(),
             "survivors": len(golden),
+            "peak_rss_kb": _peak_rss_kb(),
         },
         "streaming_seconds": round(streaming_seconds, 4),
         "workers": workers,
@@ -844,6 +869,210 @@ def collect_shard(output: Path | None = None, repeats: int = 2,
     return payload
 
 
+# Runs in a fresh interpreter per variant (see collect_plan): peak RSS
+# is a process-lifetime high-water mark, so sharing one process across
+# variants would let the largest working set mask all the others.
+_PLAN_CHILD = """
+import hashlib, json, sys, tempfile, time
+from pathlib import Path
+
+from repro.core.blocker import apply_rules_streaming
+from repro.features.library import build_feature_library
+from repro.features.vectorize import vectorize_pairs
+from repro.plan import PlanStats, SpillManager, apply_rules_plan
+from repro.rules.predicates import Predicate
+from repro.rules.rule import Rule
+from repro.synth.citations import generate_citations
+
+
+def peak_rss_kb():
+    import resource
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+variant, n_a, n_b = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+dataset = generate_citations(n_a=n_a, n_b=n_b,
+                             n_matches=max(4, n_a // 10), seed=7)
+library = build_feature_library(dataset.table_a, dataset.table_b)
+rules = [
+    Rule([Predicate(library.names.index(name), name, True, threshold)],
+         predicts_match=False)
+    for name, threshold in (("title_jaccard_word", 0.3),
+                            ("title_cosine_tfidf", 0.3),
+                            ("title_monge_elkan", 0.4))
+]
+out = {"variant": variant}
+
+if variant in ("blocking_streaming", "blocking_plan"):
+    stats = PlanStats()
+    started = time.perf_counter()
+    if variant == "blocking_streaming":
+        survivors = apply_rules_streaming(
+            dataset.table_a, dataset.table_b, rules, library)
+    else:
+        survivors = apply_rules_plan(
+            dataset.table_a, dataset.table_b, rules, library,
+            stats=stats)
+        out["plan_stats"] = stats.as_dict()
+    out["seconds"] = time.perf_counter() - started
+    out["survivors"] = len(survivors)
+    out["survivors_sha256"] = hashlib.sha256(
+        "\\n".join(f"{p.a_id}|{p.b_id}" for p in survivors)
+        .encode()).hexdigest()
+else:  # vectorize_ram / vectorize_spill
+    pairs = apply_rules_streaming(
+        dataset.table_a, dataset.table_b, rules, library)
+    spill_dir = tempfile.mkdtemp()
+    started = time.perf_counter()
+    if variant == "vectorize_spill":
+        # An 8 KiB RAM cap the matrix must exceed: the whole matrix
+        # lives in the memmap, never in an anonymous heap block.
+        spill = SpillManager(Path(spill_dir), 1 << 13)
+        buffer = spill.allocate("candidates",
+                                (len(pairs), len(library)))
+        candidates = vectorize_pairs(
+            dataset.table_a, dataset.table_b, pairs, library,
+            engine="plan", out=buffer)
+        out["spill_threshold_bytes"] = 1 << 13
+        out["bytes_spilled"] = spill.bytes_spilled
+        spill.close()
+    else:
+        candidates = vectorize_pairs(
+            dataset.table_a, dataset.table_b, pairs, library)
+    out["seconds"] = time.perf_counter() - started
+    out["pairs"] = len(pairs)
+    out["matrix_bytes"] = candidates.features.nbytes
+    out["matrix_sha256"] = hashlib.sha256(
+        candidates.features.tobytes()).hexdigest()
+
+out["peak_rss_kb"] = peak_rss_kb()
+print(json.dumps(out))
+"""
+
+
+def collect_plan(output: Path | None = None,
+                 n_a: int = 150, n_b: int = 400) -> dict:
+    """Measure the plan compiler's pruning speedup and spill behaviour.
+
+    Four fresh subprocesses over the same citations-shaped workload
+    (each variant gets its own interpreter so ``ru_maxrss`` measures
+    that variant alone): full-matrix streaming blocking versus the
+    fused plan executor under a three-rule cheap-to-expensive rule set
+    (the shape the compiler's predicate pushdown exploits), then
+    in-RAM versus memmap-spilled candidate vectorization where the
+    spill variant's matrix exceeds an 8 KiB configured RAM cap.
+    SHA-256 checksums of the survivor list and the feature matrix
+    assert bit-identity across engines.  Writes ``BENCH_plan.json``
+    and a ``plan_compiler`` result table, and returns the payload.
+    """
+    import os
+    import subprocess
+    import sys as _sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    # TF/IDF cosine sums iterate token *sets*, so summation order — and
+    # therefore the float bytes — depends on string hash order.  Pin
+    # the hash seed so all four interpreters agree and the cross-process
+    # checksums compare bytes, not hash-randomization noise.
+    env["PYTHONHASHSEED"] = "0"
+
+    def run_variant(variant: str) -> dict:
+        proc = subprocess.run(
+            [_sys.executable, "-c", _PLAN_CHILD, variant,
+             str(n_a), str(n_b)],
+            capture_output=True, text=True, env=env, check=True)
+        return json.loads(proc.stdout.splitlines()[-1])
+
+    streaming = run_variant("blocking_streaming")
+    plan = run_variant("blocking_plan")
+    ram = run_variant("vectorize_ram")
+    spill = run_variant("vectorize_spill")
+
+    assert plan["survivors_sha256"] == streaming["survivors_sha256"], (
+        "plan executor diverged from streaming blocking")
+    assert spill["matrix_sha256"] == ram["matrix_sha256"], (
+        "spilled vectorization diverged from the in-RAM matrix")
+    assert spill["bytes_spilled"] > spill["spill_threshold_bytes"], (
+        "spill variant never exceeded its configured RAM cap")
+
+    stats = plan["plan_stats"]
+    payload = {
+        "run": {
+            "dataset": f"citations {n_a}x{n_b}",
+            "pairs": n_a * n_b,
+            "rules": 3,
+            "survivors": streaming["survivors"],
+        },
+        "blocking": {
+            "streaming_seconds": round(streaming["seconds"], 4),
+            "plan_seconds": round(plan["seconds"], 4),
+            "speedup": round(streaming["seconds"] / plan["seconds"], 2),
+            "bit_identical": True,
+            "cells_computed": stats["cells_computed"],
+            "cells_pruned": stats["cells_pruned"],
+            "pruned_fraction": round(
+                stats["cells_pruned"]
+                / max(1, stats["cells_pruned"] + stats["cells_computed"]),
+                4),
+            "streaming_peak_rss_kb": streaming["peak_rss_kb"],
+            "plan_peak_rss_kb": plan["peak_rss_kb"],
+        },
+        "vectorize": {
+            "pairs": ram["pairs"],
+            "matrix_bytes": ram["matrix_bytes"],
+            "spill_threshold_bytes": spill["spill_threshold_bytes"],
+            "exceeds_ram_cap": (
+                spill["matrix_bytes"] > spill["spill_threshold_bytes"]
+            ),
+            "bytes_spilled": spill["bytes_spilled"],
+            "ram_seconds": round(ram["seconds"], 4),
+            "spill_seconds": round(spill["seconds"], 4),
+            "bit_identical": True,
+            "ram_peak_rss_kb": ram["peak_rss_kb"],
+            "spill_peak_rss_kb": spill["peak_rss_kb"],
+        },
+    }
+
+    target = output if output is not None else PLAN_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} (blocking speedup "
+          f"{payload['blocking']['speedup']:.2f}x, "
+          f"{payload['blocking']['pruned_fraction']:.0%} cells pruned)")
+
+    run = payload["run"]
+    blocking = payload["blocking"]
+    vec = payload["vectorize"]
+    table = (
+        "Plan compiler: fused blocking + memmap spill "
+        f"({run['dataset']}, {run['pairs']} pairs, fresh process per "
+        "variant)\n"
+        "\n"
+        "variant             seconds  peak RSS  notes\n"
+        "------------------  -------  --------  -----\n"
+        f"blocking streaming  {blocking['streaming_seconds']:>7.3f}  "
+        f"{blocking['streaming_peak_rss_kb']:>6} K  full matrix\n"
+        f"blocking plan       {blocking['plan_seconds']:>7.3f}  "
+        f"{blocking['plan_peak_rss_kb']:>6} K  "
+        f"{blocking['speedup']:.2f}x, "
+        f"{blocking['pruned_fraction']:.0%} cells pruned, "
+        "bit-identical\n"
+        f"vectorize in-RAM    {vec['ram_seconds']:>7.3f}  "
+        f"{vec['ram_peak_rss_kb']:>6} K  "
+        f"{vec['matrix_bytes']} B matrix\n"
+        f"vectorize spill     {vec['spill_seconds']:>7.3f}  "
+        f"{vec['spill_peak_rss_kb']:>6} K  "
+        f"{vec['bytes_spilled']} B memmapped (cap "
+        f"{vec['spill_threshold_bytes']} B"
+        f"{', exceeded' if vec['exceeds_ram_cap'] else ''}), "
+        "bit-identical\n"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "plan_compiler.txt").write_text(table)
+    return payload
+
+
 def main() -> None:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(
@@ -906,6 +1135,13 @@ if __name__ == "__main__":
              "BENCH_shard.json instead of collecting RESULTS.md",
     )
     parser.add_argument(
+        "--plan", action="store_true",
+        help="measure the plan compiler's fused-blocking speedup and "
+             "memmap spill behaviour in fresh subprocesses (honest peak "
+             "RSS), recording BENCH_plan.json instead of collecting "
+             "RESULTS.md",
+    )
+    parser.add_argument(
         "--shard-full", action="store_true",
         help="like --shard, but additionally run one sharded blocking "
              "pass over the paper-size Citations product (~168M pairs; "
@@ -922,6 +1158,8 @@ if __name__ == "__main__":
         collect_faults()
     elif args.obs:
         collect_obs()
+    elif args.plan:
+        collect_plan()
     elif args.shard_full:
         collect_shard(full=True)
     elif args.shard:

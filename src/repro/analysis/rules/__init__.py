@@ -27,6 +27,7 @@ from .picklability import PicklabilityRule
 from .resilience import SwallowedCrowdErrorRule
 from .rng_flow import RngFlowRule
 from .rng_sharing import RngSharingRule
+from .spill import SpillOwnershipRule
 from .wallclock import WallClockPurityRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -44,6 +45,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     ObsConsistencyRule,
     WallClockPurityRule,
     DeadApiRule,
+    SpillOwnershipRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -77,6 +79,7 @@ __all__ = [
     "RngFlowRule",
     "RngSharingRule",
     "SemanticRule",
+    "SpillOwnershipRule",
     "SwallowedCrowdErrorRule",
     "Rule",
     "WallClockPurityRule",

@@ -250,6 +250,31 @@ class GatewayConfig:
 
 
 @dataclass(frozen=True)
+class PlanConfig:
+    """Columnar plan compiler + spill settings (:mod:`repro.plan`).
+
+    The plan engine compiles blocking rules and the feature library
+    into a cheapest-first, predicate-pushdown execution plan and can
+    back oversized matrices with memory-mapped spill files under the
+    run directory — see "The plan compiler" in docs/architecture.md.
+    Results are bit-identical with the plan engine on or off; only the
+    work schedule and memory residency change.
+    """
+
+    enabled: bool = False
+    """Run blocking/vectorization through the compiled plan engine."""
+
+    spill_threshold_mb: float = 0.0
+    """Matrices at least this many MiB spill to memory-mapped ``.npy``
+    files under the run directory (0 disables spilling; spilling also
+    requires a run directory to spill into)."""
+
+    @property
+    def spill_threshold_bytes(self) -> int:
+        return int(self.spill_threshold_mb * 1024 * 1024)
+
+
+@dataclass(frozen=True)
 class CorleoneConfig:
     """Top-level configuration bundling every module's parameters."""
 
@@ -260,6 +285,7 @@ class CorleoneConfig:
     locator: LocatorConfig = field(default_factory=LocatorConfig)
     crowd: CrowdConfig = field(default_factory=CrowdConfig)
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    plan: PlanConfig = field(default_factory=PlanConfig)
 
     max_pipeline_iterations: int = 5
     """Cap on matcher->estimate->reduce rounds (paper needed 1-2)."""
@@ -345,6 +371,8 @@ def _validate(cfg: CorleoneConfig) -> None:
          "gateway.failure_threshold must be >= 1"),
         (cfg.gateway.cooldown_seconds >= 0,
          "gateway.cooldown_seconds must be >= 0"),
+        (cfg.plan.spill_threshold_mb >= 0,
+         "plan.spill_threshold_mb must be >= 0"),
         (cfg.max_pipeline_iterations >= 1,
          "max_pipeline_iterations must be >= 1"),
         (cfg.budget is None or cfg.budget > 0, "budget must be positive"),

@@ -140,6 +140,10 @@ class BlockerResult:
     matcher_result: MatcherResult | None = None
     pairs_labeled: int = 0
     dollars: float = 0.0
+    plan_stats: dict | None = None
+    """Plan-engine cell accounting (``PlanStats.as_dict()``), when the
+    plan engine applied the rules.  Like ``matcher_result``, this is
+    run-time telemetry and is not serialized by ``persistence``."""
 
     @property
     def umbrella_size(self) -> int:
@@ -166,6 +170,8 @@ class Blocker:
         """Optional engine EventBus for shard-lifecycle/fallback events."""
         self.shard_dir = shard_dir
         """Optional directory for the sharded executor's resume files."""
+        self._plan_stats: dict | None = None
+        """Cell accounting from the last plan-engine rule application."""
 
     def run(self, table_a: Table, table_b: Table, library: FeatureLibrary,
             seed_labels: dict[Pair, bool]) -> BlockerResult:
@@ -229,6 +235,7 @@ class Blocker:
         accepted = [ev.rule for ev in evaluations if ev.accepted]
 
         chosen = self.select_rule_subset(accepted, sample, total)
+        self._plan_stats = None
         if chosen:
             survivors = self._apply_rules(table_a, table_b, chosen, library)
         else:
@@ -246,6 +253,7 @@ class Blocker:
             matcher_result=matcher_result,
             pairs_labeled=spent.pairs_labeled,
             dollars=spent.dollars,
+            plan_stats=self._plan_stats,
         )
 
     def select_rule_subset(self, rules: list[Rule], sample: CandidateSet,
@@ -295,14 +303,37 @@ class Blocker:
                      library: FeatureLibrary) -> list[Pair]:
         """Apply chosen rules via the configured executor.
 
-        All three executors (``streaming``, ``parallel``, ``sharded``)
-        return bit-identical survivor lists; the config only chooses
-        the execution substrate.
+        All executors return bit-identical survivor lists; the config
+        only chooses the execution substrate.  ``plan.enabled`` swaps
+        the per-chunk evaluation strategy for the compiled plan engine
+        (:mod:`repro.plan`) — cheapest-rule-first with predicate
+        pushdown — without changing the survivor set; under the
+        sharded executor the plan runs per shard against the
+        fork-shared caches.  The plan engine supersedes the legacy
+        ``parallel`` pool (which rebuilds libraries per worker); with
+        ``plan.enabled`` the ``parallel`` setting falls through to the
+        single-process plan path.
         """
         blocker_cfg = self.config.blocker
+        plan_cfg = self.config.plan
         if blocker_cfg.executor == "sharded":
             from ..exec import apply_rules_sharded
 
+            if plan_cfg.enabled:
+                from ..plan import PlanStats
+
+                stats = PlanStats()
+                survivors = apply_rules_sharded(
+                    table_a, table_b, rules, library,
+                    n_workers=blocker_cfg.n_workers,
+                    shard_size=blocker_cfg.shard_size,
+                    shard_dir=self.shard_dir,
+                    bus=self.bus,
+                    engine="plan",
+                    stats=stats,
+                )
+                self._plan_stats = stats.as_dict()
+                return survivors
             return apply_rules_sharded(
                 table_a, table_b, rules, library,
                 n_workers=blocker_cfg.n_workers,
@@ -310,6 +341,14 @@ class Blocker:
                 shard_dir=self.shard_dir,
                 bus=self.bus,
             )
+        if plan_cfg.enabled:
+            from ..plan import PlanStats, apply_rules_plan
+
+            stats = PlanStats()
+            survivors = apply_rules_plan(table_a, table_b, rules, library,
+                                         stats=stats)
+            self._plan_stats = stats.as_dict()
+            return survivors
         if blocker_cfg.executor == "parallel":
             return apply_rules_parallel(
                 table_a, table_b, rules, library,

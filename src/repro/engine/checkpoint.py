@@ -96,11 +96,33 @@ class Checkpointer:
         }
         path.write_text(json.dumps(document))
 
+    def _spilled_features(self, state: "RunState") -> str | None:
+        """Relative spill-file path for the candidate matrix, if any.
+
+        When the block stage spilled the feature matrix to a
+        memory-mapped ``.npy`` under this run directory, the candidate
+        file stores a reference to it instead of re-serializing the
+        matrix (the spill file *is* the canonical bytes).  Matrices
+        backed by anything else — heap arrays, or maps outside the run
+        directory — are serialized inline as before.
+        """
+        from ..plan.spill import spill_path
+
+        path = spill_path(state.candidates.features)
+        if path is None:
+            return None
+        try:
+            return path.resolve().relative_to(
+                self.run_dir.resolve()).as_posix()
+        except ValueError:
+            return None
+
     def write(self, state: "RunState", ctx: "RunContext") -> int:
         """Atomically persist one checkpoint; return its index."""
         if not self._have_candidates and state.candidates is not None:
             persistence.save_candidates(
-                state.candidates, self.run_dir / CANDIDATES_FILE
+                state.candidates, self.run_dir / CANDIDATES_FILE,
+                external_features=self._spilled_features(state),
             )
             self._have_candidates = True
         platform_state = None

@@ -54,11 +54,39 @@ class BlockStage:
         state.blocker = result
         if ctx.telemetry is not None:
             ctx.telemetry.record_blocker_result(result)
+            if result.plan_stats is not None:
+                ctx.telemetry.record_plan_stats(result.plan_stats)
+        plan_cfg = ctx.config.plan
+        engine = "plan" if plan_cfg.enabled else "batched"
+        out = None
+        spill = None
+        if (ctx.run_dir is not None
+                and plan_cfg.spill_threshold_bytes > 0):
+            # Oversized feature matrices go straight into a
+            # memory-mapped .npy under the run directory; the
+            # checkpointer then references the spill file instead of
+            # re-serializing the matrix.
+            from ..plan import SPILL_DIR_NAME, SpillManager
+
+            spill = SpillManager(ctx.run_dir / SPILL_DIR_NAME,
+                                 plan_cfg.spill_threshold_bytes)
+            out = spill.allocate(
+                "candidates",
+                (len(result.candidate_pairs), len(state.library)),
+            )
         with ctx.span("section", section="vectorize_candidates"):
             candidates = vectorize_pairs(
                 state.table_a, state.table_b, result.candidate_pairs,
-                state.library,
+                state.library, engine=engine, out=out,
             )
+        if spill is not None:
+            # Flush before anything references the file; the manager's
+            # handle is released here and the matrix lives on through
+            # the CandidateSet's read-only view (CL015 ownership
+            # contract).
+            if ctx.telemetry is not None:
+                ctx.telemetry.record_spill(spill.bytes_spilled)
+            spill.close()
         state.candidates = candidates
         if len(candidates) == 0:
             state.stop_reason = "empty_candidate_set"

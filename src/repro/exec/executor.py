@@ -86,7 +86,9 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
                         n_workers: int = 1, shard_size: int = 0,
                         chunk_size: int = _STREAM_CHUNK,
                         shard_dir: Any = None,
-                        bus: Any = None) -> list[Pair]:
+                        bus: Any = None,
+                        engine: str = "chunk",
+                        stats: Any = None) -> list[Pair]:
     """Apply blocking rules over A x B via sharded workers; return survivors.
 
     ``shard_size`` of 0 picks :func:`~repro.exec.sharding.
@@ -98,14 +100,35 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
     parallelism could not be used; event order is deterministic, so
     traces stay byte-identical across replays.
 
+    ``engine`` selects the per-shard evaluator: ``"chunk"`` is the
+    full-matrix :class:`ChunkEvaluator`, ``"plan"`` runs each shard's
+    slice through the compiled plan (:class:`repro.plan.PlanExecutor`)
+    against the same fork-shared caches.  Survivors are bit-identical
+    either way — the shard fingerprint deliberately excludes the
+    engine, so shard files written by one engine resume under the
+    other.  With ``engine="plan"``, ``stats`` (a
+    :class:`repro.plan.PlanStats`) accumulates the deterministic
+    cell accounting; loaded shards re-contribute their persisted cell
+    counts so resumed metrics converge to the uninterrupted run's.
+
     The returned survivor list is bit-identical to
     :func:`~repro.core.blocker.apply_rules_streaming` on the same
     inputs, for every worker count, shard size and kill/resume history.
     """
+    if engine not in ("chunk", "plan"):
+        raise ValueError(f"unknown shard engine {engine!r}")
     if shard_size <= 0:
         shard_size = auto_shard_size(len(table_a), n_workers)
     shards = plan_shards(len(table_a), shard_size)
-    evaluator = ChunkEvaluator(table_a, table_b, rules, library)
+    if engine == "plan":
+        from ..plan import PlanExecutor
+
+        evaluator: ChunkEvaluator = PlanExecutor(table_a, table_b, rules,
+                                                 library)
+    else:
+        evaluator = ChunkEvaluator(table_a, table_b, rules, library)
+    if stats is not None:
+        stats.needed_width = len(evaluator.needed)
     with profile_section("blocker.shard_prewarm"):
         _prewarm(table_a, evaluator.cache_a, evaluator.needed_features)
         _prewarm(table_b, evaluator.cache_b, evaluator.needed_features)
@@ -126,7 +149,7 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
               detail="platform has no fork start method; sharded "
                      "blocking running in-process")
 
-    results: dict[int, tuple[list[tuple[str, str]], int]] = {}
+    results: dict[int, tuple[list[tuple[str, str]], int, int]] = {}
     for index in sorted(completed):
         results[index] = store.load(index)
         shard = shards[index]
@@ -139,11 +162,11 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
         for shard in pending:
             _emit(bus, EVENT_SHARD_STARTED, shard=shard.index,
                   start=shard.start, stop=shard.stop, cached=False)
-            survivors, scanned = _shard_survivors(evaluator, shard,
-                                                  chunk_size)
-            results[shard.index] = (survivors, scanned)
+            survivors, scanned, cells = _shard_survivors(evaluator, shard,
+                                                         chunk_size)
+            results[shard.index] = (survivors, scanned, cells)
             if store is not None:
-                store.write(shard.index, survivors, scanned)
+                _store_shard(store, shard.index, survivors, scanned, cells)
             _emit(bus, EVENT_SHARD_COMPLETED, shard=shard.index,
                   survivors=len(survivors), pairs_scanned=scanned,
                   cached=False)
@@ -152,15 +175,21 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
     # concatenated in shard order equal the sequential A-major stream.
     merged: list[Pair] = []
     for shard in shards:
-        survivors, _ = results[shard.index]
+        survivors, scanned, cells = results[shard.index]
         merged.extend(Pair(a_id, b_id) for a_id, b_id in survivors)
+        if stats is not None:
+            # A shard file from the chunk engine (or a pre-plan store)
+            # carries no cell count; it computed every needed cell.
+            if cells < 0:
+                cells = scanned * len(evaluator.needed)
+            stats.merge_counts(scanned, cells)
     return merged
 
 
 def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
               pending: list[Shard], chunk_size: int, n_workers: int,
               store: ShardStore | None,
-              results: dict[int, tuple[list[tuple[str, str]], int]],
+              results: dict[int, tuple[list[tuple[str, str]], int, int]],
               bus: Any) -> None:
     """Fan pending shards out to a forked worker pool.
 
@@ -182,11 +211,11 @@ def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
     try:
         with context.Pool(processes=min(n_workers, len(pending))) as pool:
             indices = [shard.index for shard in pending]
-            for index, survivors, scanned in pool.imap(
+            for index, survivors, scanned, cells in pool.imap(
                     _run_shard, indices, chunksize=1):
-                results[index] = (survivors, scanned)
+                results[index] = (survivors, scanned, cells)
                 if store is not None:
-                    store.write(index, survivors, scanned)
+                    _store_shard(store, index, survivors, scanned, cells)
                 _emit(bus, EVENT_SHARD_COMPLETED, shard=index,
                       survivors=len(survivors), pairs_scanned=scanned,
                       cached=False)
@@ -194,7 +223,18 @@ def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
         _SHARED = None
 
 
-def _run_shard(index: int) -> tuple[int, list[tuple[str, str]], int]:
+def _store_shard(store: ShardStore, index: int,
+                 survivors: list[tuple[str, str]], scanned: int,
+                 cells: int) -> None:
+    """Persist one shard, keeping the legacy 3-argument write signature
+    for the chunk engine (which has no cell accounting to store)."""
+    if cells < 0:
+        store.write(index, survivors, scanned)
+    else:
+        store.write(index, survivors, scanned, cells)
+
+
+def _run_shard(index: int) -> tuple[int, list[tuple[str, str]], int, int]:
     """Worker body: evaluate one shard against fork-inherited state.
 
     Module-level by necessity (pool callables must pickle; corlint
@@ -203,22 +243,27 @@ def _run_shard(index: int) -> tuple[int, list[tuple[str, str]], int]:
     """
     job = _SHARED
     shard = job["shards"][index]
-    survivors, scanned = _shard_survivors(job["evaluator"], shard,
-                                          job["chunk_size"])
-    return index, survivors, scanned
+    survivors, scanned, cells = _shard_survivors(job["evaluator"], shard,
+                                                 job["chunk_size"])
+    return index, survivors, scanned, cells
 
 
-def _shard_survivors(evaluator: ChunkEvaluator, shard: Shard,
-                     chunk_size: int) -> tuple[list[tuple[str, str]], int]:
+def _shard_survivors(
+        evaluator: ChunkEvaluator, shard: Shard,
+        chunk_size: int) -> tuple[list[tuple[str, str]], int, int]:
     """Stream one shard's slice of A x B through the rule evaluator.
 
     Enumeration order within the shard matches ``iter_cartesian`` (A
     rows in table order, each crossed with all of B in table order);
     chunk boundaries differ from the global sequential stream, which is
     immaterial because every batch kernel is bit-exact regardless of
-    chunking.
+    chunking.  The third return value is the plan engine's per-shard
+    computed-cell delta (-1 under the chunk engine, which keeps no
+    cell accounting).
     """
     table_a, table_b = evaluator.table_a, evaluator.table_b
+    plan_stats = getattr(evaluator, "stats", None)
+    cells_before = plan_stats.cells_computed if plan_stats else 0
     records_b = list(table_b)
     survivors: list[tuple[str, str]] = []
     scanned = 0
@@ -248,7 +293,9 @@ def _shard_survivors(evaluator: ChunkEvaluator, shard: Shard,
             if len(chunk_a) >= chunk_size:
                 flush()
     flush()
-    return survivors, scanned
+    if plan_stats is None:
+        return survivors, scanned, -1
+    return survivors, scanned, plan_stats.cells_computed - cells_before
 
 
 def _prewarm(table: Table, cache: Any, features: list[Any]) -> None:
@@ -296,7 +343,7 @@ def _emit(bus: Any, name: str, **payload: Any) -> None:
 
 
 def _emit_shard_span(bus: Any, shard: Shard,
-                     result: tuple[list[tuple[str, str]], int],
+                     result: tuple[list[tuple[str, str]], int, int],
                      cached: bool) -> None:
     """Emit the started/completed pair for a shard loaded from disk.
 
@@ -305,7 +352,7 @@ def _emit_shard_span(bus: Any, shard: Shard,
     uninterrupted run's values — the byte-identity contract for
     ``metrics.json`` extends to sharded blocking.
     """
-    survivors, scanned = result
+    survivors, scanned, _cells = result
     _emit(bus, EVENT_SHARD_STARTED, shard=shard.index, start=shard.start,
           stop=shard.stop, cached=cached)
     _emit(bus, EVENT_SHARD_COMPLETED, shard=shard.index,

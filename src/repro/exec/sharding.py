@@ -150,8 +150,15 @@ class ShardStore:
         return set()
 
     def write(self, index: int, survivors: list[tuple[str, str]],
-              pairs_scanned: int) -> None:
-        """Persist one completed shard atomically."""
+              pairs_scanned: int, cells_computed: int = -1) -> None:
+        """Persist one completed shard atomically.
+
+        ``cells_computed`` is the plan engine's per-shard feature-cell
+        count (-1 for the chunk engine, which computes every needed
+        cell).  Persisting it is what keeps plan metrics convergent
+        across kill/resume: a resumed run re-contributes a loaded
+        shard's cells without recomputing the shard.
+        """
         path = self.shard_path(index)
         tmp = path.with_name(path.name + ".tmp")
         a_ids = np.array([a_id for a_id, _ in survivors], dtype=np.str_)
@@ -159,13 +166,24 @@ class ShardStore:
         with open(tmp, "wb") as handle:
             np.savez(handle, a_ids=a_ids, b_ids=b_ids,
                      pairs_scanned=np.array([pairs_scanned],
-                                            dtype=np.int64))
+                                            dtype=np.int64),
+                     cells_computed=np.array([cells_computed],
+                                             dtype=np.int64))
         os.replace(tmp, path)
 
-    def load(self, index: int) -> tuple[list[tuple[str, str]], int]:
-        """Load one completed shard's (survivors, pairs_scanned)."""
+    def load(self, index: int) -> tuple[list[tuple[str, str]], int, int]:
+        """Load a shard's (survivors, pairs_scanned, cells_computed).
+
+        ``cells_computed`` is -1 for shards written by the chunk engine
+        or by a pre-plan version of this store (the fingerprint is
+        engine-independent, so those files remain loadable).
+        """
         with np.load(self.shard_path(index), allow_pickle=False) as data:
             survivors = list(zip(data["a_ids"].tolist(),
                                  data["b_ids"].tolist()))
             pairs_scanned = int(data["pairs_scanned"][0])
-        return survivors, pairs_scanned
+            if "cells_computed" in data:
+                cells_computed = int(data["cells_computed"][0])
+            else:
+                cells_computed = -1
+        return survivors, pairs_scanned, cells_computed

@@ -13,11 +13,14 @@ from .similarity import (
     abs_diff,
     rel_diff,
 )
+from .batch import cache_stats, reset_cache_stats
 from .tokenize import normalize, qgrams, word_tokens
 from .library import Feature, FeatureLibrary, build_feature_library
 from .vectorize import vectorize_pairs
 
 __all__ = [
+    "cache_stats",
+    "reset_cache_stats",
     "jaccard",
     "jaro",
     "jaro_winkler",

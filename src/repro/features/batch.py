@@ -51,6 +51,41 @@ not handle missing values — ``Feature.batch_value`` masks them to NaN."""
 
 
 # ----------------------------------------------------------------------
+# Cache-miss accounting
+# ----------------------------------------------------------------------
+
+_CACHE_MISSES: "Counter[str]" = Counter()
+"""Prepared-column cache misses by accessor kind, process-lifetime.
+
+``tfidf_table`` counts whole TF/IDF weight-table (re)builds — the
+legacy per-rule waste the plan compiler exists to remove: tables are
+keyed by idf-mapping *identity*, so two kernels built over the same
+column but through different ``kernel_for`` calls silently recompute
+every weight vector.  Like the wall-clock profiler, these counters
+depend on process-lifetime cache warmth (a replayed run hits where the
+first run missed), so they are deliberately NOT part of the
+checkpointed metrics registry — read them via :func:`cache_stats`
+(``make bench-plan`` records them before/after in BENCH_plan.json).
+"""
+
+
+def _note_misses(kind: str, count: int) -> None:
+    """Record ``count`` cache misses for one accessor kind."""
+    if count > 0:
+        _CACHE_MISSES[kind] += count
+
+
+def cache_stats() -> dict[str, int]:
+    """A snapshot of the process-lifetime cache-miss counters."""
+    return dict(_CACHE_MISSES)
+
+
+def reset_cache_stats() -> None:
+    """Zero the cache-miss counters (benchmark harness hook)."""
+    _CACHE_MISSES.clear()
+
+
+# ----------------------------------------------------------------------
 # Word interning (shared by the Monge-Elkan kernel)
 # ----------------------------------------------------------------------
 
@@ -106,6 +141,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         attribute = self.attribute
         out = []
         for record in records:
@@ -114,6 +150,7 @@ class PreparedColumn:
                 value = record.get(attribute) is None
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("missing_flags", len(memo) - before)
         return out
 
     def missing_mask(self, records_a: Sequence[Record],
@@ -131,6 +168,7 @@ class PreparedColumn:
                             dtype=np.float64)
         except KeyError:
             pass
+        before = len(memo)
         attribute = self.attribute
         out = []
         for record in records:
@@ -140,6 +178,7 @@ class PreparedColumn:
                 value = math.nan if raw is None else float(raw)
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("numbers", len(memo) - before)
         return np.array(out, dtype=np.float64)
 
     def raw(self, records: Sequence[Record]) -> list:
@@ -154,6 +193,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         out = []
         for record in records:
             value = memo.get(record.record_id)
@@ -162,6 +202,7 @@ class PreparedColumn:
                 value = "" if raw is None else normalize(str(raw))
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("norms", len(memo) - before)
         return out
 
     def tokens(self, records: Sequence[Record]) -> list[tuple[str, ...]]:
@@ -171,6 +212,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         out = []
         for record in records:
             value = memo.get(record.record_id)
@@ -180,6 +222,7 @@ class PreparedColumn:
                          else tuple(word_tokens(str(raw))))
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("tokens", len(memo) - before)
         return out
 
     def token_sets(self, records: Sequence[Record]) -> list[frozenset[str]]:
@@ -189,6 +232,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         tokens = self.tokens(records)
         out = []
         for record, toks in zip(records, tokens):
@@ -197,6 +241,7 @@ class PreparedColumn:
                 value = frozenset(toks)
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("token_sets", len(memo) - before)
         return out
 
     def qgram_sets(self, records: Sequence[Record]) -> list[frozenset[str]]:
@@ -206,6 +251,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         out = []
         for record in records:
             value = memo.get(record.record_id)
@@ -215,6 +261,7 @@ class PreparedColumn:
                          else frozenset(qgrams(str(raw), 3)))
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("qgram_sets", len(memo) - before)
         return out
 
     def word_id_arrays(self, records: Sequence[Record]) -> list[np.ndarray]:
@@ -224,6 +271,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         tokens = self.tokens(records)
         out = []
         for record, toks in zip(records, tokens):
@@ -235,6 +283,7 @@ class PreparedColumn:
                 )
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("word_id_arrays", len(memo) - before)
         return out
 
     def soundex_sets(self, records: Sequence[Record]) -> list[frozenset[str]]:
@@ -244,6 +293,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         tokens = self.tokens(records)
         out = []
         for record, toks in zip(records, tokens):
@@ -252,6 +302,7 @@ class PreparedColumn:
                 value = frozenset(ext.soundex(word) for word in toks)
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("soundex_sets", len(memo) - before)
         return out
 
     def tfidf_weights(self, records: Sequence[Record],
@@ -264,6 +315,11 @@ class PreparedColumn:
         """
         entry = self._tfidf.get(id(idf))
         if entry is None:
+            # A fresh idf mapping (even one equal to an already-cached
+            # mapping) starts an empty weight table: every record's
+            # weights will be recomputed.  This is the per-rule rebuild
+            # the cache-miss counters make visible.
+            _note_misses("tfidf_table", 1)
             default_idf = (max(idf.values()) + 1.0) if idf else 1.0
             entry = (idf, default_idf, {})
             self._tfidf[id(idf)] = entry
@@ -272,6 +328,7 @@ class PreparedColumn:
             return [memo[record.record_id] for record in records]
         except KeyError:
             pass
+        before = len(memo)
         tokens = self.tokens(records)
         out = []
         for record, toks in zip(records, tokens):
@@ -286,6 +343,7 @@ class PreparedColumn:
                 value = (weights, norm)
                 memo[record.record_id] = value
             out.append(value)
+        _note_misses("tfidf_weights", len(memo) - before)
         return out
 
 

@@ -14,27 +14,15 @@ import math
 from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
-from functools import lru_cache
-
 import numpy as np
 
 from ..data.table import AttrType, Record, Table
 from ..exceptions import FeatureError
 from . import batch as batch_engine
 from . import similarity as sim
-from .tokenize import qgrams, word_tokens
-
-
-@lru_cache(maxsize=1 << 16)
-def _tokens(text: str) -> tuple[str, ...]:
-    """Cached word tokenization: table values recur across many pairs."""
-    return tuple(word_tokens(text))
-
-
-@lru_cache(maxsize=1 << 16)
-def _qgrams3(text: str) -> tuple[str, ...]:
-    """Cached 3-gram extraction."""
-    return tuple(qgrams(text, 3))
+from .tokenize import cached_qgrams3 as _qgrams3
+from .tokenize import cached_word_tokens as _tokens
+from .tokenize import word_tokens
 
 
 @dataclass(frozen=True)

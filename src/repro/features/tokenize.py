@@ -1,8 +1,19 @@
-"""String normalization and tokenization used by the similarity measures."""
+"""String normalization and tokenization used by the similarity measures.
+
+The memoized variants (:func:`cached_word_tokens`,
+:func:`cached_qgrams3`) are the shared tokenized intermediates of the
+scalar feature path: every measure closure in
+:mod:`repro.features.library` reads them, so one attribute tokenized
+for a cheap measure is never re-tokenized for an expensive one.  (The
+batch engine has its own per-record memoization in
+:class:`repro.features.batch.PreparedColumn`, keyed by record rather
+than by text.)
+"""
 
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 _WORD_RE = re.compile(r"[a-z0-9]+")
 
@@ -35,3 +46,15 @@ def qgrams(text: str, q: int = 3) -> list[str]:
         return []
     padded = "#" * (q - 1) + text + "#" * (q - 1)
     return [padded[i:i + q] for i in range(len(padded) - q + 1)]
+
+
+@lru_cache(maxsize=1 << 16)
+def cached_word_tokens(text: str) -> tuple[str, ...]:
+    """Memoized :func:`word_tokens` (tuple-valued, hashable input)."""
+    return tuple(word_tokens(text))
+
+
+@lru_cache(maxsize=1 << 16)
+def cached_qgrams3(text: str) -> tuple[str, ...]:
+    """Memoized 3-gram :func:`qgrams` (tuple-valued, hashable input)."""
+    return tuple(qgrams(text, 3))

@@ -7,7 +7,10 @@ The matrix is filled column-wise through the batched feature engine
 per-record tokenization comes from the shared per-table caches, and each
 feature evaluates the whole pair column in one call.  ``engine="scalar"``
 keeps the original per-pair loop — the parity oracle the batched path is
-tested against.
+tested against — and ``engine="plan"`` fills the columns in the
+attribute-grouped, cheapest-first order of
+:func:`repro.plan.compile_vectorize_plan` (same values in every cell;
+only the evaluation schedule and cache locality differ).
 """
 
 from __future__ import annotations
@@ -26,7 +29,8 @@ from .library import FeatureLibrary
 
 def vectorize_pairs(table_a: Table, table_b: Table, pairs: Sequence[Pair],
                     library: FeatureLibrary,
-                    engine: str = "batched") -> CandidateSet:
+                    engine: str = "batched",
+                    out: np.ndarray | None = None) -> CandidateSet:
     """Build a :class:`CandidateSet` for ``pairs`` using ``library``.
 
     Records are looked up by id in their respective tables; unknown ids
@@ -34,11 +38,27 @@ def vectorize_pairs(table_a: Table, table_b: Table, pairs: Sequence[Pair],
     Missing attribute values produce NaN feature entries.  ``engine``
     selects the evaluation path: ``"batched"`` (default) evaluates each
     feature column-wise over all pairs at once, ``"scalar"`` keeps the
-    per-pair loop; both produce identical matrices.
+    per-pair loop, ``"plan"`` runs the compiled column order; all three
+    produce bit-identical matrices.
+
+    ``out`` (optional) is a preallocated ``(len(pairs), len(library))``
+    float64 array the matrix is written into — the spill hook: the
+    engine passes a memory-mapped array from
+    :class:`repro.plan.SpillManager` so the feature matrix never has to
+    fit in RAM.
     """
-    if engine not in ("batched", "scalar"):
+    if engine not in ("batched", "scalar", "plan"):
         raise DataError(f"unknown vectorization engine {engine!r}")
-    matrix = np.empty((len(pairs), len(library)), dtype=np.float64)
+    shape = (len(pairs), len(library))
+    if out is None:
+        matrix = np.empty(shape, dtype=np.float64)
+    else:
+        if out.shape != shape or out.dtype != np.float64:
+            raise DataError(
+                f"out must be a float64 array of shape {shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        matrix = out
     if not pairs:
         return CandidateSet(list(pairs), matrix, library.names)
 
@@ -50,12 +70,20 @@ def vectorize_pairs(table_a: Table, table_b: Table, pairs: Sequence[Pair],
                 matrix[row, col] = feature.value(record_a, record_b)
         return CandidateSet(list(pairs), matrix, library.names)
 
+    if engine == "plan":
+        from ..plan import compile_vectorize_plan
+
+        plan = compile_vectorize_plan(library)
+        columns = [(step.column, step.feature) for step in plan.steps]
+    else:
+        columns = list(enumerate(library))
+
     with profile_section("features.vectorize_pairs"):
         records_a = [table_a[pair.a_id] for pair in pairs]
         records_b = [table_b[pair.b_id] for pair in pairs]
         cache_a = table_cache(table_a)
         cache_b = table_cache(table_b)
-        for col, feature in enumerate(library):
+        for col, feature in columns:
             matrix[:, col] = feature.batch_value(
                 records_a, records_b, cache_a, cache_b
             )

@@ -141,6 +141,13 @@ def build_catalog(registry: MetricsRegistry) -> None:
         "corleone_blocker_parallel_fallback_total",
         "Parallel/sharded blocking fallbacks to fewer workers, by reason.",
         label_names=("reason",))
+    registry.counter(
+        "corleone_plan_feature_cells_total",
+        "Feature cells the plan executor computed vs. pruned, by outcome.",
+        label_names=("outcome",))
+    registry.counter(
+        "corleone_spill_bytes_total",
+        "Feature-matrix bytes spilled to memory-mapped run-dir files.")
     registry.histogram(
         "corleone_retry_delay_seconds", RETRY_DELAY_BUCKETS,
         "Backoff delays of gateway-scheduled retries (simulated s).")
@@ -227,6 +234,25 @@ class RunTelemetry:
         coverage = reg.get("corleone_blocking_rule_candidates")
         for evaluation in result.evaluations:
             coverage.observe(evaluation.coverage)
+
+    def record_plan_stats(self, stats: dict[str, Any]) -> None:
+        """Fold the plan executor's cell accounting in.
+
+        The counts are deterministic (chunk- and shard-order invariant,
+        and shard files persist per-shard cell counts), so unlike the
+        process-lifetime cache-miss counters in
+        :mod:`repro.features.batch` they are safe inside the
+        checkpointed registry.
+        """
+        cells = self.registry.get("corleone_plan_feature_cells_total")
+        cells.inc(int(stats.get("cells_computed", 0)), outcome="computed")
+        cells.inc(int(stats.get("cells_pruned", 0)), outcome="pruned")
+
+    def record_spill(self, bytes_spilled: int) -> None:
+        """Count feature-matrix bytes spilled to memory-mapped files."""
+        if bytes_spilled > 0:
+            self.registry.get("corleone_spill_bytes_total").inc(
+                int(bytes_spilled))
 
     def record_working_set(self, size: int) -> None:
         """Record the current training working-set size."""

@@ -23,6 +23,7 @@ from .config import (
     GatewayConfig,
     LocatorConfig,
     MatcherConfig,
+    PlanConfig,
 )
 from .core.blocker import BlockerResult
 from .core.budgeting import BudgetPlan
@@ -223,25 +224,50 @@ def load_forest(path: str | Path) -> RandomForest:
 # Candidate sets
 # ----------------------------------------------------------------------
 
-def save_candidates(candidates: CandidateSet, path: str | Path) -> None:
+def save_candidates(candidates: CandidateSet, path: str | Path,
+                    external_features: str | None = None) -> None:
     """Persist a vectorized candidate set as a compressed ``.npz``.
 
     Vectorization dominates experiment start-up time; saving the matrix
     lets repeated experiments on the same umbrella set skip it.
+
+    ``external_features`` is the spill hook: the relative path (from
+    ``path``'s directory) of a memory-mapped ``.npy`` file already
+    holding the feature matrix.  The ``.npz`` then stores only a
+    reference plus the matrix's shape/dtype fingerprint — the spill
+    file *is* the canonical bytes, so a multi-gigabyte matrix is never
+    re-serialized into the checkpoint, and :func:`load_candidates`
+    reopens it read-only without materializing it in RAM.  Callers
+    must flush the spill file first (:meth:`repro.plan.SpillManager.
+    flush` — the engine's checkpointer does).
     """
     import numpy as np
 
-    np.savez_compressed(
-        Path(path),
-        a_ids=np.array([pair.a_id for pair in candidates.pairs]),
-        b_ids=np.array([pair.b_id for pair in candidates.pairs]),
-        features=candidates.features,
-        feature_names=np.array(candidates.feature_names),
-    )
+    arrays = {
+        "a_ids": np.array([pair.a_id for pair in candidates.pairs]),
+        "b_ids": np.array([pair.b_id for pair in candidates.pairs]),
+        "feature_names": np.array(candidates.feature_names),
+    }
+    if external_features is None:
+        arrays["features"] = candidates.features
+    else:
+        arrays["features_file"] = np.array([external_features])
+        arrays["features_shape"] = np.array(candidates.features.shape,
+                                            dtype=np.int64)
+        arrays["features_dtype"] = np.array(
+            [str(candidates.features.dtype)])
+    np.savez_compressed(Path(path), **arrays)
 
 
 def load_candidates(path: str | Path) -> CandidateSet:
-    """Load a candidate set saved by :func:`save_candidates`."""
+    """Load a candidate set saved by :func:`save_candidates`.
+
+    A candidate file whose matrix was spilled (``external_features``)
+    resolves the referenced ``.npy`` relative to its own directory and
+    memory-maps it read-only — the working set never has to fit in
+    RAM, and the mapped bytes are exactly the checkpointed ones, so
+    resume stays bit-identical.
+    """
     import numpy as np
 
     from .data.pairs import Pair
@@ -255,14 +281,43 @@ def load_candidates(path: str | Path) -> CandidateSet:
                 Pair(str(a), str(b))
                 for a, b in zip(data["a_ids"], data["b_ids"])
             ]
+            if "features_file" in data:
+                features = _load_spilled_features(path, data)
+            else:
+                features = data["features"]
             return CandidateSet(
                 pairs,
-                data["features"],
+                features,
                 [str(name) for name in data["feature_names"]],
             )
     except (KeyError, ValueError) as error:
         raise DataError(f"{path}: malformed candidate file "
                         f"({error})") from None
+
+
+def _load_spilled_features(path: Path, data) -> "Any":
+    """Memory-map the spill file a candidate ``.npz`` references.
+
+    The stored shape/dtype fingerprint is verified against the mapped
+    file — a spill file swapped or truncated after the checkpoint was
+    written must fail loudly, not feed wrong features to a resumed run.
+    """
+    from .plan.spill import open_readonly
+
+    name = str(data["features_file"][0])
+    spill_file = path.parent / name
+    if not spill_file.is_file():
+        raise DataError(
+            f"{path}: references spill file {name!r}, which does not "
+            f"exist next to it")
+    features = open_readonly(spill_file)
+    shape = tuple(int(n) for n in data["features_shape"])
+    dtype = str(data["features_dtype"][0])
+    if features.shape != shape or str(features.dtype) != dtype:
+        raise DataError(
+            f"{path}: spill file {name!r} holds {features.dtype} "
+            f"{features.shape}, checkpoint recorded {dtype} {shape}")
+    return features
 
 
 # ----------------------------------------------------------------------
@@ -284,8 +339,10 @@ def config_from_dict(data: dict[str, Any]) -> CorleoneConfig:
             estimator=EstimatorConfig(**data["estimator"]),
             locator=LocatorConfig(**data["locator"]),
             crowd=CrowdConfig(**data["crowd"]),
-            # Documents written before the gateway existed omit the key.
+            # Documents written before the gateway/plan existed omit
+            # their keys.
             gateway=GatewayConfig(**data.get("gateway", {})),
+            plan=PlanConfig(**data.get("plan", {})),
             max_pipeline_iterations=data["max_pipeline_iterations"],
             budget=data["budget"],
             seed=data["seed"],

@@ -1,0 +1,194 @@
+"""Fused evaluate-then-filter execution of compiled blocking plans.
+
+:class:`PlanExecutor` is the plan-driven successor of the full-matrix
+:class:`~repro.core.blocker.ChunkEvaluator` (which it subclasses, so
+every executor that speaks the evaluator interface — streaming,
+sharded, the fork prewarmer — can run either engine).  Instead of
+materializing every needed feature for every pair of a chunk, it walks
+the compiled :class:`~repro.plan.compiler.BlockingPlan` node by node,
+keeping an *active row set* per node and computing each feature column
+lazily, only at rows that are still undecided:
+
+* a pair blocked by an earlier (cheaper) rule never reaches a later
+  rule's kernels at all;
+* within a rule, a pair failing an earlier (cheaper) predicate never
+  reaches the later predicates' columns;
+* a column computed once — for any subset of rows — is remembered, so
+  overlapping rules share it instead of recomputing.
+
+Bit-exactness: all batch kernels are element-wise per pair, blocking
+is a monotone OR of AND-rules, and the NaN-never-blocks guard of the
+chunk evaluator is a provable no-op (``Predicate.evaluate_column``
+returns False on NaN absent ``nan_satisfies``, so no rule outside the
+``nan_can_block`` case can block an all-missing row) — therefore the
+survivor set is bit-identical to :func:`apply_rules_streaming` for any
+rule order and any chunk geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocker import _STREAM_CHUNK, ChunkEvaluator
+from ..data.pairs import Pair
+from ..data.sampling import iter_cartesian
+from ..data.table import Table
+from ..features.library import FeatureLibrary
+from ..obs.profiling import profile_section
+from ..rules.rule import Rule
+from .compiler import BlockingPlan, compile_blocking_plan
+
+
+@dataclass
+class PlanStats:
+    """Deterministic work accounting for one plan-executed blocking run.
+
+    Feature-*cell* counts (one cell = one feature value for one pair)
+    are a pure function of tables, rules and plan order, so they are
+    safe to fold into the checkpointed metrics registry — unlike cache
+    hit/miss counts, which depend on process-lifetime cache warmth and
+    stay out of it (see :func:`repro.features.batch.cache_stats`).
+    """
+
+    pairs: int = 0
+    """Pairs scanned through the plan."""
+    cells_computed: int = 0
+    """Feature cells actually evaluated by a kernel."""
+    needed_width: int = 0
+    """Distinct feature columns the plan references."""
+
+    @property
+    def cells_budget(self) -> int:
+        """Cells the full-matrix chunk evaluator would have computed."""
+        return self.pairs * self.needed_width
+
+    @property
+    def cells_pruned(self) -> int:
+        """Cells the fused evaluate-then-filter never had to compute."""
+        return max(0, self.cells_budget - self.cells_computed)
+
+    def merge_counts(self, pairs: int, cells_computed: int) -> None:
+        """Fold one shard's (pairs, computed-cells) contribution in."""
+        self.pairs += int(pairs)
+        self.cells_computed += int(cells_computed)
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-compatible snapshot of the accounting figures."""
+        return {
+            "pairs": self.pairs,
+            "needed_width": self.needed_width,
+            "cells_computed": self.cells_computed,
+            "cells_pruned": self.cells_pruned,
+        }
+
+
+class PlanExecutor(ChunkEvaluator):
+    """A ChunkEvaluator that runs a compiled plan over each chunk.
+
+    Construction compiles the plan from the rule set and cost model;
+    the inherited surface (``needed``/``needed_features``/``cache_a``/
+    ``cache_b``/``survivors``) is unchanged, so the sharded executor's
+    fork prewarm and shard streaming work against it untouched.
+    """
+
+    def __init__(self, table_a: Table, table_b: Table,
+                 rules: list[Rule], library: FeatureLibrary,
+                 stats: PlanStats | None = None) -> None:
+        super().__init__(table_a, table_b, rules, library)
+        self.plan: BlockingPlan = compile_blocking_plan(rules, library)
+        self._features_by_index = {
+            index: feature
+            for index, feature in zip(self.needed, self.needed_features)
+        }
+        self.stats = stats if stats is not None else PlanStats()
+        self.stats.needed_width = len(self.needed)
+
+    def blocked_mask(self, records_a: list, records_b: list) -> np.ndarray:
+        """Plan-ordered, row-pruned equivalent of the chunk evaluator.
+
+        The explicit all-missing guard of the base class is skipped:
+        with ``nan_can_block`` False it is a provable no-op (see module
+        docstring), and when some rule *can* block on NaN the guard
+        never applied in the base class either.
+        """
+        n = len(records_a)
+        blocked = np.zeros(n, dtype=bool)
+        columns: dict[int, np.ndarray] = {}
+        have: dict[int, np.ndarray] = {}
+        for node in self.plan.nodes:
+            rows = np.flatnonzero(~blocked)
+            if rows.size == 0:
+                break
+            with profile_section(f"plan.node.{node.position}"):
+                for step in node.steps:
+                    if rows.size == 0:
+                        break
+                    column = self._column(
+                        step.predicate.feature_index, rows,
+                        records_a, records_b, columns, have,
+                    )
+                    rows = rows[step.predicate.evaluate_column(column[rows])]
+            if rows.size:
+                blocked[rows] = True
+        self.stats.pairs += n
+        return blocked
+
+    def _column(self, index: int, rows: np.ndarray, records_a: list,
+                records_b: list, columns: dict[int, np.ndarray],
+                have: dict[int, np.ndarray]) -> np.ndarray:
+        """The feature column for ``index``, filled at least at ``rows``.
+
+        Lazily allocated full-length so earlier fills are reusable;
+        only rows without a value yet are handed to the kernel.  The
+        kernels are element-wise per pair, so subset evaluation is
+        bit-identical to the full pass.
+        """
+        column = columns.get(index)
+        if column is None:
+            column = np.full(len(records_a), np.nan)
+            columns[index] = column
+            have[index] = np.zeros(len(records_a), dtype=bool)
+        pending = rows[~have[index][rows]]
+        if pending.size:
+            feature = self._features_by_index[index]
+            column[pending] = feature.batch_value(
+                [records_a[i] for i in pending],
+                [records_b[i] for i in pending],
+                self.cache_a, self.cache_b,
+            )
+            have[index][pending] = True
+            self.stats.cells_computed += int(pending.size)
+        return column
+
+
+def apply_rules_plan(table_a: Table, table_b: Table, rules: list[Rule],
+                     library: FeatureLibrary,
+                     chunk_size: int = _STREAM_CHUNK,
+                     stats: PlanStats | None = None) -> list[Pair]:
+    """Apply blocking rules over A x B through the plan executor.
+
+    The plan-engine twin of
+    :func:`~repro.core.blocker.apply_rules_streaming`: same A x B
+    stream order, same chunking, bit-identical survivors — only the
+    per-chunk evaluation strategy differs.  ``stats`` (optional)
+    accumulates the deterministic cell-count accounting.
+    """
+    evaluator = PlanExecutor(table_a, table_b, rules, library, stats=stats)
+    survivors: list[Pair] = []
+    chunk: list[Pair] = []
+
+    def flush() -> None:
+        if not chunk:
+            return
+        with profile_section("blocker.plan_flush"):
+            survivors.extend(evaluator.survivors(chunk))
+            chunk.clear()
+
+    for pair in iter_cartesian(table_a, table_b):
+        chunk.append(pair)
+        if len(chunk) >= chunk_size:
+            flush()
+    flush()
+    return survivors

@@ -42,7 +42,18 @@ class Predicate:
                 f"predicate refers to feature {self.feature_index} but the "
                 f"matrix has only {features.shape[1]} columns"
             )
-        column = features[:, self.feature_index]
+        return self.evaluate_column(features[:, self.feature_index])
+
+    def evaluate_column(self, column: np.ndarray) -> np.ndarray:
+        """Satisfaction mask over one already-projected feature column.
+
+        The columnar form of :meth:`evaluate`: the plan executor keeps
+        per-feature columns rather than a full-width matrix, so it
+        hands the projected column straight in.  Missing values (NaN)
+        evaluate falsy unless ``nan_satisfies`` — both comparison
+        directions are NaN-false in IEEE terms, and the explicit masks
+        keep the contract independent of that detail.
+        """
         nan = np.isnan(column)
         if self.le:
             satisfied = column <= self.threshold

@@ -672,6 +672,104 @@ class TestEventRegistryRule:
         assert report.new_findings == []
 
 
+class TestSpillOwnershipRule:
+    def test_open_memmap_outside_spill_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.lib.format.open_memmap(path, mode=\"w+\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL015"}
+        assert "SpillManager" in report.new_findings[0].message
+
+    def test_raw_memmap_outside_spill_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.memmap(path, dtype=\"float64\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL015"}
+
+    def test_bare_open_memmap_import_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "from numpy.lib.format import open_memmap\n"
+                "def f(path):\n"
+                "    return open_memmap(path, mode=\"w+\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL015"}
+
+    def test_load_with_mmap_mode_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.load(path, mmap_mode=\"r\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL015"}
+        assert "open_readonly" in report.new_findings[0].message
+
+    def test_plain_load_ok(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.load(path, allow_pickle=False)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_load_mmap_mode_none_ok(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.load(path, mmap_mode=None)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_owner_module_exempt(self, tmp_path):
+        report = check({
+            "plan/spill.py": (
+                "import numpy as np\n"
+                "def allocate(path, shape):\n"
+                "    return np.lib.format.open_memmap(\n"
+                "        path, mode=\"w+\", shape=shape)\n"
+                "def open_readonly(path):\n"
+                "    return np.load(path, mmap_mode=\"r\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_test_modules_exempt(self, tmp_path):
+        report = check({
+            "test_mod.py": (
+                "import numpy as np\n"
+                "def test_f(path):\n"
+                "    return np.load(path, mmap_mode=\"r\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import numpy as np\n"
+                "def f(path):\n"
+                "    return np.memmap(path)"
+                "  # corlint: disable=CL015\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+
 # ----------------------------------------------------------------------
 # Baseline semantics
 # ----------------------------------------------------------------------
