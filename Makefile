@@ -29,8 +29,9 @@ bench:
 # BENCH_engine.json baseline (checkpoint overhead, event throughput),
 # BENCH_faults.json (gateway overhead/recovery), BENCH_obs.json
 # (run-telemetry instrumentation overhead), BENCH_shard.json
-# (sharded blocking worker-scaling curve) and BENCH_plan.json
-# (plan-compiler fused blocking + memmap spill).
+# (sharded blocking worker-scaling curve), BENCH_plan.json
+# (plan-compiler fused blocking + memmap spill) and BENCH_storage.json
+# (durable-storage fsync overhead + crash-recovery sweep).
 bench-smoke:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest \
@@ -43,6 +44,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/collect_results.py --obs
 	$(PYTHON) benchmarks/collect_results.py --shard
 	$(PYTHON) benchmarks/collect_results.py --plan
+	$(PYTHON) benchmarks/collect_results.py --storage
 
 # The sharded blocking executor's 1/2/4/8-worker scaling curve and
 # merge-determinism check (docs/architecture.md); refreshes

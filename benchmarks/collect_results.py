@@ -62,7 +62,19 @@ candidate list bit-identical to the sequential path, recorded as
 
     python benchmarks/collect_results.py --shard
 
-An eighth mode measures the columnar plan compiler
+An eighth mode measures the durable-storage subsystem
+(docs/robustness.md, "Storage durability"): wall-clock overhead of the
+full fsync discipline (file + directory fsync around every atomic
+replace) versus the same checkpointed run with fsync disabled
+(acceptance bar < 5%), plus a crash-and-resume fault sweep — a
+deterministic storage fault armed against one write site per run,
+asserting the resumed result is bit-identical to the clean run —
+recorded as ``BENCH_storage.json`` plus a ``storage_durability``
+result table:
+
+    python benchmarks/collect_results.py --storage
+
+A ninth mode measures the columnar plan compiler
 (docs/architecture.md, "The plan compiler"): full-matrix streaming
 blocking versus the fused plan executor on a citations-shaped
 workload, and in-RAM versus memmap-spilled candidate vectorization —
@@ -90,6 +102,7 @@ FAULTS_OUTPUT = Path(__file__).parent / "BENCH_faults.json"
 OBS_OUTPUT = Path(__file__).parent / "BENCH_obs.json"
 SHARD_OUTPUT = Path(__file__).parent / "BENCH_shard.json"
 PLAN_OUTPUT = Path(__file__).parent / "BENCH_plan.json"
+STORAGE_OUTPUT = Path(__file__).parent / "BENCH_storage.json"
 
 
 def _peak_rss_kb() -> int | None:
@@ -133,6 +146,7 @@ ORDER = [
     "obs_overhead",
     "shard_scaling",
     "plan_compiler",
+    "storage_durability",
 ]
 
 
@@ -707,6 +721,206 @@ def collect_obs(output: Path | None = None, repeats: int = 3) -> dict:
     return payload
 
 
+def collect_storage(output: Path | None = None, repeats: int = 3) -> dict:
+    """Measure the durable-storage subsystem's cost and crash recovery.
+
+    Two halves.  The fsync tax: the same seeded, checkpointed hands-off
+    run ``repeats`` times with the fsync discipline disabled
+    (``repro.storage.set_fsync(False)`` — tmp + atomic replace only)
+    and ``repeats`` times with the full discipline (file fsync before
+    the replace, directory fsync after; acceptance bar < 5% over the
+    fsync-free run).  The crash sweep: one run per write-site × fault
+    combo with a deterministic storage fault armed against that site,
+    asserting the crash fired, ``Corleone.resume`` completes, the
+    resumed result is bit-identical to the clean run and every
+    delivered answer was charged.  A bit-rot pass (flip one bit of
+    ``checkpoint.json`` at rest, resume through the quarantine +
+    generation-fallback path) rides along.  Writes
+    ``BENCH_storage.json`` and a ``storage_durability`` result table,
+    and returns the payload.
+    """
+    import tempfile
+    import time
+
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    import numpy as np
+
+    from repro import persistence
+    from repro.config import (
+        BlockerConfig,
+        CorleoneConfig,
+        EstimatorConfig,
+        ForestConfig,
+        LocatorConfig,
+        MatcherConfig,
+    )
+    from repro.core.pipeline import Corleone
+    from repro.crowd.simulated import SimulatedCrowd
+    from repro.engine.checkpoint import CANDIDATES_FILE, CHECKPOINT_FILE
+    from repro.storage import (
+        SimulatedCrashError,
+        StorageFaultInjector,
+        set_fsync,
+    )
+    from repro.synth.restaurants import generate_restaurants
+
+    # Larger than the other modes' 120x90 on purpose: fsync cost is a
+    # fixed few milliseconds per checkpoint, so the overhead *fraction*
+    # is a statement about checkpoint density.  This workload spaces
+    # checkpoints the way a real run does; the per-checkpoint cost in
+    # the payload is the density-independent number.
+    dataset = generate_restaurants(n_a=240, n_b=180, n_matches=70, seed=7)
+    config = CorleoneConfig(
+        forest=ForestConfig(n_trees=5),
+        blocker=BlockerConfig(t_b=20000, top_k_rules=10,
+                              max_labels_per_rule=60),
+        matcher=MatcherConfig(batch_size=10, pool_size=40,
+                              n_converged=8, n_degrade=6,
+                              max_iterations=15),
+        estimator=EstimatorConfig(probe_size=25, max_probes=30),
+        locator=LocatorConfig(min_difficult_pairs=30),
+        max_pipeline_iterations=2,
+        seed=0,
+    )
+
+    def run_once(run_dir: Path):
+        crowd = SimulatedCrowd(dataset.matches, error_rate=0.05,
+                               rng=np.random.default_rng(11))
+        pipeline = Corleone(config, crowd, seed=123, run_dir=run_dir)
+        started = time.perf_counter()
+        result = pipeline.run(dataset.table_a, dataset.table_b,
+                              dataset.seed_labels)
+        return time.perf_counter() - started, result
+
+    def timed_run(fsync: bool) -> float:
+        set_fsync(fsync)
+        try:
+            with tempfile.TemporaryDirectory() as tmp:
+                return run_once(Path(tmp) / "run")[0]
+        finally:
+            set_fsync(True)
+
+    # One warmup run, then the variants interleaved: machine drift over
+    # the measurement window (the real fsync cost is tens of
+    # milliseconds on a run this size) lands on both sides equally
+    # instead of biasing whichever batch ran later.
+    with tempfile.TemporaryDirectory() as tmp:
+        _, golden = run_once(Path(tmp) / "run")
+        checkpoint_doc = json.loads(
+            (Path(tmp) / "run" / CHECKPOINT_FILE).read_text())
+        checkpoints = checkpoint_doc["index"] + 1
+    golden_report = persistence.result_report(golden)
+    nosync_times, fsync_times = [], []
+    for _ in range(repeats):
+        nosync_times.append(timed_run(False))
+        fsync_times.append(timed_run(True))
+
+    def crash_and_resume(site: str, kind: str, skip: int,
+                         bitflip: str | None = None) -> dict:
+        """One armed run + resume; the recovery stats for the table."""
+        with tempfile.TemporaryDirectory() as tmp:
+            run_dir = Path(tmp) / "run"
+            crowd = SimulatedCrowd(dataset.matches, error_rate=0.05,
+                                   rng=np.random.default_rng(11))
+            injector = StorageFaultInjector(seed=29)
+            injector.arm(kind, site, skip=skip)
+            crashed = False
+            try:
+                with injector:
+                    Corleone(config, crowd, seed=123,
+                             run_dir=run_dir).run(
+                        dataset.table_a, dataset.table_b,
+                        dataset.seed_labels)
+            except SimulatedCrashError:
+                crashed = True
+            if bitflip is not None:
+                injector.flip_bit(run_dir / bitflip)
+            resume_crowd = SimulatedCrowd(
+                dataset.matches, error_rate=0.05,
+                rng=np.random.default_rng(11))
+            resumed = Corleone.resume(run_dir, resume_crowd)
+            return {
+                "site": site,
+                "kind": kind if bitflip is None else "bitflip",
+                "crash_fired": crashed,
+                "resumed": True,
+                "bit_identical": (
+                    persistence.result_report(resumed) == golden_report
+                ),
+            }
+
+    sweep = [
+        crash_and_resume(CHECKPOINT_FILE, "torn_write", skip=1),
+        crash_and_resume(CHECKPOINT_FILE, "crash_before", skip=1),
+        crash_and_resume(CHECKPOINT_FILE, "crash_after", skip=1),
+        crash_and_resume(CANDIDATES_FILE, "torn_write", skip=0),
+        crash_and_resume("MANIFEST.json", "crash_after", skip=2),
+        crash_and_resume(CHECKPOINT_FILE, "crash_after", skip=2,
+                         bitflip=CHECKPOINT_FILE),
+    ]
+
+    nosync = min(nosync_times)
+    fsynced = min(fsync_times)
+    overhead = round(max(0.0, fsynced - nosync) / nosync, 4)
+    payload = {
+        "run": {
+            "dataset": "restaurants 240x180",
+            "repeats": repeats,
+            "fsync_off_seconds": round(nosync, 4),
+            "fsync_on_seconds": round(fsynced, 4),
+            "fsync_overhead_fraction": overhead,
+            "acceptance_bar_fraction": 0.05,
+            "within_bar": overhead < 0.05,
+            "checkpoints_written": checkpoints,
+            "fsync_ms_per_checkpoint": round(
+                max(0.0, fsynced - nosync) / checkpoints * 1e3, 3),
+            "peak_rss_kb": _peak_rss_kb(),
+        },
+        "fault_sweep": sweep,
+        "all_recovered": all(
+            entry["crash_fired"] and entry["bit_identical"]
+            for entry in sweep
+        ),
+    }
+
+    target = output if output is not None else STORAGE_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target} (fsync overhead {overhead:.1%}, recovery "
+          f"{'ok' if payload['all_recovered'] else 'BROKEN'})")
+
+    run = payload["run"]
+    lines = [
+        "Durable storage: fsync overhead and crash recovery "
+        f"({run['dataset']}, best of {repeats})",
+        "",
+        "metric                      value",
+        "--------------------------  ---------",
+        f"fsync off                   {run['fsync_off_seconds']:.3f} s",
+        f"fsync on                    {run['fsync_on_seconds']:.3f} s",
+        f"overhead                    {run['fsync_overhead_fraction']:.1%}"
+        f" (bar {run['acceptance_bar_fraction']:.0%}:"
+        f" {'ok' if run['within_bar'] else 'EXCEEDED'})",
+        f"checkpoints written         {run['checkpoints_written']}",
+        f"fsync cost per checkpoint   "
+        f"{run['fsync_ms_per_checkpoint']:.2f} ms",
+        "",
+        "crash site       fault         fired  resumed  bit-identical",
+        "---------------  ------------  -----  -------  -------------",
+    ]
+    for entry in sweep:
+        lines.append(
+            f"{entry['site']:<15}  {entry['kind']:<12}  "
+            f"{'yes' if entry['crash_fired'] else 'NO':<5}  "
+            f"{'yes' if entry['resumed'] else 'NO':<7}  "
+            f"{'yes' if entry['bit_identical'] else 'NO'}"
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "storage_durability.txt").write_text(
+        "\n".join(lines) + "\n")
+    return payload
+
+
 def collect_shard(output: Path | None = None, repeats: int = 2,
                   n_a: int = 300, n_b: int = 1600,
                   worker_counts: tuple[int, ...] = (1, 2, 4, 8),
@@ -1142,6 +1356,12 @@ if __name__ == "__main__":
              "RESULTS.md",
     )
     parser.add_argument(
+        "--storage", action="store_true",
+        help="measure the durable-storage fsync overhead (on vs off) "
+             "and run the crash-and-resume fault sweep, recording "
+             "BENCH_storage.json instead of collecting RESULTS.md",
+    )
+    parser.add_argument(
         "--shard-full", action="store_true",
         help="like --shard, but additionally run one sharded blocking "
              "pass over the paper-size Citations product (~168M pairs; "
@@ -1160,6 +1380,8 @@ if __name__ == "__main__":
         collect_obs()
     elif args.plan:
         collect_plan()
+    elif args.storage:
+        collect_storage()
     elif args.shard_full:
         collect_shard(full=True)
     elif args.shard:

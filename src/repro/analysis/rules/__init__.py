@@ -28,6 +28,7 @@ from .resilience import SwallowedCrowdErrorRule
 from .rng_flow import RngFlowRule
 from .rng_sharing import RngSharingRule
 from .spill import SpillOwnershipRule
+from .storage_writes import StorageOwnershipRule
 from .wallclock import WallClockPurityRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -46,6 +47,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     WallClockPurityRule,
     DeadApiRule,
     SpillOwnershipRule,
+    StorageOwnershipRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -80,6 +82,7 @@ __all__ = [
     "RngSharingRule",
     "SemanticRule",
     "SpillOwnershipRule",
+    "StorageOwnershipRule",
     "SwallowedCrowdErrorRule",
     "Rule",
     "WallClockPurityRule",

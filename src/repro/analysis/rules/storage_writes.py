@@ -1,0 +1,92 @@
+"""CL016 — storage ownership: durable-write plumbing lives in ``storage/``.
+
+The durability subsystem (:mod:`repro.storage`) owns the atomic-write
+discipline for every run-directory artifact: stage to a ``.tmp``
+sibling, fsync the file, ``os.replace`` over the target, fsync the
+parent directory, and record the bytes in the run manifest.  The repo
+used to carry six hand-rolled copies of that dance (checkpoints,
+shards, metrics, spans, profiles) — each one a chance to forget a
+step, and none of them fed the manifest.  This rule keeps the dance in
+one place: a raw ``os.replace`` / ``os.rename`` / ``os.fsync`` call
+outside ``repro/storage/`` is a new hand-rolled copy in the making, so
+it is flagged with a pointer at the owning helpers
+(:func:`repro.storage.writer.atomic_write_json` and friends for
+writes, :func:`repro.storage.recovery.quarantine_artifact` for
+moving corrupt artifacts aside).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ModuleContext, ModuleRule, dotted_name, is_test_module
+
+_OWNER_PACKAGE = "repro/storage/"
+_OWNED_OS_FUNCS = frozenset({"replace", "rename", "fsync"})
+
+
+class StorageOwnershipRule(ModuleRule):
+    """Flags raw atomic-write plumbing outside ``repro/storage/``."""
+
+    rule_id = "CL016"
+    severity = Severity.ERROR
+    summary = ("os.replace / os.rename / os.fsync outside repro/storage "
+               "hand-rolls the durable-write dance — route artifact "
+               "writes through repro.storage.writer (atomic_write_*) "
+               "and corrupt-file moves through "
+               "repro.storage.recovery.quarantine_artifact")
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Everywhere except the owning package itself and tests."""
+        if is_test_module(module):
+            return False
+        return _OWNER_PACKAGE not in module.relpath
+
+    def begin_module(self, module: SourceModule,
+                     ctx: ModuleContext) -> None:
+        """Prescan imports to resolve ``os`` aliases and bare names."""
+        self._os_modules = set()
+        self._bare_funcs: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        self._os_modules.add(alias.asname or "os")
+                    elif alias.name == "os.path":
+                        # ``import os.path`` binds plain ``os``.
+                        if alias.asname is None:
+                            self._os_modules.add("os")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module != "os":
+                    continue
+                for alias in node.names:
+                    if alias.name in _OWNED_OS_FUNCS:
+                        bound = alias.asname or alias.name
+                        self._bare_funcs[bound] = alias.name
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        """Classify one call against the storage-ownership contract."""
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        func = self._owned_function(chain)
+        if func is None:
+            return
+        ctx.report(self, node,
+                   f"os.{func} outside repro/storage hand-rolls the "
+                   "durable-write discipline; write artifacts through "
+                   "repro.storage.writer and move corrupt files with "
+                   "repro.storage.recovery.quarantine_artifact so the "
+                   "fsync/replace/manifest steps stay owned in one "
+                   "place")
+
+    def _owned_function(self, chain: tuple[str, ...]) -> str | None:
+        """The owned ``os`` function this chain calls, if any alias."""
+        if (len(chain) == 2 and chain[0] in self._os_modules
+                and chain[1] in _OWNED_OS_FUNCS):
+            return chain[1]
+        if len(chain) == 1 and chain[0] in self._bare_funcs:
+            return self._bare_funcs[chain[0]]
+        return None

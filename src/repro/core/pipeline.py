@@ -30,7 +30,7 @@ from ..engine.checkpoint import (
     load_run_inputs,
 )
 from ..engine.context import RunContext
-from ..engine.events import EventBus, JsonlTraceSink
+from ..engine.events import EVENT_TRACE_TORN, EventBus, JsonlTraceSink
 from ..engine.runner import StagedEngine
 from ..engine.state import RunState
 from ..exceptions import (
@@ -40,6 +40,13 @@ from ..exceptions import (
 )
 from ..features.library import build_feature_library
 from ..persistence import load_candidates
+from ..storage.recovery import (
+    RecoveryLog,
+    cleanup_stale_tmp,
+    quarantine_artifact,
+    repair_trace,
+    verify_artifact,
+)
 from .blocker import Blocker, BlockerResult
 from .budgeting import BudgetPlan, PhaseBudgetManager
 from .estimator import AccuracyEstimate, AccuracyEstimator
@@ -146,8 +153,21 @@ class Corleone:
         checkpoint when it supports ``load_state``).
         """
         run_dir = Path(run_dir)
+        # Heal the directory before reading anything from it: drop
+        # stale ``*.tmp`` leftovers of interrupted atomic writes and
+        # truncate a torn trace tail (a kill mid-append can leave a
+        # partial final line).  What was repaired is remembered in a
+        # recovery log and replayed onto the event bus once it exists,
+        # so the resumed run's trace and telemetry account for it.
+        recovery = RecoveryLog()
+        cleanup_stale_tmp(run_dir)
+        trace_path = run_dir / TRACE_FILE
+        if trace_path.is_file():
+            torn = repair_trace(trace_path)
+            if torn:
+                recovery.emit(EVENT_TRACE_TORN, bytes_truncated=torn)
         inputs = load_run_inputs(run_dir)
-        checkpoint = load_checkpoint(run_dir)
+        checkpoint = load_checkpoint(run_dir, recovery=recovery)
 
         pipeline = cls(inputs["config"], platform,
                        seed=inputs["root_seed"], run_dir=run_dir)
@@ -166,7 +186,8 @@ class Corleone:
             state = RunState(mode=inputs["mode"],
                              seed_labels=dict(inputs["seed_labels"]))
             state.attach(table_a, table_b, library)
-            return pipeline._execute(state, Checkpointer(run_dir))
+            return pipeline._execute(state, Checkpointer(run_dir),
+                                     recovery=recovery)
 
         ctx.tracker.load_state(checkpoint["tracker"])
         if ctx.manager is not None and checkpoint["manager"] is not None:
@@ -184,15 +205,32 @@ class Corleone:
         candidates = None
         candidates_path = run_dir / CANDIDATES_FILE
         if candidates_path.is_file():
+            verdict, actual, expected = verify_artifact(run_dir,
+                                                        candidates_path)
+            if verdict is False:
+                # The candidate set has no older generation to fall
+                # back to — it is written once and never rewritten —
+                # so corruption here is unrecoverable.  Quarantine the
+                # bytes for inspection and say exactly what mismatched.
+                quarantined = quarantine_artifact(run_dir,
+                                                  candidates_path)
+                raise DataError(
+                    f"{candidates_path}: corrupt beyond recovery — "
+                    f"sha256 {actual} does not match the manifest's "
+                    f"recorded {expected} (bytes preserved at "
+                    f"{quarantined})"
+                )
             candidates = load_candidates(candidates_path)
         state = RunState.from_dict(checkpoint["state"], candidates)
         state.attach(table_a, table_b, library)
-        return pipeline._execute(state, Checkpointer(run_dir))
+        return pipeline._execute(state, Checkpointer(run_dir),
+                                 recovery=recovery)
 
     # ------------------------------------------------------------------
 
     def _execute(self, state: RunState,
-                 checkpointer: Checkpointer | None) -> CorleoneResult:
+                 checkpointer: Checkpointer | None,
+                 recovery: RecoveryLog | None = None) -> CorleoneResult:
         """Drive ``state`` through the engine and package the result."""
         ctx = self._ctx
         engine = StagedEngine(ctx, checkpointer=checkpointer)
@@ -200,6 +238,12 @@ class Corleone:
         if checkpointer is not None:
             sink = JsonlTraceSink(checkpointer.run_dir / TRACE_FILE)
             ctx.bus.subscribe(sink)
+        if recovery is not None:
+            # Recovery findings (torn trace tail, quarantined
+            # checkpoints, generation fallback) were collected before
+            # the bus existed; emit them now so they land in the trace
+            # and telemetry like any other event.
+            recovery.replay(ctx.bus)
         try:
             engine.run(state)
         except BudgetExhaustedError:
@@ -224,7 +268,8 @@ class Corleone:
                 # (explicitly not) land next to trace.jsonl even when
                 # the run aborted mid-stage.
                 ctx.telemetry.export(checkpointer.run_dir,
-                                     include_profile=True)
+                                     include_profile=True,
+                                     writer=checkpointer.writer)
             ctx.checkpoint = None
         return state.to_result(ctx.tracker)
 

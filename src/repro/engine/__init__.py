@@ -32,7 +32,11 @@ from .checkpoint import (
 )
 from .context import RNG_STREAMS, RunContext
 from .events import (
+    EVENT_ARTIFACT_CORRUPT,
+    EVENT_ARTIFACT_QUARANTINED,
+    EVENT_ARTIFACT_WRITTEN,
     EVENT_BUDGET_SPENT,
+    EVENT_CHECKPOINT_FALLBACK,
     EVENT_CHECKPOINT_WRITTEN,
     EVENT_CIRCUIT_OPENED,
     EVENT_FAULT_INJECTED,
@@ -41,6 +45,7 @@ from .events import (
     EVENT_RETRY_SCHEDULED,
     EVENT_STAGE_FINISHED,
     EVENT_STAGE_STARTED,
+    EVENT_TRACE_TORN,
     Event,
     EventBus,
     JsonlTraceSink,
@@ -61,7 +66,11 @@ from .state import RunState
 __all__ = [
     "CHECKPOINT_FILE",
     "Checkpointer",
+    "EVENT_ARTIFACT_CORRUPT",
+    "EVENT_ARTIFACT_QUARANTINED",
+    "EVENT_ARTIFACT_WRITTEN",
     "EVENT_BUDGET_SPENT",
+    "EVENT_CHECKPOINT_FALLBACK",
     "EVENT_CHECKPOINT_WRITTEN",
     "EVENT_CIRCUIT_OPENED",
     "EVENT_FAULT_INJECTED",
@@ -70,6 +79,7 @@ __all__ = [
     "EVENT_RETRY_SCHEDULED",
     "EVENT_STAGE_FINISHED",
     "EVENT_STAGE_STARTED",
+    "EVENT_TRACE_TORN",
     "Event",
     "EventBus",
     "JsonlTraceSink",

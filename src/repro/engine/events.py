@@ -19,8 +19,12 @@ from pathlib import Path
 from typing import Any, TextIO
 
 __all__ = [
+    "EVENT_ARTIFACT_CORRUPT",
+    "EVENT_ARTIFACT_QUARANTINED",
+    "EVENT_ARTIFACT_WRITTEN",
     "EVENT_BLOCKER_FALLBACK",
     "EVENT_BUDGET_SPENT",
+    "EVENT_CHECKPOINT_FALLBACK",
     "EVENT_CHECKPOINT_WRITTEN",
     "EVENT_CIRCUIT_OPENED",
     "EVENT_FAULT_INJECTED",
@@ -32,6 +36,7 @@ __all__ = [
     "EVENT_SHARD_STARTED",
     "EVENT_STAGE_FINISHED",
     "EVENT_STAGE_STARTED",
+    "EVENT_TRACE_TORN",
     "Event",
     "EventBus",
     "JsonlTraceSink",
@@ -51,6 +56,11 @@ EVENT_CIRCUIT_OPENED = "circuit_opened"
 EVENT_SHARD_STARTED = "shard_started"
 EVENT_SHARD_COMPLETED = "shard_completed"
 EVENT_BLOCKER_FALLBACK = "blocker_parallel_fallback"
+EVENT_ARTIFACT_WRITTEN = "artifact_written"
+EVENT_ARTIFACT_CORRUPT = "artifact_corrupt"
+EVENT_ARTIFACT_QUARANTINED = "artifact_quarantined"
+EVENT_CHECKPOINT_FALLBACK = "checkpoint_fallback"
+EVENT_TRACE_TORN = "trace_torn_tail"
 
 EVENT_NAMES = (
     EVENT_STAGE_STARTED,
@@ -65,6 +75,11 @@ EVENT_NAMES = (
     EVENT_SHARD_STARTED,
     EVENT_SHARD_COMPLETED,
     EVENT_BLOCKER_FALLBACK,
+    EVENT_ARTIFACT_WRITTEN,
+    EVENT_ARTIFACT_CORRUPT,
+    EVENT_ARTIFACT_QUARANTINED,
+    EVENT_CHECKPOINT_FALLBACK,
+    EVENT_TRACE_TORN,
 )
 """Every event name the engine emits, in rough lifecycle order."""
 
@@ -160,12 +175,47 @@ class JsonlTraceSink:
 
 
 def read_trace(path: str | Path) -> list[Event]:
-    """Load a JSONL trace written by :class:`JsonlTraceSink`."""
+    """Load a JSONL trace written by :class:`JsonlTraceSink`.
+
+    Two durability accommodations, matching how the sink actually
+    fails:
+
+    * **Torn tail** — a crash mid-append can persist a *prefix* of the
+      final line.  Only the last line may legally be invalid JSON, and
+      a torn one is dropped rather than raised on (a resuming process
+      additionally truncates it off the file and emits
+      ``trace_torn_tail`` — see
+      :func:`repro.storage.recovery.repair_trace`); invalid JSON
+      anywhere *earlier* is real corruption and raises a typed
+      :class:`~repro.exceptions.DataError`.
+    * **Duplicate sequence numbers** — the trace is append-only across
+      kill/resume: a resumed run re-emits from the restored sequence
+      counter, so the seam appears as sequence numbers that repeat
+      (and, for events emitted after the checkpoint document was
+      serialized, as a small shift).  Events are returned in file
+      order, duplicates included; readers wanting one event per
+      sequence take the *latest* occurrence, which is the resumed
+      run's authoritative one
+      (:func:`repro.obs.report.effective_trace`).
+    """
+    from ..exceptions import DataError
+
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    last_index = len(lines) - 1
     events: list[Event] = []
-    for line in Path(path).read_text().splitlines():
+    for index, line in enumerate(lines):
         if not line.strip():
             continue
-        data = json.loads(line)
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            if index == last_index:
+                break  # torn tail: a crash cut the final append short
+            raise DataError(
+                f"{path}: invalid JSON on trace line {index + 1} "
+                f"(not a torn tail — line {len(lines)} follows it)"
+            ) from None
         name = data.pop("event")
         sequence = data.pop("sequence")
         events.append(Event(name=name, sequence=sequence, payload=data))
@@ -217,9 +267,34 @@ class ProgressReporter:
                 f"[{event.sequence}] parallel blocking fell back "
                 f"({event.payload.get('reason')})"
             )
+        elif event.name == EVENT_ARTIFACT_CORRUPT:
+            self._write(
+                f"[{event.sequence}] artifact CORRUPT: "
+                f"{event.payload.get('artifact')} "
+                f"(sha256 {event.payload.get('actual_sha256', '?')[:12]} != "
+                f"recorded {event.payload.get('expected_sha256', '?')[:12]})"
+            )
+        elif event.name == EVENT_ARTIFACT_QUARANTINED:
+            self._write(
+                f"[{event.sequence}] artifact quarantined: "
+                f"{event.payload.get('artifact')} -> "
+                f"{event.payload.get('quarantined_to')}"
+            )
+        elif event.name == EVENT_CHECKPOINT_FALLBACK:
+            self._write(
+                f"[{event.sequence}] checkpoint fell back to generation "
+                f"{event.payload.get('artifact')}"
+            )
+        elif event.name == EVENT_TRACE_TORN:
+            self._write(
+                f"[{event.sequence}] trace had a torn tail: "
+                f"{event.payload.get('bytes_truncated')} bytes truncated"
+            )
         elif event.name in (EVENT_BUDGET_SPENT, EVENT_FAULT_INJECTED,
                             EVENT_RETRY_SCHEDULED, EVENT_HIT_REPOSTED,
-                            EVENT_SHARD_STARTED, EVENT_SHARD_COMPLETED):
-            pass  # per-answer/per-shard noise, too fine for progress output
+                            EVENT_SHARD_STARTED, EVENT_SHARD_COMPLETED,
+                            EVENT_ARTIFACT_WRITTEN):
+            pass  # per-answer/per-shard/per-artifact noise, too fine
+            # for progress output
         else:
             self._write(f"[{event.sequence}] {event.name}")

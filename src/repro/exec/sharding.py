@@ -21,12 +21,16 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..exceptions import DataError
+from ..storage.recovery import quarantine_artifact, verify_artifact
+from ..storage.writer import ArtifactWriter, load_manifest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..data.table import Table
@@ -107,14 +111,22 @@ def shard_fingerprint(table_a: "Table", table_b: "Table",
 class ShardStore:
     """Durable per-shard survivor lists under one directory.
 
-    Writes are atomic (tmp file + ``os.replace``), so a kill mid-write
-    never leaves a truncated shard file — a shard either exists
-    completely or not at all, which is what makes resume safe.
+    Writes go through :mod:`repro.storage.writer` (tmp file, fsync,
+    atomic replace, directory fsync), so a kill mid-write never leaves
+    a truncated shard file — a shard either exists completely or not
+    at all, which is what makes resume safe.  The store keeps its own
+    ``MANIFEST.json`` ledger inside the shard directory; ``prepare``
+    re-verifies every completed shard's sha256 against it, so a
+    bit-rotted shard is quarantined and recomputed instead of splicing
+    corrupt survivors into the merge.
     """
 
     def __init__(self, directory: str | Path, fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self.writer = ArtifactWriter(self.directory)
+        self.shards_quarantined = 0
+        """Corrupt shard files quarantined by :meth:`prepare`."""
 
     def shard_path(self, index: int) -> Path:
         """The npz file of shard ``index``."""
@@ -124,11 +136,14 @@ class ShardStore:
         """Ready the directory; return indices of completed shards.
 
         A directory whose ``plan.json`` matches this store's
-        fingerprint is a resumable previous attempt of the *same* work:
-        its shard files are trusted.  Any other content (different
-        fingerprint, or shard files with no plan) is stale — loading it
-        would splice another configuration's survivors into this run —
-        so it is cleared and a fresh plan is written.
+        fingerprint is a resumable previous attempt of the *same*
+        work: its shard files are trusted after their checksums verify
+        (a shard that fails its manifest sha256 is moved under the
+        directory's ``quarantine/`` and dropped from the completed
+        set, so the pool recomputes it).  Any other content (different
+        fingerprint, or shard files with no plan) is stale — loading
+        it would splice another configuration's survivors into this
+        run — so it is cleared and a fresh plan is written.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         plan_path = self.directory / PLAN_FILE
@@ -136,22 +151,37 @@ class ShardStore:
             plan = json.loads(plan_path.read_text())
             if (plan.get("fingerprint") == self.fingerprint
                     and plan.get("n_shards") == n_shards):
-                return {
-                    index for index in range(n_shards)
-                    if self.shard_path(index).is_file()
-                }
+                return self._verified_completed(n_shards)
         for stale in self.directory.glob("shard-*.npz"):
             stale.unlink()
+            self.writer.forget(stale.name)
         document = {"fingerprint": self.fingerprint,
                     "n_shards": int(n_shards)}
-        tmp = plan_path.with_name(plan_path.name + ".tmp")
-        tmp.write_text(json.dumps(document, indent=2, sort_keys=True))
-        os.replace(tmp, plan_path)
+        self.writer.atomic_write_json(PLAN_FILE, document,
+                                      indent=2, sort_keys=True)
         return set()
+
+    def _verified_completed(self, n_shards: int) -> set[int]:
+        """Completed shard indices whose bytes still verify."""
+        manifest = load_manifest(self.directory)
+        completed = set()
+        for index in range(n_shards):
+            path = self.shard_path(index)
+            if not path.is_file():
+                continue
+            verdict, _, _ = verify_artifact(self.directory, path,
+                                            manifest)
+            if verdict is False:
+                quarantine_artifact(self.directory, path)
+                self.writer.forget(path.name)
+                self.shards_quarantined += 1
+                continue
+            completed.add(index)
+        return completed
 
     def write(self, index: int, survivors: list[tuple[str, str]],
               pairs_scanned: int, cells_computed: int = -1) -> None:
-        """Persist one completed shard atomically.
+        """Persist one completed shard durably.
 
         ``cells_computed`` is the plan engine's per-shard feature-cell
         count (-1 for the chunk engine, which computes every needed
@@ -159,31 +189,42 @@ class ShardStore:
         across kill/resume: a resumed run re-contributes a loaded
         shard's cells without recomputing the shard.
         """
-        path = self.shard_path(index)
-        tmp = path.with_name(path.name + ".tmp")
         a_ids = np.array([a_id for a_id, _ in survivors], dtype=np.str_)
         b_ids = np.array([b_id for _, b_id in survivors], dtype=np.str_)
-        with open(tmp, "wb") as handle:
-            np.savez(handle, a_ids=a_ids, b_ids=b_ids,
-                     pairs_scanned=np.array([pairs_scanned],
-                                            dtype=np.int64),
-                     cells_computed=np.array([cells_computed],
-                                             dtype=np.int64))
-        os.replace(tmp, path)
+        self.writer.atomic_write_npz(
+            self.shard_path(index),
+            {
+                "a_ids": a_ids,
+                "b_ids": b_ids,
+                "pairs_scanned": np.array([pairs_scanned],
+                                          dtype=np.int64),
+                "cells_computed": np.array([cells_computed],
+                                           dtype=np.int64),
+            },
+        )
 
     def load(self, index: int) -> tuple[list[tuple[str, str]], int, int]:
         """Load a shard's (survivors, pairs_scanned, cells_computed).
 
         ``cells_computed`` is -1 for shards written by the chunk engine
         or by a pre-plan version of this store (the fingerprint is
-        engine-independent, so those files remain loadable).
+        engine-independent, so those files remain loadable).  A shard
+        file whose bytes no longer parse raises a typed
+        :class:`~repro.exceptions.DataError` naming the file — never a
+        raw zipfile or numpy traceback.
         """
-        with np.load(self.shard_path(index), allow_pickle=False) as data:
-            survivors = list(zip(data["a_ids"].tolist(),
-                                 data["b_ids"].tolist()))
-            pairs_scanned = int(data["pairs_scanned"][0])
-            if "cells_computed" in data:
-                cells_computed = int(data["cells_computed"][0])
-            else:
-                cells_computed = -1
+        path = self.shard_path(index)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                survivors = list(zip(data["a_ids"].tolist(),
+                                     data["b_ids"].tolist()))
+                pairs_scanned = int(data["pairs_scanned"][0])
+                if "cells_computed" in data:
+                    cells_computed = int(data["cells_computed"][0])
+                else:
+                    cells_computed = -1
+        except (KeyError, ValueError, EOFError, OSError,
+                zipfile.BadZipFile) as error:
+            raise DataError(f"{path}: malformed shard file "
+                            f"({error})") from None
         return survivors, pairs_scanned, cells_computed

@@ -20,12 +20,12 @@ the measurements never feed back into any algorithmic decision.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
+
+from ..storage.writer import atomic_write_json
 
 PROFILE_FILE = "profile.json"
 
@@ -61,12 +61,15 @@ class Profiler:
         }
 
     def write(self, path: str | Path) -> None:
-        """Atomically write the profile document."""
-        path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2,
-                                  sort_keys=True))
-        os.replace(tmp, path)
+        """Durably write the profile document.
+
+        Routed through :mod:`repro.storage.writer` for the shared
+        write discipline, but never recorded in the run manifest:
+        the profile is wall-clock noise by design, so a checksum over
+        it would flag every legitimate rewrite as corruption.
+        """
+        atomic_write_json(Path(path), self.to_dict(), indent=2,
+                          sort_keys=True)
 
 
 def activate(profiler: Profiler) -> None:

@@ -222,6 +222,39 @@ def render_report(run_dir: str | Path) -> str:
             )
         lines.append("")
 
+    write_series = _series(metrics,
+                           "corleone_storage_artifacts_written_total")
+    recovery_kinds = {
+        "artifact_corrupt": "corrupt artifact",
+        "artifact_quarantined": "quarantined",
+        "checkpoint_fallback": "generation fallback",
+        "trace_torn_tail": "torn trace tail",
+    }
+    recovery_rows = [
+        [recovery_kinds[event["event"]],
+         str(event.get("artifact")
+             or f"{event.get('bytes_truncated', '?')} bytes")]
+        for event in trace if event["event"] in recovery_kinds
+    ]
+    if write_series or recovery_rows:
+        lines.append("storage durability")
+        written_events = sum(1 for event in trace
+                             if event["event"] == "artifact_written")
+        per_kind = ", ".join(
+            f"{series['labels']['kind']} "
+            f"{int(series['value'])}"
+            for series in write_series)
+        lines.append(
+            f"  artifacts written"
+            f" {sum(int(s['value']) for s in write_series)}"
+            f" ({per_kind or 'none metered'})"
+            f" | write events {written_events}"
+        )
+        if recovery_rows:
+            lines.extend(_table(["recovery", "artifact"], recovery_rows,
+                                align_left=2))
+        lines.append("")
+
     iteration_spans = [s for s in spans
                        if s["name"] == "matcher_iteration"]
     if iteration_spans:

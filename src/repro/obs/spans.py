@@ -19,12 +19,12 @@ resumed run's final file is the uninterrupted run's, byte for byte.
 from __future__ import annotations
 
 import json
-import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
 from ..exceptions import DataError
+from ..storage.writer import atomic_write_text
 
 SPANS_FILE = "spans.jsonl"
 
@@ -108,13 +108,20 @@ class SpanTracer:
         return [json.dumps(span, sort_keys=True)
                 for span in self._completed]
 
-    def write(self, path: str | Path) -> None:
-        """Atomically rewrite ``path`` from the completed spans."""
+    def write(self, path: str | Path, writer: Any = None) -> None:
+        """Durably rewrite ``path`` from the completed spans.
+
+        Goes through :mod:`repro.storage.writer` (tmp, fsync, atomic
+        replace, directory fsync); pass an
+        :class:`~repro.storage.writer.ArtifactWriter` to also record
+        the file in the run manifest.
+        """
         path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
         body = "".join(line + "\n" for line in self.lines())
-        tmp.write_text(body)
-        os.replace(tmp, path)
+        if writer is not None:
+            writer.atomic_write_text(path, body)
+        else:
+            atomic_write_text(path, body)
 
     def state_dict(self) -> dict[str, Any]:
         """Checkpointable tracer state (completed + open spans)."""

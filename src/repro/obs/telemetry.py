@@ -26,14 +26,15 @@ run and break the byte-identity contract.
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 from typing import Any
 
 from ..engine.events import (
+    EVENT_ARTIFACT_CORRUPT,
+    EVENT_ARTIFACT_QUARANTINED,
     EVENT_BLOCKER_FALLBACK,
     EVENT_BUDGET_SPENT,
+    EVENT_CHECKPOINT_FALLBACK,
     EVENT_CIRCUIT_OPENED,
     EVENT_FAULT_INJECTED,
     EVENT_HIT_REPOSTED,
@@ -41,8 +42,10 @@ from ..engine.events import (
     EVENT_RETRY_SCHEDULED,
     EVENT_SHARD_COMPLETED,
     EVENT_SHARD_STARTED,
+    EVENT_TRACE_TORN,
     Event,
 )
+from ..storage.writer import atomic_write_json
 from . import hooks, profiling
 from .registry import MetricsRegistry
 from .spans import SPANS_FILE, SpanTracer
@@ -151,6 +154,22 @@ def build_catalog(registry: MetricsRegistry) -> None:
     registry.histogram(
         "corleone_retry_delay_seconds", RETRY_DELAY_BUCKETS,
         "Backoff delays of gateway-scheduled retries (simulated s).")
+    registry.counter(
+        "corleone_storage_artifacts_written_total",
+        "Run-dir artifacts durably written per checkpoint cycle, by kind.",
+        label_names=("kind",))
+    registry.counter(
+        "corleone_storage_artifacts_corrupt_total",
+        "Artifacts that failed their manifest checksum on load.")
+    registry.counter(
+        "corleone_storage_artifacts_quarantined_total",
+        "Corrupt artifacts moved under the run's quarantine/ directory.")
+    registry.counter(
+        "corleone_storage_checkpoint_fallbacks_total",
+        "Resumes that fell back to an older checkpoint generation.")
+    registry.counter(
+        "corleone_storage_trace_repairs_total",
+        "Torn trace.jsonl tails truncated during resume.")
 
 
 class RunTelemetry:
@@ -200,8 +219,22 @@ class RunTelemetry:
         elif event.name == EVENT_BLOCKER_FALLBACK:
             reg.get("corleone_blocker_parallel_fallback_total").inc(
                 reason=str(payload.get("reason")))
-        # checkpoint_written is intentionally not handled here — see
-        # record_checkpoint for why.
+        elif event.name == EVENT_ARTIFACT_CORRUPT:
+            reg.get("corleone_storage_artifacts_corrupt_total").inc()
+        elif event.name == EVENT_ARTIFACT_QUARANTINED:
+            reg.get("corleone_storage_artifacts_quarantined_total").inc()
+        elif event.name == EVENT_CHECKPOINT_FALLBACK:
+            reg.get("corleone_storage_checkpoint_fallbacks_total").inc()
+        elif event.name == EVENT_TRACE_TORN:
+            reg.get("corleone_storage_trace_repairs_total").inc()
+        # checkpoint_written and artifact_written are intentionally not
+        # handled here — their counters increment *before* the
+        # checkpoint document is serialized (see record_checkpoint /
+        # record_artifact_write), or a run killed at a checkpoint would
+        # resume with fewer counts than the uninterrupted run and break
+        # the byte-identity contract.  The recovery events above are
+        # safe off the bus: they replay only on a corrupted resume,
+        # after the checkpointed state has been restored.
 
     # -- direct instrumentation ----------------------------------------
 
@@ -218,6 +251,22 @@ class RunTelemetry:
         resumes with the same count the uninterrupted run carries.
         """
         self.registry.get("corleone_checkpoints_total").inc()
+
+    def record_artifact_write(self, kind: str) -> None:
+        """Count one checkpoint-cycle artifact write, pre-serialize.
+
+        Same discipline as :meth:`record_checkpoint`: the checkpointer
+        calls this for each artifact the cycle is about to write,
+        *before* serializing the checkpoint document, so the counts
+        ride inside the checkpoint itself and kill/resume converges.
+        Writes outside the checkpoint cycle (``run.json``, the final
+        telemetry export, shard files) are deliberately unmetered —
+        they happen at points a restarted run may legitimately skip, so
+        counting them would break metric convergence; the run manifest
+        records them all regardless.
+        """
+        self.registry.get(
+            "corleone_storage_artifacts_written_total").inc(kind=kind)
 
     def record_budget(self, budget: float | None) -> None:
         """Record the configured dollar budget (if capped)."""
@@ -354,16 +403,29 @@ class RunTelemetry:
         }
 
     def export(self, run_dir: str | Path,
-               include_profile: bool = False) -> None:
-        """Write ``metrics.json`` + ``spans.jsonl`` (atomically) and,
-        at run end, ``profile.json``."""
+               include_profile: bool = False,
+               writer: Any = None) -> None:
+        """Write ``metrics.json`` + ``spans.jsonl`` (durably) and, at
+        run end, ``profile.json``.
+
+        All writes go through :mod:`repro.storage.writer`.  Pass the
+        run's :class:`~repro.storage.writer.ArtifactWriter` to record
+        the deterministic artifacts in the run manifest (the engine's
+        checkpointer does, batched with the checkpoint's own entries);
+        without one the files are written durably but unmanifested.
+        ``profile.json`` is *never* manifested — it is wall-clock
+        noise by design, and a checksum over it would flag every
+        legitimate rewrite as corruption.
+        """
         run_dir = Path(run_dir)
-        path = run_dir / METRICS_FILE
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.metrics_document(), indent=2,
-                                  sort_keys=True))
-        os.replace(tmp, path)
-        self.tracer.write(run_dir / SPANS_FILE)
+        document = self.metrics_document()
+        if writer is not None:
+            writer.atomic_write_json(run_dir / METRICS_FILE, document,
+                                     indent=2, sort_keys=True)
+        else:
+            atomic_write_json(run_dir / METRICS_FILE, document,
+                              indent=2, sort_keys=True)
+        self.tracer.write(run_dir / SPANS_FILE, writer=writer)
         if include_profile:
             self.profiler.write(run_dir / profiling.PROFILE_FILE)
 

@@ -225,11 +225,18 @@ def load_forest(path: str | Path) -> RandomForest:
 # ----------------------------------------------------------------------
 
 def save_candidates(candidates: CandidateSet, path: str | Path,
-                    external_features: str | None = None) -> None:
+                    external_features: str | None = None,
+                    writer: Any = None) -> str:
     """Persist a vectorized candidate set as a compressed ``.npz``.
 
     Vectorization dominates experiment start-up time; saving the matrix
-    lets repeated experiments on the same umbrella set skip it.
+    lets repeated experiments on the same umbrella set skip it.  The
+    write is durable (:func:`repro.storage.writer.atomic_write_npz`:
+    tmp, fsync, atomic replace, directory fsync) and returns the
+    file's sha256.  Pass the run's
+    :class:`~repro.storage.writer.ArtifactWriter` as ``writer`` to
+    record the artifact — and any referenced spill file — in the run
+    manifest, which is what lets a resume detect bit rot.
 
     ``external_features`` is the spill hook: the relative path (from
     ``path``'s directory) of a memory-mapped ``.npy`` file already
@@ -243,6 +250,9 @@ def save_candidates(candidates: CandidateSet, path: str | Path,
     """
     import numpy as np
 
+    from .storage.writer import atomic_write_npz
+
+    path = Path(path)
     arrays = {
         "a_ids": np.array([pair.a_id for pair in candidates.pairs]),
         "b_ids": np.array([pair.b_id for pair in candidates.pairs]),
@@ -256,7 +266,15 @@ def save_candidates(candidates: CandidateSet, path: str | Path,
                                             dtype=np.int64)
         arrays["features_dtype"] = np.array(
             [str(candidates.features.dtype)])
-    np.savez_compressed(Path(path), **arrays)
+    if writer is not None:
+        writer.atomic_write_npz(path, arrays, compressed=True)
+        if external_features is not None:
+            # The spill .npy is the matrix's canonical serialization;
+            # hashing it into the manifest closes the verification gap
+            # a bit-flipped spill file would otherwise slip through.
+            writer.record_file(path.parent / external_features)
+        return writer.entry(path)["sha256"]
+    return atomic_write_npz(path, arrays, compressed=True)
 
 
 def load_candidates(path: str | Path) -> CandidateSet:
@@ -271,6 +289,8 @@ def load_candidates(path: str | Path) -> CandidateSet:
     import numpy as np
 
     from .data.pairs import Pair
+
+    import zipfile
 
     path = Path(path)
     if not path.is_file():
@@ -290,7 +310,11 @@ def load_candidates(path: str | Path) -> CandidateSet:
                 features,
                 [str(name) for name in data["feature_names"]],
             )
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, EOFError, OSError,
+            zipfile.BadZipFile) as error:
+        # BadZipFile/EOFError/OSError cover torn or bit-rotted archives:
+        # resume must see a typed error naming the file, never a raw
+        # zipfile or numpy traceback.
         raise DataError(f"{path}: malformed candidate file "
                         f"({error})") from None
 
@@ -301,6 +325,9 @@ def _load_spilled_features(path: Path, data) -> "Any":
     The stored shape/dtype fingerprint is verified against the mapped
     file — a spill file swapped or truncated after the checkpoint was
     written must fail loudly, not feed wrong features to a resumed run.
+    ``open_readonly`` additionally checks the file's sha256 against the
+    run manifest (the candidate file's directory is the manifest root),
+    so single-bit rot that preserves shape and dtype is caught too.
     """
     from .plan.spill import open_readonly
 
@@ -310,7 +337,7 @@ def _load_spilled_features(path: Path, data) -> "Any":
         raise DataError(
             f"{path}: references spill file {name!r}, which does not "
             f"exist next to it")
-    features = open_readonly(spill_file)
+    features = open_readonly(spill_file, manifest_root=path.parent)
     shape = tuple(int(n) for n in data["features_shape"])
     dtype = str(data["features_dtype"][0])
     if features.shape != shape or str(features.dtype) != dtype:

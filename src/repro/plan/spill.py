@@ -117,12 +117,33 @@ def spill_path(array: np.ndarray) -> Path | None:
     return None
 
 
-def open_readonly(path: Path | str) -> np.ndarray:
+def open_readonly(path: Path | str,
+                  manifest_root: Path | str | None = None) -> np.ndarray:
     """Reopen a spill ``.npy`` file as a read-only memmap.
 
     The read side of the lifecycle: resume paths map the checkpointed
     spill file instead of loading it into RAM.  Read-only maps carry no
     dirty pages, so they need no flush; the handle closes with the last
     array reference and the file itself belongs to the run directory.
+
+    ``manifest_root`` (normally the run directory) enables content
+    verification: when the storage manifest there records a sha256 for
+    this file, the on-disk bytes are hashed and compared *before*
+    mapping — shape/dtype fingerprints alone cannot catch a flipped
+    bit inside the matrix, which would otherwise feed silently corrupt
+    features to a resumed run.  A mismatch raises a typed
+    :class:`~repro.exceptions.DataError` naming the file and both
+    checksums; a file the manifest never recorded (pre-durability run
+    directories) is mapped unverified, as before.
     """
-    return np.load(Path(path), mmap_mode="r")
+    from ..exceptions import DataError
+    from ..storage.recovery import verify_artifact
+
+    path = Path(path)
+    if manifest_root is not None:
+        verdict, actual, expected = verify_artifact(manifest_root, path)
+        if verdict is False:
+            raise DataError(
+                f"{path}: spill file is corrupt — sha256 {actual} does "
+                f"not match the manifest's recorded {expected}")
+    return np.load(path, mmap_mode="r")

@@ -770,6 +770,94 @@ class TestSpillOwnershipRule:
         assert report.new_findings == []
 
 
+class TestStorageOwnershipRule:
+    def test_os_replace_outside_storage_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import os\n"
+                "def f(tmp, path):\n"
+                "    os.replace(tmp, path)\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL016"}
+        assert "repro.storage.writer" in report.new_findings[0].message
+
+    def test_os_rename_and_fsync_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import os\n"
+                "def f(tmp, path, fd):\n"
+                "    os.rename(tmp, path)\n"
+                "    os.fsync(fd)\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL016"}
+        assert len(report.new_findings) == 2
+
+    def test_bare_replace_import_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "from os import replace\n"
+                "def f(tmp, path):\n"
+                "    replace(tmp, path)\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL016"}
+
+    def test_aliased_os_import_flagged(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import os as operating_system\n"
+                "def f(tmp, path):\n"
+                "    operating_system.replace(tmp, path)\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL016"}
+
+    def test_unowned_os_calls_ok(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import os\n"
+                "def f(path):\n"
+                "    os.remove(path)\n"
+                "    return os.cpu_count()\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_storage_package_exempt(self, tmp_path):
+        report = check({
+            "repro/storage/writer.py": (
+                "import os\n"
+                "def atomic(tmp, path, fd):\n"
+                "    os.fsync(fd)\n"
+                "    os.replace(tmp, path)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_test_modules_exempt(self, tmp_path):
+        report = check({
+            "test_mod.py": (
+                "import os\n"
+                "def test_f(tmp, path):\n"
+                "    os.replace(tmp, path)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({
+            "engine/mod.py": (
+                "import os\n"
+                "def f(tmp, path):\n"
+                "    os.replace(tmp, path)"
+                "  # corlint: disable=CL016\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+
 # ----------------------------------------------------------------------
 # Baseline semantics
 # ----------------------------------------------------------------------
