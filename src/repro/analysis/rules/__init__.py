@@ -29,6 +29,7 @@ from .rng_flow import RngFlowRule
 from .rng_sharing import RngSharingRule
 from .spill import SpillOwnershipRule
 from .storage_writes import StorageOwnershipRule
+from .telemetry_names import TelemetryNameRule
 from .wallclock import WallClockPurityRule
 
 DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -48,6 +49,7 @@ DEFAULT_RULE_CLASSES: tuple[type[Rule], ...] = (
     DeadApiRule,
     SpillOwnershipRule,
     StorageOwnershipRule,
+    TelemetryNameRule,
 )
 """Every shipped rule class, in rule-id order."""
 
@@ -84,6 +86,7 @@ __all__ = [
     "SpillOwnershipRule",
     "StorageOwnershipRule",
     "SwallowedCrowdErrorRule",
+    "TelemetryNameRule",
     "Rule",
     "WallClockPurityRule",
     "default_rules",

@@ -1,0 +1,158 @@
+"""CL017 — telemetry name registries: sections and spans are closed sets.
+
+CL009 keeps event names honest; this rule does the same for the other
+two name-dispatched telemetry surfaces.  A ``profile_section("name")``
+with a typo'd name silently creates a new ``profile.json`` section that
+no doc, bench or dashboard knows about, and a ``tracer.start("name")``
+outside the documented span hierarchy breaks every consumer that walks
+the span tree by name (the report's stage/matcher rollups, the cross-run
+differ's stage alignment).  So both take their names from closed
+registries:
+
+* ``SECTION_NAMES`` in ``obs/profiling.py`` — every literal
+  ``profile_section(...)`` argument must be listed; a *non-literal*
+  argument is flagged too, because a computed section name cannot be
+  audited against the registry (the plan executor's per-node sections
+  carry an explicit pragma with their justification);
+* ``SPAN_NAMES`` in ``obs/spans.py`` — every literal name passed to a
+  tracer's ``.start(...)`` or ``.span(...)`` must be listed.  The
+  ``.start`` check only applies to receivers *named* ``tracer`` (a
+  bare ``tracer`` variable or an ``x.tracer`` attribute): matcher
+  objects also expose ``start`` and the span context-manager forwards
+  a non-literal name internally, and neither is a span-name call site.
+
+Like CL009, the rule stays silent when the registry modules are not in
+the scanned set (targeted subpackage runs), and skips test modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+
+from ..findings import Severity
+from ..source import SourceModule
+from .base import ProjectContext, ProjectRule, is_test_module
+
+_SECTION_REGISTRY = "SECTION_NAMES"
+_SPAN_REGISTRY = "SPAN_NAMES"
+
+
+def _string_tuple(tree: ast.Module, name: str) -> set[str] | None:
+    """The string values of a module-level ``name = ("...", ...)``."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (isinstance(target, ast.Name) and target.id == name
+                    and isinstance(value, ast.Tuple)):
+                return {
+                    element.value for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+    return None
+
+
+def _is_tracer_receiver(func: ast.Attribute) -> bool:
+    """Whether the call receiver is a tracer (``tracer`` / ``x.tracer``)."""
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "tracer"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "tracer"
+    return False
+
+
+class TelemetryNameRule(ProjectRule):
+    """Audits section and span names against their closed registries."""
+
+    rule_id = "CL017"
+    severity = Severity.ERROR
+    summary = ("profile_section(...) names must be literals listed in "
+               "SECTION_NAMES and tracer .start(...)/.span(...) names "
+               "must be literals listed in SPAN_NAMES — an unregistered "
+               "name silently escapes every report, bench and dashboard")
+
+    def check_project(self, modules: Sequence[SourceModule],
+                      ctx: ProjectContext) -> None:
+        """Resolve both registries, then audit every call site."""
+        sections: set[str] | None = None
+        spans: set[str] | None = None
+        for module in modules:
+            if sections is None:
+                sections = _string_tuple(module.tree, _SECTION_REGISTRY)
+            if spans is None:
+                spans = _string_tuple(module.tree, _SPAN_REGISTRY)
+        if sections is None and spans is None:
+            # Neither registry module is part of this scan (targeted
+            # run): nothing to audit against, stay silent.
+            return
+        for module in modules:
+            if is_test_module(module):
+                continue
+            self._check_module(module, sections, spans, ctx)
+
+    def _check_module(self, module: SourceModule,
+                      sections: set[str] | None, spans: set[str] | None,
+                      ctx: ProjectContext) -> None:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            if sections is not None and self._is_profile_section(node):
+                self._check_name(
+                    module, node, sections, _SECTION_REGISTRY,
+                    "profile_section", ctx, flag_non_literal=True)
+            elif spans is not None and self._is_span_call(node):
+                # The span context-manager wrapper forwards a
+                # non-literal name by design; only literal names are
+                # auditable here.
+                flag = (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "start")
+                self._check_name(
+                    module, node, spans, _SPAN_REGISTRY,
+                    node.func.attr, ctx, flag_non_literal=flag)
+
+    @staticmethod
+    def _is_profile_section(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "profile_section"
+        return (isinstance(func, ast.Attribute)
+                and func.attr == "profile_section")
+
+    @staticmethod
+    def _is_span_call(node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr == "start":
+            return _is_tracer_receiver(func)
+        if func.attr == "span":
+            # .span(...) is unambiguous enough to audit on any
+            # receiver: the only `span` methods in the tree are the
+            # tracer's and the run context's forwarding wrapper.
+            return True
+        return False
+
+    def _check_name(self, module: SourceModule, node: ast.Call,
+                    declared: set[str], registry: str, callee: str,
+                    ctx: ProjectContext, flag_non_literal: bool) -> None:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in declared:
+                ctx.report(self, module, first,
+                           f"{callee} with unregistered name "
+                           f"{first.value!r}; add it to {registry} so "
+                           "reports and docs keep enumerating the "
+                           "telemetry schema")
+        elif flag_non_literal:
+            ctx.report(self, module, first,
+                       f"{callee} name is not a string literal, so it "
+                       f"cannot be audited against {registry}; use a "
+                       "registered literal (or pragma a justified "
+                       "exception)")

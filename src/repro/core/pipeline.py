@@ -39,6 +39,7 @@ from ..exceptions import (
     DataError,
 )
 from ..features.library import build_feature_library
+from ..obs.progress import ProgressHeartbeat
 from ..persistence import load_candidates
 from ..storage.recovery import (
     RecoveryLog,
@@ -235,9 +236,16 @@ class Corleone:
         ctx = self._ctx
         engine = StagedEngine(ctx, checkpointer=checkpointer)
         sink = None
+        heartbeat = None
         if checkpointer is not None:
             sink = JsonlTraceSink(checkpointer.run_dir / TRACE_FILE)
             ctx.bus.subscribe(sink)
+            # The live-monitor heartbeat: an atomic progress.json kept
+            # fresh at checkpoint/shard/stage boundaries for `python -m
+            # repro.obs serve|watch|report` (docs/observability.md).
+            heartbeat = ProgressHeartbeat(checkpointer.run_dir,
+                                          budget=ctx.tracker.budget)
+            ctx.bus.subscribe(heartbeat)
         if recovery is not None:
             # Recovery findings (torn trace tail, quarantined
             # checkpoints, generation fallback) were collected before
@@ -262,14 +270,20 @@ class Corleone:
             if sink is not None:
                 ctx.bus.unsubscribe(sink)
                 sink.close()
+            if heartbeat is not None:
+                ctx.bus.unsubscribe(heartbeat)
+                heartbeat.flush()
             if checkpointer is not None and ctx.telemetry is not None:
                 # Final telemetry artifacts: the metric snapshot and
                 # span tree (deterministic) plus the wall-clock profile
                 # (explicitly not) land next to trace.jsonl even when
-                # the run aborted mid-stage.
-                ctx.telemetry.export(checkpointer.run_dir,
-                                     include_profile=True,
-                                     writer=checkpointer.writer)
+                # the run aborted mid-stage.  This is the one durable,
+                # manifested export — mid-run snapshots are volatile —
+                # so the manifest checksums describe the final bytes.
+                with checkpointer.writer.batch():
+                    ctx.telemetry.export(checkpointer.run_dir,
+                                         include_profile=True,
+                                         writer=checkpointer.writer)
             ctx.checkpoint = None
         return state.to_result(ctx.tracker)
 

@@ -31,6 +31,11 @@ A run directory has a fixed layout:
 * ``profile.json`` — wall-clock hot-path profile, written once at run
   end, deliberately non-deterministic and deliberately absent from the
   manifest;
+* ``progress.json`` — the live heartbeat (:mod:`repro.obs.progress`):
+  stage, iteration, shard/checkpoint counts and budget burn,
+  atomically rewritten at checkpoint and shard boundaries for ``obs
+  serve``/``watch``.  A live advisory like ``profile.json`` — outside
+  both the manifest and the byte-identity contract;
 * ``quarantine/`` — artifacts that failed their checksum, moved aside
   (never deleted) by :func:`load_checkpoint`'s recovery path.
 
@@ -170,7 +175,11 @@ class Checkpointer:
         first cycle that has a candidate set), the generation copy,
         ``checkpoint.json`` itself, the telemetry exports, and finally
         one batched ``MANIFEST.json`` flush — data always lands before
-        the metadata that describes it.
+        the metadata that describes it.  The mid-run telemetry exports
+        are volatile snapshots (atomic replace, no fsync, unmanifested
+        — regenerable from the checkpoint's ``telemetry`` state); the
+        pipeline's run-end export rewrites them durably and records
+        their final checksums in the manifest.
 
         The telemetry artifact-write counters increment *before* the
         checkpoint document is serialized (the same pre-write rule as
@@ -233,8 +242,11 @@ class Checkpointer:
             if ctx.telemetry is not None:
                 # Telemetry artifacts are rewritten (not appended) from
                 # the just-persisted state: a later resume regenerates
-                # the same files byte for byte.
-                ctx.telemetry.export(self.run_dir, writer=self.writer)
+                # the same files byte for byte.  No writer: mid-run
+                # exports are volatile live snapshots, not manifested
+                # artifacts — the run-end export records the final
+                # checksums.
+                ctx.telemetry.export(self.run_dir)
         for artifact, sha in written:
             ctx.bus.emit(EVENT_ARTIFACT_WRITTEN, artifact=artifact,
                          sha256=sha, index=index)

@@ -52,9 +52,21 @@ from ..engine.events import (
 )
 from ..features.library import FeatureLibrary
 from ..obs.profiling import profile_section
+from ..obs.workers import (
+    capture_worker_sections,
+    merge_worker_sections,
+    worker_slot,
+)
 from ..rules.rule import Rule
 from .sharding import Shard, ShardStore, auto_shard_size, plan_shards, \
     shard_fingerprint
+
+_ShardResult = tuple[
+    list[tuple[str, str]], int, int, dict[str, dict[str, float]]]
+"""Per-shard outcome: (survivors, pairs_scanned, cells_computed,
+worker wall-clock sections).  The first three are deterministic and
+feed metrics/spans; the sections dict is wall-clock noise and flows
+only to ``profile.json`` (see :mod:`repro.obs.workers`)."""
 
 _SHARED: "dict[str, Any] | None" = None
 """Fork-inherited worker state: set in the parent immediately before the
@@ -149,34 +161,42 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
               detail="platform has no fork start method; sharded "
                      "blocking running in-process")
 
-    results: dict[int, tuple[list[tuple[str, str]], int, int]] = {}
+    results: dict[int, _ShardResult] = {}
     for index in sorted(completed):
         results[index] = store.load(index)
         shard = shards[index]
-        _emit_shard_span(bus, shard, results[index], cached=True)
+        _emit_shard_span(bus, shard, results[index], n_workers, cached=True)
 
     if use_pool:
         _run_pool(evaluator, shards, pending, chunk_size,
                   n_workers, store, results, bus)
     else:
         for shard in pending:
+            slot = worker_slot(shard.index, n_workers)
             _emit(bus, EVENT_SHARD_STARTED, shard=shard.index,
-                  start=shard.start, stop=shard.stop, cached=False)
-            survivors, scanned, cells = _shard_survivors(evaluator, shard,
-                                                         chunk_size)
-            results[shard.index] = (survivors, scanned, cells)
+                  start=shard.start, stop=shard.stop, worker=slot,
+                  cached=False)
+            with capture_worker_sections() as sections:
+                survivors, scanned, cells = _shard_survivors(
+                    evaluator, shard, chunk_size)
+            results[shard.index] = (survivors, scanned, cells, sections)
             if store is not None:
-                _store_shard(store, shard.index, survivors, scanned, cells)
+                _store_shard(store, shard.index, survivors, scanned,
+                             cells, sections)
             _emit(bus, EVENT_SHARD_COMPLETED, shard=shard.index,
                   survivors=len(survivors), pairs_scanned=scanned,
-                  cached=False)
+                  worker=slot, cached=False)
 
     # Deterministic merge: shards partition A's row range, so survivors
     # concatenated in shard order equal the sequential A-major stream.
+    # Worker wall-clock sections fold into the run profiler here, in
+    # shard order, keyed by logical worker slot — the keys are stable
+    # across replay/resume even though the seconds are wall-clock noise.
     merged: list[Pair] = []
     for shard in shards:
-        survivors, scanned, cells = results[shard.index]
+        survivors, scanned, cells, sections = results[shard.index]
         merged.extend(Pair(a_id, b_id) for a_id, b_id in survivors)
+        merge_worker_sections(worker_slot(shard.index, n_workers), sections)
         if stats is not None:
             # A shard file from the chunk engine (or a pre-plan store)
             # carries no cell count; it computed every needed cell.
@@ -189,7 +209,7 @@ def apply_rules_sharded(table_a: Table, table_b: Table,
 def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
               pending: list[Shard], chunk_size: int, n_workers: int,
               store: ShardStore | None,
-              results: dict[int, tuple[list[tuple[str, str]], int, int]],
+              results: dict[int, _ShardResult],
               bus: Any) -> None:
     """Fan pending shards out to a forked worker pool.
 
@@ -203,7 +223,8 @@ def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
     global _SHARED
     for shard in pending:
         _emit(bus, EVENT_SHARD_STARTED, shard=shard.index,
-              start=shard.start, stop=shard.stop, cached=False)
+              start=shard.start, stop=shard.stop,
+              worker=worker_slot(shard.index, n_workers), cached=False)
     context = multiprocessing.get_context("fork")
     _SHARED = {"evaluator": evaluator,
                "shards": {shard.index: shard for shard in shards},
@@ -211,41 +232,48 @@ def _run_pool(evaluator: ChunkEvaluator, shards: list[Shard],
     try:
         with context.Pool(processes=min(n_workers, len(pending))) as pool:
             indices = [shard.index for shard in pending]
-            for index, survivors, scanned, cells in pool.imap(
+            for index, survivors, scanned, cells, sections in pool.imap(
                     _run_shard, indices, chunksize=1):
-                results[index] = (survivors, scanned, cells)
+                results[index] = (survivors, scanned, cells, sections)
                 if store is not None:
-                    _store_shard(store, index, survivors, scanned, cells)
+                    _store_shard(store, index, survivors, scanned,
+                                 cells, sections)
                 _emit(bus, EVENT_SHARD_COMPLETED, shard=index,
                       survivors=len(survivors), pairs_scanned=scanned,
-                      cached=False)
+                      worker=worker_slot(index, n_workers), cached=False)
     finally:
         _SHARED = None
 
 
 def _store_shard(store: ShardStore, index: int,
                  survivors: list[tuple[str, str]], scanned: int,
-                 cells: int) -> None:
+                 cells: int,
+                 sections: dict[str, dict[str, float]]) -> None:
     """Persist one shard, keeping the legacy 3-argument write signature
     for the chunk engine (which has no cell accounting to store)."""
     if cells < 0:
-        store.write(index, survivors, scanned)
+        store.write(index, survivors, scanned, sections=sections)
     else:
-        store.write(index, survivors, scanned, cells)
+        store.write(index, survivors, scanned, cells, sections=sections)
 
 
-def _run_shard(index: int) -> tuple[int, list[tuple[str, str]], int, int]:
+def _run_shard(index: int) -> tuple[int, list[tuple[str, str]], int, int,
+                                    dict[str, dict[str, float]]]:
     """Worker body: evaluate one shard against fork-inherited state.
 
     Module-level by necessity (pool callables must pickle; corlint
     CL005) — but its *state* arrives through :data:`_SHARED`, not
-    through the job payload.
+    through the job payload.  The forked child inherits the parent's
+    profiler activation stack, so it captures its ``profile_section``
+    calls on a fresh local profiler and ships the sections back in the
+    result tuple instead of recording into a doomed copy.
     """
     job = _SHARED
     shard = job["shards"][index]
-    survivors, scanned, cells = _shard_survivors(job["evaluator"], shard,
-                                                 job["chunk_size"])
-    return index, survivors, scanned, cells
+    with capture_worker_sections() as sections:
+        survivors, scanned, cells = _shard_survivors(
+            job["evaluator"], shard, job["chunk_size"])
+    return index, survivors, scanned, cells, sections
 
 
 def _shard_survivors(
@@ -274,16 +302,17 @@ def _shard_survivors(
         nonlocal scanned
         if not chunk_a:
             return
-        blocked = evaluator.blocked_mask(chunk_a, chunk_b)
-        survivors.extend(
-            (record_a.record_id, record_b.record_id)
-            for record_a, record_b, is_blocked
-            in zip(chunk_a, chunk_b, blocked)
-            if not is_blocked
-        )
-        scanned += len(chunk_a)
-        chunk_a.clear()
-        chunk_b.clear()
+        with profile_section("blocker.shard_flush"):
+            blocked = evaluator.blocked_mask(chunk_a, chunk_b)
+            survivors.extend(
+                (record_a.record_id, record_b.record_id)
+                for record_a, record_b, is_blocked
+                in zip(chunk_a, chunk_b, blocked)
+                if not is_blocked
+            )
+            scanned += len(chunk_a)
+            chunk_a.clear()
+            chunk_b.clear()
 
     for row in range(shard.start, shard.stop):
         record_a = table_a.at(row)
@@ -342,18 +371,21 @@ def _emit(bus: Any, name: str, **payload: Any) -> None:
         bus.emit(name, **payload)
 
 
-def _emit_shard_span(bus: Any, shard: Shard,
-                     result: tuple[list[tuple[str, str]], int, int],
-                     cached: bool) -> None:
+def _emit_shard_span(bus: Any, shard: Shard, result: _ShardResult,
+                     n_workers: int, cached: bool) -> None:
     """Emit the started/completed pair for a shard loaded from disk.
 
-    Cached shards emit the same two events as freshly computed ones so
-    a resumed run's shard counters converge to exactly the
-    uninterrupted run's values — the byte-identity contract for
-    ``metrics.json`` extends to sharded blocking.
+    Cached shards emit the same two events as freshly computed ones —
+    including the same logical ``worker`` slot, which depends only on
+    the configured worker count — so a resumed run's shard counters and
+    shard spans converge to exactly the uninterrupted run's values: the
+    byte-identity contract for ``metrics.json``/``spans.jsonl`` extends
+    to sharded blocking.
     """
-    survivors, scanned, _cells = result
+    survivors, scanned, _cells, _sections = result
+    slot = worker_slot(shard.index, n_workers)
     _emit(bus, EVENT_SHARD_STARTED, shard=shard.index, start=shard.start,
-          stop=shard.stop, cached=cached)
+          stop=shard.stop, worker=slot, cached=cached)
     _emit(bus, EVENT_SHARD_COMPLETED, shard=shard.index,
-          survivors=len(survivors), pairs_scanned=scanned, cached=cached)
+          survivors=len(survivors), pairs_scanned=scanned, worker=slot,
+          cached=cached)

@@ -180,7 +180,9 @@ class ShardStore:
         return completed
 
     def write(self, index: int, survivors: list[tuple[str, str]],
-              pairs_scanned: int, cells_computed: int = -1) -> None:
+              pairs_scanned: int, cells_computed: int = -1,
+              sections: "dict[str, dict[str, float]] | None" = None
+              ) -> None:
         """Persist one completed shard durably.
 
         ``cells_computed`` is the plan engine's per-shard feature-cell
@@ -188,7 +190,15 @@ class ShardStore:
         cell).  Persisting it is what keeps plan metrics convergent
         across kill/resume: a resumed run re-contributes a loaded
         shard's cells without recomputing the shard.
+
+        ``sections`` is the worker's captured wall-clock telemetry
+        (:mod:`repro.obs.workers`), stored as one canonical-JSON string
+        so a cached shard replays its sections into ``profile.json``
+        on resume.  It is wall-clock noise, deliberately excluded from
+        the shard fingerprint and from every deterministic artifact.
         """
+        from ..obs.workers import encode_sections
+
         a_ids = np.array([a_id for a_id, _ in survivors], dtype=np.str_)
         b_ids = np.array([b_id for _, b_id in survivors], dtype=np.str_)
         self.writer.atomic_write_npz(
@@ -200,19 +210,26 @@ class ShardStore:
                                           dtype=np.int64),
                 "cells_computed": np.array([cells_computed],
                                            dtype=np.int64),
+                "telemetry": np.array([encode_sections(sections or {})],
+                                      dtype=np.str_),
             },
         )
 
-    def load(self, index: int) -> tuple[list[tuple[str, str]], int, int]:
-        """Load a shard's (survivors, pairs_scanned, cells_computed).
+    def load(self, index: int) -> tuple[list[tuple[str, str]], int, int,
+                                        dict[str, dict[str, float]]]:
+        """Load a shard's (survivors, pairs_scanned, cells_computed,
+        worker sections).
 
-        ``cells_computed`` is -1 for shards written by the chunk engine
-        or by a pre-plan version of this store (the fingerprint is
-        engine-independent, so those files remain loadable).  A shard
-        file whose bytes no longer parse raises a typed
+        ``cells_computed`` is -1 and the sections dict empty for shards
+        written by the chunk engine or by an older version of this
+        store (the fingerprint is engine- and telemetry-independent, so
+        those files remain loadable).  A shard file whose bytes no
+        longer parse raises a typed
         :class:`~repro.exceptions.DataError` naming the file — never a
         raw zipfile or numpy traceback.
         """
+        from ..obs.workers import decode_sections
+
         path = self.shard_path(index)
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -223,8 +240,12 @@ class ShardStore:
                     cells_computed = int(data["cells_computed"][0])
                 else:
                     cells_computed = -1
+                if "telemetry" in data:
+                    sections = decode_sections(data["telemetry"][0])
+                else:
+                    sections = {}
         except (KeyError, ValueError, EOFError, OSError,
                 zipfile.BadZipFile) as error:
             raise DataError(f"{path}: malformed shard file "
                             f"({error})") from None
-        return survivors, pairs_scanned, cells_computed
+        return survivors, pairs_scanned, cells_computed, sections

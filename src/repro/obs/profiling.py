@@ -29,6 +29,23 @@ from ..storage.writer import atomic_write_json
 
 PROFILE_FILE = "profile.json"
 
+SECTION_NAMES = (
+    "blocker.shard_prewarm",
+    "blocker.shard_flush",
+    "blocker.stream_flush",
+    "blocker.plan_flush",
+    "features.vectorize_pairs",
+    "forest.train_forest",
+)
+"""The closed registry of profiled hot-path sections.
+
+corlint CL017 requires every ``profile_section(...)`` call site to pass
+a string literal drawn from this tuple, so the profile schema stays
+greppable and ``docs/observability.md`` can enumerate it.  Worker-side
+sections are re-keyed as ``worker{slot}.{name}`` when merged (see
+:mod:`repro.obs.workers`); only the base names are registered here.
+"""
+
 _ACTIVE: list["Profiler"] = []
 """The activation stack; :func:`profile_section` reports to the top."""
 
@@ -61,15 +78,16 @@ class Profiler:
         }
 
     def write(self, path: str | Path) -> None:
-        """Durably write the profile document.
+        """Atomically write the profile document.
 
-        Routed through :mod:`repro.storage.writer` for the shared
-        write discipline, but never recorded in the run manifest:
-        the profile is wall-clock noise by design, so a checksum over
-        it would flag every legitimate rewrite as corruption.
+        Routed through :mod:`repro.storage.writer` as a volatile
+        snapshot (atomic replace, no fsync) and never recorded in the
+        run manifest: the profile is wall-clock noise by design, so a
+        checksum over it would flag every legitimate rewrite as
+        corruption — and losing it to a power cut loses nothing.
         """
         atomic_write_json(Path(path), self.to_dict(), indent=2,
-                          sort_keys=True)
+                          sort_keys=True, durable=False)
 
 
 def activate(profiler: Profiler) -> None:

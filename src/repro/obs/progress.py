@@ -1,0 +1,148 @@
+"""The live progress heartbeat: a small atomic ``progress.json``.
+
+:class:`ProgressHeartbeat` is an :class:`~repro.engine.events.EventBus`
+sink that maintains a compact picture of an in-flight run — current
+stage and iteration, shards started/completed, checkpoints written,
+labels purchased, budget burn — and atomically rewrites
+``progress.json`` in the run directory at checkpoint and shard
+boundaries.  ``python -m repro.obs serve`` exposes it at ``/progress``
+and ``python -m repro.obs report`` uses it to mark an incomplete run as
+in-flight.
+
+The file is a **live advisory**, not a deterministic artifact: it is
+rewritten mid-run at points a resumed run may legitimately skip, so it
+sits outside the byte-identity contract that governs ``metrics.json``
+and ``spans.jsonl`` (after a kill/resume the label and answer tallies
+restart from the resume point; the authoritative totals live in the
+metrics snapshot).  Writes go through the same
+:mod:`repro.storage.writer` discipline as everything else (tmp file,
+fsync, atomic replace) so a reader never observes a torn document, but
+— like ``profile.json`` — the file is never recorded in the run
+manifest: a checksum over a heartbeat would flag every legitimate
+rewrite as corruption.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..engine.events import (
+    EVENT_BUDGET_SPENT,
+    EVENT_CHECKPOINT_WRITTEN,
+    EVENT_LABELS_PURCHASED,
+    EVENT_SHARD_COMPLETED,
+    EVENT_SHARD_STARTED,
+    EVENT_STAGE_FINISHED,
+    EVENT_STAGE_STARTED,
+    Event,
+)
+from ..storage.writer import atomic_write_json
+
+PROGRESS_FILE = "progress.json"
+PROGRESS_FORMAT = "corleone-progress"
+PROGRESS_VERSION = 1
+
+
+class ProgressHeartbeat:
+    """Bus sink keeping ``progress.json`` fresh while a run executes."""
+
+    def __init__(self, run_dir: str | Path,
+                 budget: float | None = None) -> None:
+        self.path = Path(run_dir) / PROGRESS_FILE
+        self.budget = budget
+        self.stage: str | None = None
+        self.iteration = 0
+        self.checkpoints = 0
+        self.labels_purchased = 0
+        self.answers = 0
+        self.dollars_spent = 0.0
+        self.finished = False
+        self.sequence = -1
+        # Sets, not counters: a resumed run re-emits shard events for
+        # loaded shards, and the heartbeat must not double-count them.
+        self._shards_started: set[int] = set()
+        self._shards_completed: set[int] = set()
+
+    def __call__(self, event: Event) -> None:
+        """Fold one engine event in; flush at heartbeat boundaries."""
+        payload = event.payload
+        self.sequence = max(self.sequence, event.sequence)
+        flush = False
+        if event.name == EVENT_STAGE_STARTED:
+            self.stage = str(payload.get("stage"))
+            self.iteration = int(payload.get("iteration", 0))
+            flush = True
+        elif event.name == EVENT_STAGE_FINISHED:
+            # ``dollars`` here is the cost tracker's authoritative
+            # running total, which survives kill/resume (unlike the
+            # per-event tallies this sink accumulates itself).
+            self.dollars_spent = float(payload.get(
+                "dollars", self.dollars_spent))
+            if payload.get("next_stage") is None:
+                self.stage = None
+                self.finished = True
+            flush = True
+        elif event.name == EVENT_CHECKPOINT_WRITTEN:
+            self.checkpoints = max(self.checkpoints,
+                                   int(payload.get("index", -1)) + 1)
+            flush = True
+        elif event.name == EVENT_SHARD_STARTED:
+            self._shards_started.add(int(payload.get("shard", -1)))
+        elif event.name == EVENT_SHARD_COMPLETED:
+            self._shards_completed.add(int(payload.get("shard", -1)))
+            flush = True
+        elif event.name == EVENT_LABELS_PURCHASED:
+            self.labels_purchased += 1
+        elif event.name == EVENT_BUDGET_SPENT:
+            self.answers += int(payload.get("answers", 0))
+            self.dollars_spent += float(payload.get("dollars", 0.0))
+        if flush:
+            self.flush()
+
+    def document(self) -> dict[str, Any]:
+        """The progress document (JSON-compatible, stable key set)."""
+        remaining = (round(self.budget - self.dollars_spent, 10)
+                     if self.budget is not None else None)
+        return {
+            "format": PROGRESS_FORMAT,
+            "version": PROGRESS_VERSION,
+            "stage": self.stage,
+            "iteration": self.iteration,
+            "finished": self.finished,
+            "checkpoints": self.checkpoints,
+            "shards": {
+                "started": len(self._shards_started),
+                "completed": len(self._shards_completed),
+            },
+            "labels_purchased": self.labels_purchased,
+            "answers": self.answers,
+            "dollars_spent": round(self.dollars_spent, 10),
+            "budget": self.budget,
+            "budget_remaining": remaining,
+            "sequence": self.sequence,
+        }
+
+    def flush(self) -> None:
+        """Atomically rewrite ``progress.json`` (never torn, unmanifested).
+
+        A volatile snapshot (no fsync): the heartbeat is advisory and
+        rewritten at the next boundary, so power-loss durability would
+        only add two fsyncs per flush to every checkpointed run.
+        """
+        atomic_write_json(self.path, self.document(), indent=2,
+                          sort_keys=True, durable=False)
+
+
+def read_progress(run_dir: str | Path) -> dict[str, Any] | None:
+    """Load a run directory's ``progress.json`` (None when absent)."""
+    path = Path(run_dir) / PROGRESS_FILE
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        # An atomic writer never leaves a torn file; a manually copied
+        # or damaged one degrades to "no progress available".
+        return None

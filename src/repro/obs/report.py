@@ -20,7 +20,9 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..exceptions import DataError
 from .profiling import PROFILE_FILE
+from .progress import read_progress
 from .spans import SPANS_FILE, read_spans
 from .telemetry import METRICS_FILE
 
@@ -29,14 +31,31 @@ CHECKPOINT_FILE = "checkpoint.json"
 
 
 def effective_trace(path: str | Path) -> list[dict[str, Any]]:
-    """The authoritative event history of a (possibly resumed) trace."""
+    """The authoritative event history of a (possibly resumed) trace.
+
+    Tolerates a torn *final* line exactly like
+    :func:`repro.engine.events.read_trace` — an in-flight run's trace
+    may end mid-write, and the report/serve surfaces must render what
+    is there rather than raise.  An invalid line anywhere earlier is
+    real corruption and raises :class:`DataError`.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    last_index = len(lines) - 1
     by_sequence: dict[int, dict[str, Any]] = {}
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                event = json.loads(line)
-                by_sequence[int(event["sequence"])] = event
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if index == last_index:
+                break
+            raise DataError(
+                f"{path}: invalid JSON on trace line {index + 1} "
+                f"(not a torn tail — line {len(lines)} follows it)"
+            ) from None
+        by_sequence[int(event["sequence"])] = event
     return [by_sequence[seq] for seq in sorted(by_sequence)]
 
 
@@ -59,6 +78,7 @@ def load_artifacts(run_dir: str | Path) -> dict[str, Any]:
         "metrics": read_json(METRICS_FILE),
         "profile": read_json(PROFILE_FILE),
         "checkpoint": read_json(CHECKPOINT_FILE),
+        "progress": read_progress(run_dir),
     }
 
 
@@ -150,6 +170,18 @@ def render_report(run_dir: str | Path) -> str:
             f" | stop: {state.get('stop_reason') or 'running'}"
             f" | iterations: {state.get('iteration', '?')}"
             f" | checkpoints: {checkpoint.get('index', -1) + 1}"
+        )
+    progress = artifacts["progress"]
+    if progress is not None and not progress.get("finished"):
+        # An incomplete run: render whatever artifacts exist below, but
+        # say up front that the numbers are a snapshot, not a result.
+        shards = progress.get("shards", {})
+        lines.append(
+            f"IN FLIGHT — stage: {progress.get('stage') or '?'}"
+            f" | iteration: {progress.get('iteration', 0)}"
+            f" | shards {shards.get('completed', 0)}"
+            f"/{shards.get('started', 0)}"
+            f" | spent ${progress.get('dollars_spent', 0.0):.2f}"
         )
     lines.append("")
 
@@ -286,3 +318,47 @@ def render_report(run_dir: str | Path) -> str:
         lines.append("")
 
     return "\n".join(lines).rstrip() + "\n"
+
+
+def render_watch(progress: dict[str, Any] | None,
+                 events: list[dict[str, Any]],
+                 recent: int = 8) -> str:
+    """One frame of the ``obs watch`` terminal view.
+
+    Pure function over the heartbeat document and the effective event
+    list (latest-wins, as produced by
+    :class:`repro.obs.tail.TraceTail`), so the refresh loop in
+    ``python -m repro.obs watch`` stays trivially testable.
+    """
+    lines = []
+    if progress is None:
+        lines.append("waiting for progress.json — run not started "
+                     "(or telemetry disabled)")
+    else:
+        state = ("finished" if progress.get("finished")
+                 else f"stage {progress.get('stage') or '?'}")
+        shards = progress.get("shards", {})
+        budget = progress.get("budget")
+        spent = progress.get("dollars_spent", 0.0)
+        burn = (f" / ${budget:.2f}" if budget is not None else "")
+        lines.append(
+            f"{state}"
+            f" | iteration {progress.get('iteration', 0)}"
+            f" | checkpoints {progress.get('checkpoints', 0)}"
+            f" | shards {shards.get('completed', 0)}"
+            f"/{shards.get('started', 0)}"
+        )
+        lines.append(
+            f"spent ${spent:.2f}{burn}"
+            f" | labels {progress.get('labels_purchased', 0)}"
+            f" | answers {progress.get('answers', 0)}"
+        )
+    lines.append(f"events seen: {len(events)}")
+    for event in events[-recent:]:
+        detail = ", ".join(
+            f"{key}={event[key]}" for key in sorted(event)
+            if key not in ("event", "sequence"))
+        suffix = f"  ({detail})" if detail else ""
+        lines.append(f"  #{event.get('sequence')} "
+                     f"{event.get('event')}{suffix}")
+    return "\n".join(lines) + "\n"

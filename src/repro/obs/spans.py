@@ -28,6 +28,21 @@ from ..storage.writer import atomic_write_text
 
 SPANS_FILE = "spans.jsonl"
 
+SPAN_NAMES = (
+    "run",
+    "stage",
+    "section",
+    "matcher_iteration",
+    "shard",
+)
+"""The closed registry of span names.
+
+corlint CL017 requires every literal ``SpanTracer.start(...)`` /
+``.span(...)`` name argument to come from this tuple, mirroring what
+CL009 does for event names — the span hierarchy documented in
+``docs/observability.md`` stays the whole story.
+"""
+
 
 class _ZeroClock:
     """The clock used when the platform stack keeps no simulated time."""
@@ -109,19 +124,22 @@ class SpanTracer:
                 for span in self._completed]
 
     def write(self, path: str | Path, writer: Any = None) -> None:
-        """Durably rewrite ``path`` from the completed spans.
+        """Atomically rewrite ``path`` from the completed spans.
 
-        Goes through :mod:`repro.storage.writer` (tmp, fsync, atomic
-        replace, directory fsync); pass an
-        :class:`~repro.storage.writer.ArtifactWriter` to also record
-        the file in the run manifest.
+        Goes through :mod:`repro.storage.writer`.  With an
+        :class:`~repro.storage.writer.ArtifactWriter` the file is
+        written fully durable and recorded in the run manifest (the
+        run-end export); without one it is a volatile snapshot —
+        atomic replace, no fsync, unmanifested — the per-checkpoint
+        live path, regenerated from checkpointed tracer state on
+        resume.
         """
         path = Path(path)
         body = "".join(line + "\n" for line in self.lines())
         if writer is not None:
             writer.atomic_write_text(path, body)
         else:
-            atomic_write_text(path, body)
+            atomic_write_text(path, body, durable=False)
 
     def state_dict(self) -> dict[str, Any]:
         """Checkpointable tracer state (completed + open spans)."""
@@ -139,11 +157,28 @@ class SpanTracer:
 
 
 def read_spans(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a ``spans.jsonl`` file back into span records."""
+    """Parse a ``spans.jsonl`` file back into span records.
+
+    Shares :func:`repro.engine.events.read_trace`'s torn-tail repair
+    semantics: a run killed mid-write may leave a truncated *final*
+    line, which is silently dropped — ``watch``/``serve`` must never
+    crash on an in-flight file.  An invalid line anywhere *before* the
+    tail cannot be a torn write and raises :class:`DataError`.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    last_index = len(lines) - 1
     records = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == last_index:
+                break
+            raise DataError(
+                f"{path}: invalid JSON on spans line {index + 1} "
+                f"(not a torn tail — line {len(lines)} follows it)"
+            ) from None
     return records

@@ -1,0 +1,92 @@
+"""Incremental, torn-tolerant tailing of a live ``trace.jsonl``.
+
+``trace.jsonl`` is append-only and flushed per event, but a reader
+polling an in-flight run can still observe three awkward states:
+
+* a **partial final line** — the writer is mid-``write`` (or the page
+  cache exposed half a line); the bytes after the last newline must be
+  buffered, not parsed;
+* a **rotation/truncation** — a fresh run reused the directory, so the
+  file is suddenly *shorter* than the last read offset; the tail must
+  restart from byte zero rather than read garbage;
+* **duplicate sequence numbers** — a kill/resume seam replays events
+  the killed run already traced (the engine restores the bus sequence
+  from the checkpoint), so the same sequence can appear twice; the
+  *latest* occurrence wins, matching
+  :func:`repro.obs.report.effective_trace`.
+
+:class:`TraceTail` handles all three with plain stdlib I/O, so
+``python -m repro.obs watch`` and the ``/trace`` endpoint never crash
+on a live file and never report an event twice per poll.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["TraceTail"]
+
+
+class TraceTail:
+    """Stateful incremental reader over an append-mostly JSONL file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        """Byte offset of the next unread byte."""
+        self.invalid_lines = 0
+        """Complete lines that failed to parse as JSON (skipped)."""
+        self.rotations = 0
+        """Times the file shrank under us and the tail restarted."""
+        self._buffer = ""
+        self._by_sequence: dict[int, dict[str, Any]] = {}
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Read newly appended records; returns them in file order.
+
+        Safe to call whether or not the file exists yet.  A trailing
+        fragment with no newline stays buffered until the writer
+        completes the line.  Records lacking an integer ``sequence``
+        are skipped like invalid JSON — the trace contract guarantees
+        one on every real event line.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self.offset:
+            # The file shrank: a new run rotated the trace out from
+            # under us.  Restart from the top with clean state.
+            self.rotations += 1
+            self.offset = 0
+            self._buffer = ""
+            self._by_sequence.clear()
+        if size == self.offset and not self._buffer:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read()
+        self.offset += len(chunk)
+        text = self._buffer + chunk.decode("utf-8", errors="replace")
+        lines = text.split("\n")
+        self._buffer = lines.pop()  # "" after a complete final line
+        records = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                sequence = int(record["sequence"])
+            except (ValueError, KeyError, TypeError):
+                self.invalid_lines += 1
+                continue
+            records.append(record)
+            self._by_sequence[sequence] = record
+        return records
+
+    def effective(self) -> list[dict[str, Any]]:
+        """Every record seen so far, latest-occurrence-wins, by sequence."""
+        return [self._by_sequence[sequence]
+                for sequence in sorted(self._by_sequence)]

@@ -145,6 +145,18 @@ def build_catalog(registry: MetricsRegistry) -> None:
         "Parallel/sharded blocking fallbacks to fewer workers, by reason.",
         label_names=("reason",))
     registry.counter(
+        "corleone_worker_shards_completed_total",
+        "Blocking shards completed per logical worker slot.",
+        label_names=("worker",))
+    registry.counter(
+        "corleone_worker_shard_pairs_scanned_total",
+        "A x B pairs scanned per blocking shard, by worker and shard.",
+        label_names=("worker", "shard"))
+    registry.counter(
+        "corleone_worker_shard_survivors_total",
+        "Surviving pairs per blocking shard, by worker and shard.",
+        label_names=("worker", "shard"))
+    registry.counter(
         "corleone_plan_feature_cells_total",
         "Feature cells the plan executor computed vs. pruned, by outcome.",
         label_names=("outcome",))
@@ -214,8 +226,33 @@ class RunTelemetry:
             # counts, so a resumed run's totals converge to exactly the
             # uninterrupted run's values (the byte-identity contract).
             reg.get("corleone_shards_completed_total").inc()
-            reg.get("corleone_shard_pairs_scanned_total").inc(
-                int(payload.get("pairs_scanned", 0)))
+            scanned = int(payload.get("pairs_scanned", 0))
+            survivors = int(payload.get("survivors", 0))
+            reg.get("corleone_shard_pairs_scanned_total").inc(scanned)
+            # Per-worker attribution: the `worker` field is the logical
+            # slot (shard index mod configured n_workers), identical
+            # across the pool, the in-process fallback and a cached
+            # replay — never an OS pid.  Shard labels are zero-padded
+            # so the sorted snapshot lists them in shard order.
+            worker = str(int(payload.get("worker", 0)))
+            shard = f"{int(payload.get('shard', 0)):05d}"
+            reg.get("corleone_worker_shards_completed_total").inc(
+                worker=worker)
+            reg.get("corleone_worker_shard_pairs_scanned_total").inc(
+                scanned, worker=worker, shard=shard)
+            reg.get("corleone_worker_shard_survivors_total").inc(
+                survivors, worker=worker, shard=shard)
+            # A zero-duration `shard` span marks the completion on the
+            # simulated clock (blocking consumes no simulated time).
+            # Checkpoints never land mid-blocking, and cached shards
+            # re-emit this event, so the span list stays byte-identical
+            # across replay and kill/resume; `cached` is deliberately
+            # not an attribute — it differs between those histories.
+            span_id = self.tracer.start(
+                "shard", shard=int(payload.get("shard", 0)),
+                worker=int(payload.get("worker", 0)),
+                pairs_scanned=scanned, survivors=survivors)
+            self.tracer.end(span_id)
         elif event.name == EVENT_BLOCKER_FALLBACK:
             reg.get("corleone_blocker_parallel_fallback_total").inc(
                 reason=str(payload.get("reason")))
@@ -405,17 +442,23 @@ class RunTelemetry:
     def export(self, run_dir: str | Path,
                include_profile: bool = False,
                writer: Any = None) -> None:
-        """Write ``metrics.json`` + ``spans.jsonl`` (durably) and, at
-        run end, ``profile.json``.
+        """Write ``metrics.json`` + ``spans.jsonl`` and, at run end,
+        ``profile.json``.
 
-        All writes go through :mod:`repro.storage.writer`.  Pass the
-        run's :class:`~repro.storage.writer.ArtifactWriter` to record
-        the deterministic artifacts in the run manifest (the engine's
-        checkpointer does, batched with the checkpoint's own entries);
-        without one the files are written durably but unmanifested.
-        ``profile.json`` is *never* manifested — it is wall-clock
-        noise by design, and a checksum over it would flag every
-        legitimate rewrite as corruption.
+        All writes go through :mod:`repro.storage.writer`, and the
+        ``writer`` argument picks the durability tier.  With the run's
+        :class:`~repro.storage.writer.ArtifactWriter` (the pipeline's
+        run-end export) the files land fully durable and are recorded
+        in the run manifest, so the manifest checksums describe the
+        final bytes.  Without one (the per-checkpoint live export) they
+        are written as *volatile snapshots* — atomic replace so
+        ``/metrics`` readers never see a torn file, but no fsync and no
+        manifest entry: both files are regenerated byte-for-byte from
+        the checkpointed telemetry state on resume, so mid-run
+        durability buys nothing and costs two fsync pairs per
+        checkpoint.  ``profile.json`` is *never* manifested — it is
+        wall-clock noise by design, and a checksum over it would flag
+        every legitimate rewrite as corruption.
         """
         run_dir = Path(run_dir)
         document = self.metrics_document()
@@ -424,7 +467,7 @@ class RunTelemetry:
                                      indent=2, sort_keys=True)
         else:
             atomic_write_json(run_dir / METRICS_FILE, document,
-                              indent=2, sort_keys=True)
+                              indent=2, sort_keys=True, durable=False)
         self.tracer.write(run_dir / SPANS_FILE, writer=writer)
         if include_profile:
             self.profiler.write(run_dir / profiling.PROFILE_FILE)

@@ -24,6 +24,14 @@ Fault injection (:mod:`repro.storage.faults`) hooks the numbered steps
 above: an activated injector can tear the tmp file at byte *k*, raise
 ``ENOSPC`` mid-write, or crash the process between any two steps —
 which is how the crash-consistency harness proves the discipline holds.
+
+``durable=False`` downgrades a write to a *volatile snapshot*: the tmp
+stage and atomic replace are kept (a concurrent reader still never
+sees a torn file) but both fsyncs are skipped, so a power loss may
+surface the previous complete version instead of the new one.  Reserve
+it for advisory artifacts that are regenerated from durable state —
+the live telemetry exports, the progress heartbeat, the wall-clock
+profile — never for anything resume reads.
 """
 
 from __future__ import annotations
@@ -116,7 +124,8 @@ def _active_injector():
     return active_injector()
 
 
-def atomic_write_bytes(path: str | Path, data: bytes) -> str:
+def atomic_write_bytes(path: str | Path, data: bytes,
+                       durable: bool = True) -> str:
     """Durably replace ``path`` with ``data``; return the sha256.
 
     Implements the full discipline (tmp write, file fsync, atomic
@@ -124,25 +133,31 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> str:
     old complete file or the new complete file at ``path`` — never a
     torn mix — plus at worst a stale ``.tmp`` neighbour for
     :func:`repro.storage.recovery.cleanup_stale_tmp` to sweep.
+    ``durable=False`` skips both fsyncs (see the module docstring) —
+    replace-atomicity survives, power-loss durability does not.
     """
 
     def write(handle: Any) -> None:
         handle.write(data)
 
-    return _atomic_write(Path(path), write, precomputed=sha256_hex(data))
+    return _atomic_write(Path(path), write, precomputed=sha256_hex(data),
+                         durable=durable)
 
 
-def atomic_write_text(path: str | Path, text: str) -> str:
+def atomic_write_text(path: str | Path, text: str,
+                      durable: bool = True) -> str:
     """Durably replace ``path`` with UTF-8 ``text``; return the sha256."""
-    return atomic_write_bytes(path, text.encode("utf-8"))
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
 
 
 def atomic_write_json(path: str | Path, document: Any,
                       indent: int | None = None,
-                      sort_keys: bool = False) -> str:
+                      sort_keys: bool = False,
+                      durable: bool = True) -> str:
     """Durably replace ``path`` with a JSON document; return the sha256."""
     return atomic_write_text(
-        path, json.dumps(document, indent=indent, sort_keys=sort_keys))
+        path, json.dumps(document, indent=indent, sort_keys=sort_keys),
+        durable=durable)
 
 
 def atomic_write_npz(path: str | Path, arrays: dict[str, Any],
@@ -166,14 +181,16 @@ def atomic_write_npz(path: str | Path, arrays: dict[str, Any],
 
 
 def _atomic_write(path: Path, write: Callable[[Any], None],
-                  precomputed: str | None) -> str:
+                  precomputed: str | None, durable: bool = True) -> str:
     """The shared discipline behind every ``atomic_write_*`` function.
 
     ``write`` fills the open tmp handle; ``precomputed`` carries the
     payload digest when the caller already holds the exact bytes (JSON
     and text), otherwise the tmp file is hashed after writing (npz).
     The activated fault injector (if any) is consulted at each step —
-    see the module docstring for the step numbering.
+    see the module docstring for the step numbering.  ``durable=False``
+    drops steps 2 and 4 (the fsyncs) but keeps every injector hook, so
+    the crash-consistency harness exercises volatile writes too.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -183,14 +200,18 @@ def _atomic_write(path: Path, write: Callable[[Any], None],
         write(handle)
         if injector is not None:
             injector.during_tmp_write(path, tmp, handle)
-        _fsync_file(handle)
+        if durable:
+            _fsync_file(handle)
+        else:
+            handle.flush()
     digest = precomputed if precomputed is not None else file_sha256(tmp)
     if injector is not None:
         injector.before_replace(path, tmp)
     os.replace(tmp, path)
     if injector is not None:
         injector.after_replace(path)
-    _fsync_dir(path.parent)
+    if durable:
+        _fsync_dir(path.parent)
     return digest
 
 
@@ -355,12 +376,12 @@ class ArtifactWriter:
     def batch(self):
         """Defer manifest flushes to one rewrite at block exit.
 
-        The engine's checkpointer writes four artifacts per checkpoint
-        (generation file, ``checkpoint.json``, ``metrics.json``,
-        ``spans.jsonl``); batching turns four ledger rewrites into one.
-        A crash inside the batch loses only manifest *entries* — the
-        artifacts themselves are already durable, and recovery falls
-        back past unverifiable ones.
+        The engine's checkpointer writes several manifested artifacts
+        per checkpoint (the generation file, ``checkpoint.json``, and
+        on the first cycle ``candidates.npz``); batching turns their
+        ledger rewrites into one.  A crash inside the batch loses only
+        manifest *entries* — the artifacts themselves are already
+        durable, and recovery falls back past unverifiable ones.
         """
         self._batch_depth += 1
         try:

@@ -133,6 +133,42 @@ def test_order_constant_covers_known_artifacts():
         assert required in module.ORDER
 
 
+def _fake_obs_payload(overhead: float) -> dict:
+    return {"run": {"instrumentation_overhead_fraction": overhead,
+                    "acceptance_bar_fraction": 0.05}}
+
+
+@pytest.mark.parametrize(
+    "committed,fresh,expected",
+    [
+        (0.01, 0.012, 0),   # tiny wobble: fine
+        (0.01, 0.06, 1),    # fresh measurement breaks the 5% bar
+        (0.005, 0.045, 1),  # under the bar but regressed > 3pp
+        (0.04, 0.01, 0),    # improvements never fail the gate
+    ],
+)
+def test_check_regress_gate(collector, monkeypatch, committed, fresh,
+                            expected):
+    """--check-regress compares fresh vs committed overhead numbers."""
+    import json
+    module, tmp_path = collector
+    record = tmp_path / "BENCH_obs.json"
+    record.write_text(json.dumps(_fake_obs_payload(committed)))
+    monkeypatch.setattr(module, "OBS_OUTPUT", record)
+    monkeypatch.setattr(
+        module, "collect_obs",
+        lambda output=None, repeats=3, keep_run_dir=None,
+        write_table=True: _fake_obs_payload(fresh))
+    assert module.check_regress() == expected
+
+
+def test_check_regress_without_committed_record(collector, monkeypatch):
+    module, tmp_path = collector
+    monkeypatch.setattr(module, "OBS_OUTPUT",
+                        tmp_path / "BENCH_obs.json")
+    assert module.check_regress() == 2
+
+
 def test_collect_shard_scaling_curve(collector):
     """--shard records the worker curve and the determinism check."""
     import json

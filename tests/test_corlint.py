@@ -672,6 +672,148 @@ class TestEventRegistryRule:
         assert report.new_findings == []
 
 
+_TELEMETRY_REGISTRIES = {
+    "obs/profiling.py": (
+        "SECTION_NAMES = (\n"
+        "    \"blocker.stream_flush\",\n"
+        "    \"forest.train_forest\",\n"
+        ")\n"
+    ),
+    "obs/spans.py": (
+        "SPAN_NAMES = (\n"
+        "    \"run\",\n"
+        "    \"stage\",\n"
+        ")\n"
+    ),
+}
+
+
+class TestTelemetryNameRule:
+    def test_unregistered_section_literal_flagged(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "core/mod.py": (
+                "def go():\n"
+                "    with profile_section(\"blocker.steam_flush\"):\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL017"}
+        assert "blocker.steam_flush" in report.new_findings[0].message
+
+    def test_registered_section_literal_ok(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "core/mod.py": (
+                "def go():\n"
+                "    with profile_section(\"forest.train_forest\"):\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_computed_section_name_flagged(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "core/mod.py": (
+                "def go(index):\n"
+                "    with profile_section(f\"node.{index}\"):\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL017"}
+        assert "not a string literal" in report.new_findings[0].message
+
+    def test_unregistered_tracer_start_flagged(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "obs/mod.py": (
+                "def go(tracer):\n"
+                "    return tracer.start(\"stge\", stage=\"block\")\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL017"}
+        assert "stge" in report.new_findings[0].message
+
+    def test_registered_tracer_attribute_start_ok(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "obs/mod.py": (
+                "def go(self):\n"
+                "    return self.tracer.start(\"run\", mode=\"fresh\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_non_tracer_start_skipped(self, tmp_path):
+        # Matcher objects expose .start too; only tracer receivers are
+        # span-name call sites.
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "core/mod.py": (
+                "def go(matcher, working):\n"
+                "    return matcher.start(working, None)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_unregistered_span_literal_flagged(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "engine/mod.py": (
+                "def go(ctx):\n"
+                "    with ctx.span(\"stages\", stage=\"block\"):\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert rule_ids(report) == {"CL017"}
+        assert "stages" in report.new_findings[0].message
+
+    def test_forwarded_span_name_skipped(self, tmp_path):
+        # The run context's span() wrapper forwards a non-literal name;
+        # .span is only audited when the name is a literal.
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "engine/mod.py": (
+                "def span(self, name, **attrs):\n"
+                "    return self.telemetry.tracer.span(name, **attrs)\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_silent_without_registries_in_scan(self, tmp_path):
+        report = check({
+            "core/mod.py": (
+                "def go():\n"
+                "    with profile_section(\"anything.at.all\"):\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_test_modules_exempt(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "test_mod.py": (
+                "def test_go(tracer):\n"
+                "    return tracer.start(\"bogus\")\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+    def test_suppressed_with_pragma(self, tmp_path):
+        report = check({
+            **_TELEMETRY_REGISTRIES,
+            "core/mod.py": (
+                "def go(index):\n"
+                "    with profile_section(f\"node.{index}\"):"
+                "  # corlint: disable=CL017\n"
+                "        pass\n"
+            ),
+        }, tmp_path)
+        assert report.new_findings == []
+
+
 class TestSpillOwnershipRule:
     def test_open_memmap_outside_spill_flagged(self, tmp_path):
         report = check({

@@ -10,7 +10,10 @@ kill/resume at *every* checkpoint all leave byte-identical
 
 from __future__ import annotations
 
+import dataclasses
+import http.client
 import json
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -26,12 +29,26 @@ from repro.config import (
 )
 from repro.core.pipeline import Corleone
 from repro.crowd.simulated import SimulatedCrowd
-from repro.engine.events import EVENT_CHECKPOINT_WRITTEN
+from repro.engine.events import (
+    EVENT_BUDGET_SPENT,
+    EVENT_CHECKPOINT_WRITTEN,
+    EVENT_LABELS_PURCHASED,
+    EVENT_SHARD_COMPLETED,
+    EVENT_SHARD_STARTED,
+    EVENT_STAGE_FINISHED,
+    EVENT_STAGE_STARTED,
+    Event,
+)
 from repro.exceptions import DataError
 from repro.obs import MetricsRegistry, SpanTracer, render_prometheus
 from repro.obs import profiling
 from repro.obs.__main__ import main as obs_main
-from repro.obs.report import effective_trace, render_report
+from repro.obs.diffing import diff_runs, render_diff
+from repro.obs.progress import ProgressHeartbeat, read_progress
+from repro.obs.report import effective_trace, render_report, render_watch
+from repro.obs.serve import build_server
+from repro.obs.spans import read_spans
+from repro.obs.tail import TraceTail
 from repro.obs.telemetry import (
     METRICS_FORMAT,
     METRICS_VERSION,
@@ -584,3 +601,550 @@ class TestRunTelemetry:
         restored.load_state(state)
         counter = restored.registry.get("corleone_checkpoints_total")
         assert counter.labels().value == 1
+
+
+# ----------------------------------------------------------------------
+# Sharded workers: per-worker telemetry + the same identity contract
+# ----------------------------------------------------------------------
+
+
+def _sharded_identity_config() -> CorleoneConfig:
+    config = _identity_config()
+    blocker = dataclasses.replace(config.blocker, executor="sharded",
+                                  n_workers=4)
+    return dataclasses.replace(config, blocker=blocker)
+
+
+@pytest.fixture(scope="module")
+def sharded_identity_scenario(tmp_path_factory):
+    """The identity scenario re-run through the 4-worker sharded path."""
+    dataset = generate_restaurants(n_a=60, n_b=40, n_matches=15, seed=7)
+    config = _sharded_identity_config()
+
+    def crowd():
+        return SimulatedCrowd(dataset.matches, error_rate=0.05,
+                              rng=np.random.default_rng(11))
+
+    golden_dir = tmp_path_factory.mktemp("obs_sharded") / "golden"
+    Corleone(config, crowd(), seed=123, run_dir=golden_dir).run(
+        dataset.table_a, dataset.table_b, dataset.seed_labels)
+    return dataset, config, crowd, golden_dir
+
+
+class TestShardedWorkerTelemetry:
+    """Worker-labelled telemetry from a real ``n_workers=4`` run."""
+
+    def test_profile_has_per_worker_blocker_sections(
+            self, sharded_identity_scenario):
+        _, _, _, golden_dir = sharded_identity_scenario
+        document = json.loads((golden_dir / "profile.json").read_text())
+        sections = document["sections"]
+        worker_sections = [name for name in sections
+                           if name.startswith("worker")
+                           and ".blocker." in name]
+        assert worker_sections, sorted(sections)
+        slots = {int(name.split(".")[0].removeprefix("worker"))
+                 for name in worker_sections}
+        assert slots <= set(range(4))
+        assert len(slots) > 1  # the work really spread across slots
+        for name in worker_sections:
+            assert sections[name]["calls"] >= 1
+            assert sections[name]["seconds"] >= 0.0
+
+    def test_metrics_carry_worker_and_shard_labels(
+            self, sharded_identity_scenario):
+        _, _, _, golden_dir = sharded_identity_scenario
+        metrics = json.loads(
+            (golden_dir / "metrics.json").read_text())["metrics"]
+        completed = metrics["corleone_worker_shards_completed_total"]
+        assert completed["label_names"] == ["worker"]
+        total = sum(s["value"] for s in completed["series"])
+        assert total >= 4  # at least one shard per configured worker
+
+        scanned = metrics["corleone_worker_shard_pairs_scanned_total"]
+        assert scanned["label_names"] == ["worker", "shard"]
+        assert scanned["series"], "no per-shard scan series"
+        for series in scanned["series"]:
+            shard = int(series["labels"]["shard"])
+            worker = int(series["labels"]["worker"])
+            assert worker == shard % 4  # the deterministic slot rule
+        # Every scanned pair is accounted for exactly once across shards.
+        assert sum(s["value"] for s in scanned["series"]) % (60 * 40) == 0
+
+    def test_shard_spans_recorded_with_worker_attr(
+            self, sharded_identity_scenario):
+        _, _, _, golden_dir = sharded_identity_scenario
+        spans = read_spans(golden_dir / "spans.jsonl")
+        shard_spans = [s for s in spans if s["name"] == "shard"]
+        assert shard_spans
+        for span in shard_spans:
+            assert span["attrs"]["worker"] == span["attrs"]["shard"] % 4
+            assert "cached" not in span["attrs"]  # resume-variant attr
+
+    def test_replay_is_byte_identical(self, sharded_identity_scenario,
+                                      tmp_path):
+        dataset, config, crowd, golden_dir = sharded_identity_scenario
+        replay_dir = tmp_path / "replay"
+        Corleone(config, crowd(), seed=123, run_dir=replay_dir).run(
+            dataset.table_a, dataset.table_b, dataset.seed_labels)
+        assert _telemetry_bytes(replay_dir) == _telemetry_bytes(golden_dir)
+
+    def test_kill_resume_is_byte_identical_at_every_checkpoint(
+            self, sharded_identity_scenario, tmp_path):
+        dataset, config, crowd, golden_dir = sharded_identity_scenario
+        golden = _telemetry_bytes(golden_dir)
+        n_checkpoints = json.loads(
+            (golden_dir / "checkpoint.json").read_text())["index"] + 1
+        assert n_checkpoints >= 5
+
+        for kill_at in range(n_checkpoints):
+            run_dir = tmp_path / f"kill{kill_at}"
+            pipeline = Corleone(config, crowd(), seed=123, run_dir=run_dir)
+            pipeline.bus.subscribe(_killer_sink(kill_at))
+            with pytest.raises(_Killed):
+                pipeline.run(dataset.table_a, dataset.table_b,
+                             dataset.seed_labels)
+            Corleone.resume(run_dir, crowd())
+            assert _telemetry_bytes(run_dir) == golden, (
+                f"sharded telemetry diverged after a kill at "
+                f"checkpoint {kill_at}"
+            )
+
+    def test_progress_heartbeat_written_and_finished(
+            self, sharded_identity_scenario):
+        _, _, _, golden_dir = sharded_identity_scenario
+        progress = read_progress(golden_dir)
+        assert progress is not None
+        assert progress["format"] == "corleone-progress"
+        assert progress["finished"] is True
+        assert progress["stage"] is None
+        assert progress["checkpoints"] == json.loads(
+            (golden_dir / "checkpoint.json").read_text())["index"] + 1
+        assert progress["shards"]["completed"] \
+            == progress["shards"]["started"] > 0
+        assert progress["dollars_spent"] > 0
+
+
+# ----------------------------------------------------------------------
+# Torn-tail tolerance: read_spans and effective_trace
+# ----------------------------------------------------------------------
+
+
+class TestTornTails:
+    def test_read_spans_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        good = {"id": 0, "parent": None, "name": "run", "attrs": {},
+                "start_time": 0.0, "end_time": 1.0, "duration": 1.0}
+        path.write_text(json.dumps(good) + "\n" + '{"id": 1, "par')
+        spans = read_spans(path)
+        assert [span["id"] for span in spans] == [0]
+
+    def test_read_spans_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        good = {"id": 0, "parent": None, "name": "run", "attrs": {},
+                "start_time": 0.0, "end_time": 1.0, "duration": 1.0}
+        path.write_text('{"torn":' + "\n" + json.dumps(good) + "\n")
+        with pytest.raises(DataError, match="not a torn tail"):
+            read_spans(path)
+
+    def test_effective_trace_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"event": "stage_started", "sequence": 0,
+                        "stage": "block"}) + "\n"
+            + '{"event": "stage_fin')
+        (event,) = effective_trace(path)
+        assert event["sequence"] == 0
+
+    def test_effective_trace_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "broken"' + "\n"
+            + json.dumps({"event": "stage_started", "sequence": 0}) + "\n")
+        with pytest.raises(DataError, match="not a torn tail"):
+            effective_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition edge cases
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusEdgeCases:
+    def test_empty_family_renders_headers_only(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet_total", "Never incremented.",
+                    label_names=("kind",))
+        rendered = render_prometheus(reg.snapshot())
+        assert rendered == ("# HELP quiet_total Never incremented.\n"
+                            "# TYPE quiet_total counter\n")
+
+    def test_newline_in_label_value_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", label_names=("kind",))
+        reg.get("c_total").inc(kind="a\nb")
+        rendered = render_prometheus(reg.snapshot())
+        assert 'c_total{kind="a\\nb"} 1' in rendered
+        assert "\na\n" not in rendered  # no raw newline leaks
+
+    def test_labelled_histogram_buckets_carry_labels_and_inf(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", (2.0,), label_names=("stage",))
+        reg.get("h_seconds").observe(1.0, stage="block")
+        reg.get("h_seconds").observe(9.0, stage="block")
+        rendered = render_prometheus(reg.snapshot())
+        assert 'h_seconds_bucket{stage="block",le="2"} 1' in rendered
+        assert 'h_seconds_bucket{stage="block",le="+Inf"} 2' in rendered
+        assert 'h_seconds_sum{stage="block"} 10' in rendered
+        assert 'h_seconds_count{stage="block"} 2' in rendered
+
+
+# ----------------------------------------------------------------------
+# Incremental trace tailing
+# ----------------------------------------------------------------------
+
+
+class TestTraceTail:
+    def test_missing_file_polls_empty(self, tmp_path):
+        tail = TraceTail(tmp_path / "trace.jsonl")
+        assert tail.poll() == []
+        assert tail.effective() == []
+
+    def test_partial_final_line_buffers_until_complete(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tail = TraceTail(path)
+        first = json.dumps({"event": "a", "sequence": 0})
+        second = json.dumps({"event": "b", "sequence": 1})
+        path.write_text(first + "\n" + second[:7])
+        records = tail.poll()
+        assert [r["sequence"] for r in records] == [0]
+        # The writer completes the torn line; the tail stitches it.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(second[7:] + "\n")
+        records = tail.poll()
+        assert [r["sequence"] for r in records] == [1]
+        assert tail.invalid_lines == 0
+
+    def test_rotation_resets_to_the_new_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tail = TraceTail(path)
+        path.write_text(
+            json.dumps({"event": "old", "sequence": 0}) + "\n"
+            + json.dumps({"event": "old", "sequence": 1}) + "\n")
+        tail.poll()
+        # A fresh run reuses the directory with a shorter trace.
+        path.write_text(json.dumps({"event": "new", "sequence": 0}) + "\n")
+        records = tail.poll()
+        assert tail.rotations == 1
+        assert [r["event"] for r in records] == ["new"]
+        assert [r["event"] for r in tail.effective()] == ["new"]
+
+    def test_duplicate_sequences_latest_wins(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tail = TraceTail(path)
+        path.write_text(
+            json.dumps({"event": "killed", "sequence": 5}) + "\n")
+        tail.poll()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"event": "resumed", "sequence": 5}) + "\n")
+        tail.poll()
+        (record,) = tail.effective()
+        assert record["event"] == "resumed"
+
+    def test_invalid_complete_lines_are_counted_and_skipped(self,
+                                                           tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tail = TraceTail(path)
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"event": "no_sequence"}) + "\n"
+            + json.dumps({"event": "ok", "sequence": 2}) + "\n")
+        records = tail.poll()
+        assert [r["sequence"] for r in records] == [2]
+        assert tail.invalid_lines == 2
+
+
+# ----------------------------------------------------------------------
+# Progress heartbeat
+# ----------------------------------------------------------------------
+
+
+def _feed(heartbeat: ProgressHeartbeat,
+          events: list[tuple[str, dict]]) -> None:
+    for sequence, (name, payload) in enumerate(events):
+        heartbeat(Event(name=name, sequence=sequence, payload=payload))
+
+
+class TestProgressHeartbeat:
+    def test_event_folding_and_round_trip(self, tmp_path):
+        heartbeat = ProgressHeartbeat(tmp_path, budget=10.0)
+        _feed(heartbeat, [
+            (EVENT_STAGE_STARTED, {"stage": "block", "iteration": 0}),
+            (EVENT_SHARD_STARTED, {"shard": 0}),
+            (EVENT_SHARD_STARTED, {"shard": 1}),
+            (EVENT_SHARD_COMPLETED, {"shard": 0}),
+            (EVENT_SHARD_COMPLETED, {"shard": 1}),
+            (EVENT_LABELS_PURCHASED, {"pair": ["a", "b"], "strong": True}),
+            (EVENT_BUDGET_SPENT, {"dollars": 0.4, "answers": 4}),
+            (EVENT_CHECKPOINT_WRITTEN, {"index": 0, "stage": "block"}),
+        ])
+        document = read_progress(tmp_path)
+        assert document is not None
+        assert document["stage"] == "block"
+        assert document["finished"] is False
+        assert document["checkpoints"] == 1
+        assert document["shards"] == {"started": 2, "completed": 2}
+        assert document["labels_purchased"] == 1
+        assert document["answers"] == 4
+        assert document["dollars_spent"] == pytest.approx(0.4)
+        assert document["budget_remaining"] == pytest.approx(9.6)
+        assert document["sequence"] == 7
+
+    def test_resumed_shard_events_do_not_double_count(self, tmp_path):
+        heartbeat = ProgressHeartbeat(tmp_path)
+        _feed(heartbeat, [
+            (EVENT_SHARD_COMPLETED, {"shard": 3}),
+            (EVENT_SHARD_COMPLETED, {"shard": 3}),  # resume re-emission
+        ])
+        assert heartbeat.document()["shards"]["completed"] == 1
+
+    def test_stage_finished_dollars_are_authoritative(self, tmp_path):
+        heartbeat = ProgressHeartbeat(tmp_path, budget=10.0)
+        _feed(heartbeat, [
+            (EVENT_BUDGET_SPENT, {"dollars": 0.4, "answers": 4}),
+            (EVENT_STAGE_FINISHED, {"stage": "block", "dollars": 2.4,
+                                    "next_stage": None}),
+        ])
+        document = heartbeat.document()
+        assert document["finished"] is True
+        assert document["stage"] is None
+        assert document["dollars_spent"] == pytest.approx(2.4)
+
+    def test_read_progress_absent_or_damaged_is_none(self, tmp_path):
+        assert read_progress(tmp_path) is None
+        (tmp_path / "progress.json").write_text("{ torn")
+        assert read_progress(tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# The run monitor endpoint
+# ----------------------------------------------------------------------
+
+
+def _http_get(server, path: str) -> tuple[int, str]:
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def monitor(tmp_path):
+    """A fixture run directory served on an ephemeral port."""
+    run_dir = tmp_path / "served_run"
+    _write_fixture_run(run_dir)
+    ProgressHeartbeat(run_dir, budget=10.0).flush()
+    server = build_server(run_dir, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield run_dir, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestRunMonitor:
+    def test_metrics_endpoint_matches_offline_rendering(self, monitor):
+        run_dir, server = monitor
+        status, body = _http_get(server, "/metrics")
+        assert status == 200
+        document = json.loads((run_dir / "metrics.json").read_text())
+        assert body == render_prometheus(document["metrics"])
+
+    def test_metrics_404_before_first_checkpoint(self, tmp_path):
+        server = build_server(tmp_path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, _ = _http_get(server, "/metrics")
+            assert status == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_metrics_503_on_damaged_document(self, monitor):
+        run_dir, server = monitor
+        (run_dir / "metrics.json").write_text("{ damaged")
+        status, _ = _http_get(server, "/metrics")
+        assert status == 503
+
+    def test_progress_endpoint_serves_the_heartbeat(self, monitor):
+        _, server = monitor
+        status, body = _http_get(server, "/progress")
+        assert status == 200
+        document = json.loads(body)
+        assert document["format"] == "corleone-progress"
+        assert document["budget"] == 10.0
+
+    def test_trace_endpoint_filters_by_sequence(self, monitor):
+        _, server = monitor
+        status, body = _http_get(server, "/trace")
+        assert status == 200
+        events = json.loads(body)
+        assert [e["sequence"] for e in events] == list(range(8))
+        status, body = _http_get(server, "/trace?after=5")
+        assert [e["sequence"] for e in json.loads(body)] == [6, 7]
+
+    def test_trace_sees_appended_events_across_requests(self, monitor):
+        run_dir, server = monitor
+        _http_get(server, "/trace")
+        with open(run_dir / "trace.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"event": "fault_injected", "sequence": 8,
+                 "kind": "late"}) + "\n")
+        _, body = _http_get(server, "/trace?after=7")
+        (event,) = json.loads(body)
+        assert event["kind"] == "late"
+
+    def test_trace_rejects_non_integer_after(self, monitor):
+        _, server = monitor
+        status, _ = _http_get(server, "/trace?after=soon")
+        assert status == 400
+
+    def test_unknown_path_is_404(self, monitor):
+        _, server = monitor
+        status, body = _http_get(server, "/nope")
+        assert status == 404
+        assert "/metrics" in body
+
+
+# ----------------------------------------------------------------------
+# Cross-run diffing
+# ----------------------------------------------------------------------
+
+
+class TestRunDiffing:
+    def test_identical_runs_diff_empty(self, tmp_path):
+        run_a, run_b = tmp_path / "a", tmp_path / "b"
+        _write_fixture_run(run_a)
+        _write_fixture_run(run_b)
+        diff = diff_runs(run_a, run_b)
+        assert diff == {"metrics": [], "stages": []}
+        assert "no differences" in render_diff(diff, run_a, run_b)
+
+    def test_metric_and_stage_deltas_are_reported(self, tmp_path):
+        run_a, run_b = tmp_path / "a", tmp_path / "b"
+        _write_fixture_run(run_a)
+        _write_fixture_run(run_b)
+        # Perturb run B: bump one counter series, drop another, and
+        # stretch one stage span.
+        document = json.loads((run_b / "metrics.json").read_text())
+        metrics = document["metrics"]
+        for series in metrics["corleone_labels_purchased_total"]["series"]:
+            if series["labels"]["strong"] == "true":
+                series["value"] = 9
+        metrics["corleone_hits_reposted_total"]["series"] = []
+        (run_b / "metrics.json").write_text(json.dumps(document))
+        spans = read_spans(run_b / "spans.jsonl")
+        for span in spans:
+            if span["attrs"].get("stage") == "block":
+                span["duration"] = 99.0
+        (run_b / "spans.jsonl").write_text(
+            "".join(json.dumps(span, sort_keys=True) + "\n"
+                    for span in spans))
+
+        diff = diff_runs(run_a, run_b)
+        by_family = {(d["family"], tuple(sorted(d["labels"].items()))): d
+                     for d in diff["metrics"]}
+        changed = by_family[("corleone_labels_purchased_total",
+                             (("strong", "true"),))]
+        assert changed["a"] == {"value": 7}
+        assert changed["b"] == {"value": 9}
+        dropped = by_family[("corleone_hits_reposted_total", ())]
+        assert dropped["a"] == {"value": 1}
+        assert dropped["b"] is None
+        (stage,) = diff["stages"]
+        assert stage["stage"] == "block"
+        assert stage["a"] == pytest.approx(12.5)
+        assert stage["b"] == pytest.approx(99.0)
+
+        rendered = render_diff(diff, run_a, run_b)
+        assert "corleone_labels_purchased_total{strong=true}" in rendered
+        assert "(absent)" in rendered
+        assert "block: A=12.500s  B=99.000s" in rendered
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        run_a, run_b = tmp_path / "a", tmp_path / "b"
+        _write_fixture_run(run_a)
+        _write_fixture_run(run_b)
+        assert obs_main(["diff", str(run_a), str(run_b)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+        document = json.loads((run_b / "metrics.json").read_text())
+        document["metrics"]["corleone_answers_total"]["series"][0][
+            "value"] = 999
+        (run_b / "metrics.json").write_text(json.dumps(document))
+        assert obs_main(["diff", str(run_a), str(run_b)]) == 1
+        assert "corleone_answers_total" in capsys.readouterr().out
+
+        assert obs_main(["diff", str(run_a),
+                         str(tmp_path / "missing")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Watch frames and the in-flight report banner
+# ----------------------------------------------------------------------
+
+
+class TestWatchAndInFlightReport:
+    def test_watch_frame_without_progress(self):
+        frame = render_watch(None, [])
+        assert "waiting for progress.json" in frame
+
+    def test_watch_frame_with_progress_and_events(self, tmp_path):
+        heartbeat = ProgressHeartbeat(tmp_path, budget=10.0)
+        _feed(heartbeat, [
+            (EVENT_STAGE_STARTED, {"stage": "block", "iteration": 0}),
+            (EVENT_SHARD_STARTED, {"shard": 0}),
+            (EVENT_SHARD_COMPLETED, {"shard": 0}),
+        ])
+        events = [{"event": "stage_started", "sequence": 0,
+                   "stage": "block"},
+                  {"event": "shard_completed", "sequence": 1, "shard": 0}]
+        frame = render_watch(heartbeat.document(), events, recent=1)
+        assert "stage block" in frame
+        assert "shards 1/1" in frame
+        assert "events seen: 2" in frame
+        assert "#1 shard_completed" in frame
+        assert "#0 stage_started" not in frame  # recent=1 keeps the tail
+
+    def test_report_marks_an_in_flight_run(self, tmp_path):
+        run_dir = tmp_path / "inflight"
+        _write_fixture_run(run_dir)
+        heartbeat = ProgressHeartbeat(run_dir, budget=10.0)
+        _feed(heartbeat, [
+            (EVENT_STAGE_STARTED, {"stage": "train_matcher",
+                                   "iteration": 1}),
+        ])
+        text = render_report(run_dir)
+        assert "IN FLIGHT" in text
+        assert "stage: train_matcher" in text
+        assert "budget burn" in text  # the rest still renders
+
+    def test_report_on_a_finished_run_has_no_banner(self, tmp_path):
+        run_dir = tmp_path / "finished"
+        _write_fixture_run(run_dir)
+        heartbeat = ProgressHeartbeat(run_dir, budget=10.0)
+        _feed(heartbeat, [
+            (EVENT_STAGE_FINISHED, {"stage": "train_matcher",
+                                    "dollars": 2.4, "next_stage": None}),
+        ])
+        assert "IN FLIGHT" not in render_report(run_dir)

@@ -178,8 +178,10 @@ class TestKillResume:
             written = [0]
 
             def killing_write(self, index, survivors, pairs_scanned,
-                              _kill_at=kill_at, _written=written):
-                original_write(self, index, survivors, pairs_scanned)
+                              *args, _kill_at=kill_at, _written=written,
+                              **kwargs):
+                original_write(self, index, survivors, pairs_scanned,
+                               *args, **kwargs)
                 _written[0] += 1
                 if _written[0] >= _kill_at:
                     raise KeyboardInterrupt("simulated kill")
@@ -312,6 +314,93 @@ class TestFallbackSurfacing:
                      if e.name == EVENT_BLOCKER_FALLBACK]
         assert len(fallbacks) == 1
         assert fallbacks[0].payload["reason"] == "fork_unavailable"
+
+
+class TestWorkerTelemetry:
+    """Worker slots and captured sections (repro.obs.workers)."""
+
+    def _setup(self):
+        dataset = _DATASETS["restaurants"]()
+        library = build_feature_library(dataset.table_a, dataset.table_b)
+        rules = _blocking_rules(library)
+        return dataset, library, rules
+
+    def _shard_payloads(self, **kwargs):
+        dataset, library, rules = self._setup()
+        bus = EventBus()
+        payloads = []
+        bus.subscribe(lambda e: payloads.append((e.name, dict(e.payload))))
+        apply_rules_sharded(dataset.table_a, dataset.table_b, rules,
+                            library, bus=bus, **kwargs)
+        return [p for name, p in payloads
+                if name in (EVENT_SHARD_STARTED, EVENT_SHARD_COMPLETED)]
+
+    def test_worker_slot_is_shard_index_mod_n_workers(self):
+        for payload in self._shard_payloads(n_workers=3, shard_size=9):
+            assert payload["worker"] == payload["shard"] % 3
+
+    def test_worker_slot_identical_across_pool_and_fallback(
+            self, monkeypatch):
+        from repro.exec import executor as executor_module
+
+        def by_shard(payloads):
+            return sorted(payloads, key=lambda p: (p["shard"], len(p)))
+
+        pooled = self._shard_payloads(n_workers=3, shard_size=9)
+        monkeypatch.setattr(executor_module, "_fork_available",
+                            lambda: False)
+        fallback = self._shard_payloads(n_workers=3, shard_size=9)
+        # The pool announces every shard_started upfront while the
+        # fallback interleaves, so compare per-shard payloads, not
+        # global order: the worker attribution must be identical.
+        assert by_shard(pooled) == by_shard(fallback)
+
+    def test_cached_shards_replay_worker_slot_and_sections(self, tmp_path):
+        dataset, library, rules = self._setup()
+        shard_dir = tmp_path / "shards"
+        apply_rules_sharded(dataset.table_a, dataset.table_b, rules,
+                            library, n_workers=2, shard_size=9,
+                            shard_dir=shard_dir)
+        # The persisted shard carries the worker's wall-clock sections.
+        from repro.core.blocker import _STREAM_CHUNK
+        from repro.exec.sharding import shard_fingerprint
+        fingerprint = shard_fingerprint(dataset.table_a, dataset.table_b,
+                                        rules, library, 9, _STREAM_CHUNK)
+        store = ShardStore(shard_dir, fingerprint)
+        _, _, _, sections = store.load(0)
+        assert "blocker.shard_flush" in sections
+        assert sections["blocker.shard_flush"]["calls"] >= 1
+        # A resume loads every shard; the replayed events carry the
+        # same deterministic worker slot as the fresh run.
+        bus = EventBus()
+        payloads = []
+        bus.subscribe(lambda e: payloads.append(dict(e.payload))
+                      if e.name == EVENT_SHARD_COMPLETED else None)
+        apply_rules_sharded(dataset.table_a, dataset.table_b, rules,
+                            library, n_workers=2, shard_size=9,
+                            shard_dir=shard_dir, bus=bus)
+        assert payloads and all(p["cached"] for p in payloads)
+        for payload in payloads:
+            assert payload["worker"] == payload["shard"] % 2
+
+    def test_worker_sections_merge_into_active_profiler(self):
+        from repro.obs.profiling import Profiler, activate, deactivate
+        dataset, library, rules = self._setup()
+        profiler = Profiler()
+        activate(profiler)
+        try:
+            apply_rules_sharded(dataset.table_a, dataset.table_b, rules,
+                                library, n_workers=2, shard_size=9)
+        finally:
+            deactivate(profiler)
+        worker_keys = [name for name in profiler.sections
+                       if name.startswith("worker")]
+        assert any(name == "worker0.blocker.shard_flush"
+                   for name in worker_keys)
+        assert any(name == "worker1.blocker.shard_flush"
+                   for name in worker_keys)
+        # The parent-side prewarm stays unprefixed.
+        assert "blocker.shard_prewarm" in profiler.sections
 
 
 class TestEngineIntegration:

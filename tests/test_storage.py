@@ -96,6 +96,26 @@ class TestAtomicWrites:
             set_fsync(True)
         assert fsync_enabled()
 
+    def test_volatile_write_skips_fsync_but_stays_atomic(
+            self, tmp_path, monkeypatch):
+        """durable=False: no fsync, same replace discipline and digest."""
+        import os as _os
+
+        calls = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            "os.fsync", lambda fd: calls.append(fd) or real_fsync(fd))
+
+        path = tmp_path / "snapshot.json"
+        atomic_write_text(path, "old")
+        assert calls  # the durable default fsyncs
+        calls.clear()
+        digest = atomic_write_json(path, {"live": True}, durable=False)
+        assert not calls  # volatile snapshots never fsync
+        assert json.loads(path.read_text()) == {"live": True}
+        assert digest == file_sha256(path)
+        assert not list(tmp_path.glob("*.tmp"))
+
 
 class TestArtifactWriter:
     """The manifest-keeping writer."""
@@ -523,7 +543,7 @@ class TestTornWriteProperties:
             store.write(0, survivors, pairs_scanned=len(values))
             path = store.shard_path(0)
             full = path.read_bytes()
-            loaded, scanned, _ = store.load(0)
+            loaded, scanned, _, _ = store.load(0)
             assert loaded == survivors and scanned == len(values)
             for offset in range(len(full)):
                 path.write_bytes(full[:offset])

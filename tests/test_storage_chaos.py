@@ -70,6 +70,7 @@ from repro.storage import (
     QUARANTINE_DIR,
     SimulatedCrashError,
     StorageFaultInjector,
+    file_sha256,
     load_manifest,
 )
 from repro.synth.products import generate_products
@@ -243,6 +244,13 @@ class TestArtifactEventsAndManifest:
         event_sha = next(event.payload["sha256"] for event in written
                          if event.payload["artifact"] == CANDIDATES_FILE)
         assert manifest[CANDIDATES_FILE]["sha256"] == event_sha
+        # Telemetry exports: mid-run snapshots are volatile and
+        # unmanifested, but the run-end export records the final bytes.
+        for name in ("metrics.json", "spans.jsonl"):
+            assert manifest[name]["sha256"] == \
+                file_sha256(run_dir / name)
+        for advisory in ("profile.json", "progress.json"):
+            assert advisory not in manifest
 
 
 class TestBitRotRecovery:
